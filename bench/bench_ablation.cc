@@ -1,0 +1,168 @@
+// Ablation benches for THOR's design choices (DESIGN.md Section 4):
+//  1. Cluster-ranking criteria: distinct terms / fanout / size alone vs the
+//     paper's linear combination, measured by whether the top-ranked
+//     cluster actually holds answer pages.
+//  2. Subtree-set similarity threshold sweep (the paper argues 0.5 is
+//     uncritical thanks to the bimodal Figure-9 distribution).
+//  3. The wrapper-minimality content fraction (this implementation's
+//     reading of the paper's "equivalent content" rule).
+
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/cluster/agglomerative.h"
+#include "src/cluster/quality.h"
+#include "src/core/signature_builder.h"
+#include "src/core/thor.h"
+#include "src/ir/tfidf.h"
+
+namespace thor {
+namespace {
+
+int Main(int argc, char** argv) {
+  int num_sites = argc > 1 ? std::atoi(argv[1]) : 30;
+  auto corpus = bench::BuildPaperCorpus(num_sites);
+  std::vector<std::vector<core::Page>> site_pages;
+  for (const auto& sample : corpus) {
+    site_pages.push_back(core::ToPages(sample));
+  }
+
+  // --- 1. ranking criteria -------------------------------------------
+  bench::PrintHeader("Ablation 1: cluster-ranking criteria (" +
+                     std::to_string(num_sites) + " sites)");
+  bench::PrintRow("criterion", {"top1-hit", "top2-hit"});
+  struct RankVariant {
+    const char* name;
+    core::ClusterRankOptions options;
+  } rank_variants[] = {
+      {"terms", {1.0, 0.0, 0.0}},
+      {"fanout", {0.0, 1.0, 0.0}},
+      {"size", {0.0, 0.0, 1.0}},
+      {"combined", {1.0 / 3, 1.0 / 3, 1.0 / 3}},
+  };
+  for (const auto& variant : rank_variants) {
+    int top1_hits = 0;
+    int top2_hits = 0;
+    for (size_t site = 0; site < corpus.size(); ++site) {
+      core::PageClusteringOptions clustering;
+      clustering.kmeans.k = 4;
+      auto clusters = core::ClusterPages(site_pages[site], clustering);
+      if (!clusters.ok()) continue;
+      auto ranked = core::RankClusters(site_pages[site],
+                                       clusters->assignment, clusters->k,
+                                       variant.options);
+      auto pagelet_fraction = [&](int cluster) {
+        int total = 0;
+        int with = 0;
+        for (size_t i = 0; i < site_pages[site].size(); ++i) {
+          if (clusters->assignment[i] != cluster) continue;
+          ++total;
+          if (corpus[site].pages[i].pagelet_node != html::kInvalidNode) {
+            ++with;
+          }
+        }
+        return total > 0 ? static_cast<double>(with) / total : 0.0;
+      };
+      if (!ranked.empty() && pagelet_fraction(ranked[0].cluster) > 0.5) {
+        ++top1_hits;
+      }
+      bool top2 = false;
+      for (size_t r = 0; r < ranked.size() && r < 2; ++r) {
+        top2 |= pagelet_fraction(ranked[r].cluster) > 0.5;
+      }
+      if (top2) ++top2_hits;
+    }
+    bench::PrintRow(variant.name,
+                    {bench::Fmt(static_cast<double>(top1_hits) / num_sites),
+                     bench::Fmt(static_cast<double>(top2_hits) / num_sites)});
+  }
+
+  // --- 2. similarity threshold sweep ----------------------------------
+  bench::PrintHeader("Ablation 2: subtree-set similarity threshold");
+  bench::PrintRow("threshold", {"precision", "recall"});
+  for (double threshold : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    core::PrecisionRecall total;
+    for (size_t site = 0; site < corpus.size(); ++site) {
+      core::ThorOptions options;
+      options.phase2.rank.prune_threshold = threshold;
+      options.phase2.selection.similarity_threshold = threshold;
+      auto result = core::RunThor(site_pages[site], options);
+      if (!result.ok()) continue;
+      total.Add(core::EvaluatePagelets(corpus[site], *result));
+    }
+    bench::PrintRow(bench::Fmt(threshold, 1),
+                    {bench::Fmt(total.Precision()),
+                     bench::Fmt(total.Recall())});
+  }
+
+  // --- 3. wrapper content fraction ------------------------------------
+  bench::PrintHeader("Ablation 3: wrapper-minimality content fraction");
+  bench::PrintRow("fraction", {"precision", "recall"});
+  for (double fraction : {0.6, 0.7, 0.8, 0.9, 1.0}) {
+    core::PrecisionRecall total;
+    for (size_t site = 0; site < corpus.size(); ++site) {
+      core::ThorOptions options;
+      options.phase2.filter.wrapper_content_fraction = fraction;
+      auto result = core::RunThor(site_pages[site], options);
+      if (!result.ok()) continue;
+      total.Add(core::EvaluatePagelets(corpus[site], *result));
+    }
+    bench::PrintRow(bench::Fmt(fraction, 1),
+                    {bench::Fmt(total.Precision()),
+                     bench::Fmt(total.Recall())});
+  }
+  // --- 4. Phase-I algorithm: K-Means vs hierarchical ------------------
+  bench::PrintHeader("Ablation 4: K-Means vs agglomerative (TFIDF tags)");
+  bench::PrintRow("algorithm", {"entropy", "time_ms"});
+  {
+    double kmeans_entropy = 0.0;
+    double agglo_entropy = 0.0;
+    double kmeans_seconds = 0.0;
+    double agglo_seconds = 0.0;
+    for (size_t site = 0; site < corpus.size(); ++site) {
+      std::vector<ir::SparseVector> counts;
+      for (const core::Page& page : site_pages[site]) {
+        counts.push_back(core::TagCountVector(page.tree));
+      }
+      ir::TfidfModel model = ir::TfidfModel::Fit(counts);
+      auto weighted = model.WeighAll(counts, ir::Weighting::kTfidf);
+      auto labels = corpus[site].ClassLabels();
+      cluster::KMeansOptions kmeans;
+      kmeans.k = 4;
+      Result<cluster::Clustering> km = Status::Internal("unset");
+      kmeans_seconds +=
+          bench::TimeSeconds([&] { km = cluster::KMeansCluster(weighted,
+                                                               kmeans); });
+      if (km.ok()) {
+        kmeans_entropy += cluster::ClusteringEntropy(km->assignment, labels);
+      }
+      cluster::AgglomerativeOptions agglo;
+      agglo.k = 4;
+      Result<cluster::AgglomerativeResult> ag = Status::Internal("unset");
+      agglo_seconds += bench::TimeSeconds(
+          [&] { ag = cluster::AgglomerativeCluster(weighted, agglo); });
+      if (ag.ok()) {
+        agglo_entropy += cluster::ClusteringEntropy(ag->assignment, labels);
+      }
+    }
+    bench::PrintRow("kmeans",
+                    {bench::Fmt(kmeans_entropy / num_sites),
+                     bench::Fmt(kmeans_seconds * 1000.0 / num_sites, 1)});
+    bench::PrintRow("agglo",
+                    {bench::Fmt(agglo_entropy / num_sites),
+                     bench::Fmt(agglo_seconds * 1000.0 / num_sites, 1)});
+  }
+  std::printf(
+      "\nexpected: no single ranking criterion is reliable alone (terms "
+      "alone\nmisses often); top-2 of the combination covers ~100%% "
+      "(the paper's\n\"simple linear combination works quite well\"); the "
+      "similarity\nthreshold is flat across 0.1-0.9 (bimodal Figure 9); "
+      "wrapper fractions\n0.7-1.0 equivalent; agglomerative matches "
+      "K-Means quality without\nseeds at higher asymptotic cost.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace thor
+
+int main(int argc, char** argv) { return thor::Main(argc, argv); }

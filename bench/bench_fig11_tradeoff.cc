@@ -1,0 +1,51 @@
+// Reproduces Figure 11: precision/recall trade-off as a function of the
+// number of page clusters passed from Phase I to Phase II (k = 3, TFIDF
+// tags, no stage-1 veto — exactly the paper's configuration).
+//
+// Expected shape (paper): m=1 highest precision / lowest recall; m=3
+// highest recall / lowest precision; m=2 the compromise.
+
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/core/thor.h"
+
+namespace thor {
+namespace {
+
+int Main(int argc, char** argv) {
+  int num_sites = argc > 1 ? std::atoi(argv[1]) : 50;
+  auto corpus = bench::BuildPaperCorpus(num_sites);
+  std::vector<std::vector<core::Page>> site_pages;
+  for (const auto& sample : corpus) {
+    site_pages.push_back(core::ToPages(sample));
+  }
+
+  bench::PrintHeader(
+      "Figure 11: P/R vs clusters passed to Phase II (k=3, TTag, " +
+      std::to_string(num_sites) + " sites)");
+  bench::PrintRow("m", {"precision", "recall"});
+  for (int m = 1; m <= 3; ++m) {
+    core::PrecisionRecall total;
+    for (size_t site = 0; site < corpus.size(); ++site) {
+      core::ThorOptions options;
+      options.clustering.kmeans.k = 3;
+      options.clusters_to_pass = m;
+      options.veto_nonsense_clusters = false;
+      auto result = core::RunThor(site_pages[site], options);
+      if (!result.ok()) continue;
+      total.Add(core::EvaluatePagelets(corpus[site], *result));
+    }
+    bench::PrintRow(std::to_string(m), {bench::Fmt(total.Precision()),
+                                        bench::Fmt(total.Recall())});
+  }
+  std::printf(
+      "\npaper shape check: precision falls and recall rises with m;\n"
+      "m=2 is the paper's compromise point.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace thor
+
+int main(int argc, char** argv) { return thor::Main(argc, argv); }

@@ -1,0 +1,105 @@
+// Reproduces Figure 5: average time of one clustering iteration vs pages
+// per site for the signature-based approaches and the URL baseline.
+//
+// Expected shape (paper): tag-based approaches roughly an order of
+// magnitude faster than content-based ones (22.3 distinct tags vs 184.0
+// distinct terms per page); URL edit-distance slowest of the baselines.
+
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/cluster/kmedoids.h"
+#include "src/core/page_clustering.h"
+#include "src/core/signature_builder.h"
+#include "src/ir/tfidf.h"
+#include "src/ir/vocabulary.h"
+#include "src/text/edit_distance.h"
+
+namespace thor {
+namespace {
+
+constexpr int kPageCounts[] = {5, 10, 20, 40, 60, 80, 110};
+
+struct SiteVectors {
+  std::vector<ir::SparseVector> tag_counts;
+  std::vector<ir::SparseVector> term_counts;
+  std::vector<std::string> urls;
+};
+
+int Main(int argc, char** argv) {
+  int num_sites = argc > 1 ? std::atoi(argv[1]) : 50;
+  auto corpus = bench::BuildPaperCorpus(num_sites);
+  std::vector<SiteVectors> sites;
+  for (const auto& sample : corpus) {
+    SiteVectors sv;
+    ir::Vocabulary vocab;
+    for (const auto& page : sample.pages) {
+      sv.tag_counts.push_back(core::TagCountVector(page.tree));
+      sv.term_counts.push_back(core::TermCountVector(page.tree, &vocab));
+      sv.urls.push_back(page.url);
+    }
+    sites.push_back(std::move(sv));
+  }
+
+  bench::PrintHeader("Figure 5: avg time (ms) of one clustering iteration");
+  bench::PrintRow("", {"pages", "RTag", "TTag", "RCon", "TCon", "URLs"});
+
+  auto time_vector_iteration = [](const std::vector<ir::SparseVector>& counts,
+                                  int n, ir::Weighting weighting) {
+    std::vector<ir::SparseVector> subset(counts.begin(),
+                                         counts.begin() + n);
+    return bench::TimeSeconds([&] {
+      ir::TfidfModel model = ir::TfidfModel::Fit(subset);
+      auto weighted = model.WeighAll(subset, weighting);
+      auto result = cluster::KMeansOneIteration(weighted, 3, 17);
+      (void)result;
+    });
+  };
+
+  for (int n : kPageCounts) {
+    double raw_tag = 0.0;
+    double tfidf_tag = 0.0;
+    double raw_content = 0.0;
+    double tfidf_content = 0.0;
+    double url = 0.0;
+    for (const auto& site : sites) {
+      int take = std::min<int>(n, static_cast<int>(site.tag_counts.size()));
+      raw_tag += time_vector_iteration(site.tag_counts, take,
+                                       ir::Weighting::kRawFrequency);
+      tfidf_tag += time_vector_iteration(site.tag_counts, take,
+                                         ir::Weighting::kTfidf);
+      raw_content += time_vector_iteration(site.term_counts, take,
+                                           ir::Weighting::kRawFrequency);
+      tfidf_content += time_vector_iteration(site.term_counts, take,
+                                             ir::Weighting::kTfidf);
+      url += bench::TimeSeconds([&] {
+        auto distance = [&site](int i, int j) {
+          return text::NormalizedEditDistance(
+              site.urls[static_cast<size_t>(i)],
+              site.urls[static_cast<size_t>(j)]);
+        };
+        cluster::KMedoidsOptions options;
+        options.k = 3;
+        options.max_iterations = 1;
+        options.restarts = 1;
+        auto result = cluster::KMedoidsCluster(take, distance, options);
+        (void)result;
+      });
+    }
+    double scale = 1000.0 / sites.size();  // ms per site
+    bench::PrintRow("", {std::to_string(n), bench::Fmt(raw_tag * scale),
+                         bench::Fmt(tfidf_tag * scale),
+                         bench::Fmt(raw_content * scale),
+                         bench::Fmt(tfidf_content * scale),
+                         bench::Fmt(url * scale)});
+  }
+  std::printf(
+      "\npaper shape check: tag-based ~an order of magnitude faster than\n"
+      "content-based at every size; all grow with collection size.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace thor
+
+int main(int argc, char** argv) { return thor::Main(argc, argv); }

@@ -1,0 +1,77 @@
+// Reproduces Figure 8: Phase-II precision/recall under the five subtree
+// distance metrics — fanout-only (F), node-count-only (N), depth-only (D),
+// path-only (P), and the paper's combined metric (All). As in the paper,
+// Phase II runs in isolation on pages pre-labeled as containing
+// QA-Pagelets.
+//
+// Expected shape (paper): every single-feature metric underperforms the
+// combined metric, which reaches ~98% precision and recall.
+
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/core/thor.h"
+
+namespace thor {
+namespace {
+
+int Main(int argc, char** argv) {
+  int num_sites = argc > 1 ? std::atoi(argv[1]) : 50;
+  auto corpus = bench::BuildPaperCorpus(num_sites);
+
+  struct Variant {
+    const char* name;
+    core::ShapeDistanceWeights weights;
+    bool exact_path_first;
+  } variants[] = {
+      {"F", core::ShapeDistanceWeights::FanoutOnly(), false},
+      {"N", core::ShapeDistanceWeights::NodesOnly(), false},
+      {"D", core::ShapeDistanceWeights::DepthOnly(), false},
+      {"P", core::ShapeDistanceWeights::PathOnly(), false},
+      {"All", core::ShapeDistanceWeights::All(), true},
+  };
+
+  bench::PrintHeader(
+      "Figure 8: Phase-II P/R per subtree distance metric (" +
+      std::to_string(num_sites) + " sites, pre-labeled pagelet pages)");
+  bench::PrintRow("metric", {"precision", "recall"});
+
+  for (const auto& variant : variants) {
+    core::PrecisionRecall total;
+    for (const auto& sample : corpus) {
+      std::vector<const html::TagTree*> trees;
+      std::vector<int> indices;
+      // The paper feeds Phase II pages known to contain QA-Pagelets, one
+      // structural class at a time (clusters are assumed correct here).
+      for (deepweb::PageClass wanted :
+           {deepweb::PageClass::kMultiMatch,
+            deepweb::PageClass::kSingleMatch}) {
+        trees.clear();
+        indices.clear();
+        for (size_t i = 0; i < sample.pages.size(); ++i) {
+          if (sample.pages[i].true_class == wanted) {
+            trees.push_back(&sample.pages[i].tree);
+            indices.push_back(static_cast<int>(i));
+          }
+        }
+        if (trees.size() < 3) continue;
+        core::Phase2Options options;
+        options.common.weights = variant.weights;
+        options.common.exact_path_first = variant.exact_path_first;
+        auto result = core::RunPhase2(trees, options);
+        total.Add(core::EvaluatePhase2(sample, indices, result.pagelets));
+      }
+    }
+    bench::PrintRow(variant.name, {bench::Fmt(total.Precision()),
+                                   bench::Fmt(total.Recall())});
+  }
+  std::printf(
+      "\npaper shape check: All > each single feature; paper reports\n"
+      "~0.98/0.98 for All with visibly lower bars for F, N, D, P alone.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace thor
+
+int main(int argc, char** argv) { return thor::Main(argc, argv); }

@@ -1,0 +1,87 @@
+// Reproduces the paper's Section-4.1 sensitivity study: varying the number
+// of clusters k from 2 to 5 and the number of K-Means restarts from 2 to
+// 20. The paper found k beyond the true class count only refines clusters
+// (minor impact) and 10 restarts balances time vs quality.
+
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/cluster/quality.h"
+#include "src/core/page_clustering.h"
+
+namespace thor {
+namespace {
+
+int Main(int argc, char** argv) {
+  int num_sites = argc > 1 ? std::atoi(argv[1]) : 25;
+  auto corpus = bench::BuildPaperCorpus(num_sites);
+  std::vector<std::vector<core::Page>> site_pages;
+  std::vector<std::vector<int>> site_labels;
+  for (const auto& sample : corpus) {
+    site_pages.push_back(core::ToPages(sample));
+    site_labels.push_back(sample.ClassLabels());
+  }
+
+  bench::PrintHeader("K sweep (TFIDF tags, 10 restarts, " +
+                     std::to_string(num_sites) + " sites)");
+  bench::PrintRow("k", {"entropy", "intsim", "time_ms"});
+  for (int k = 2; k <= 5; ++k) {
+    double entropy = 0.0;
+    double similarity = 0.0;
+    double seconds = 0.0;
+    for (size_t site = 0; site < site_pages.size(); ++site) {
+      core::PageClusteringOptions options;
+      options.kmeans.k = k;
+      options.kmeans.restarts = 10;
+      Result<core::PageClusteringResult> result =
+          Status::Internal("unset");
+      seconds += bench::TimeSeconds([&] {
+        result = core::ClusterPages(site_pages[site], options);
+      });
+      if (!result.ok()) continue;
+      entropy +=
+          cluster::ClusteringEntropy(result->assignment, site_labels[site]);
+      similarity += result->internal_similarity;
+    }
+    bench::PrintRow(std::to_string(k),
+                    {bench::Fmt(entropy / num_sites),
+                     bench::Fmt(similarity / num_sites, 1),
+                     bench::Fmt(seconds * 1000.0 / num_sites, 1)});
+  }
+
+  bench::PrintHeader("Restart sweep (TFIDF tags, k=4)");
+  bench::PrintRow("restarts", {"entropy", "intsim", "time_ms"});
+  for (int restarts : {2, 5, 10, 20}) {
+    double entropy = 0.0;
+    double similarity = 0.0;
+    double seconds = 0.0;
+    for (size_t site = 0; site < site_pages.size(); ++site) {
+      core::PageClusteringOptions options;
+      options.kmeans.k = 4;
+      options.kmeans.restarts = restarts;
+      Result<core::PageClusteringResult> result =
+          Status::Internal("unset");
+      seconds += bench::TimeSeconds([&] {
+        result = core::ClusterPages(site_pages[site], options);
+      });
+      if (!result.ok()) continue;
+      entropy +=
+          cluster::ClusteringEntropy(result->assignment, site_labels[site]);
+      similarity += result->internal_similarity;
+    }
+    bench::PrintRow(std::to_string(restarts),
+                    {bench::Fmt(entropy / num_sites),
+                     bench::Fmt(similarity / num_sites, 1),
+                     bench::Fmt(seconds * 1000.0 / num_sites, 1)});
+  }
+  std::printf(
+      "\npaper shape check: entropy varies only mildly with k >= the true\n"
+      "class count; more restarts buy internal similarity at linear cost,\n"
+      "with ~10 restarts the paper's sweet spot.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace thor
+
+int main(int argc, char** argv) { return thor::Main(argc, argv); }

@@ -1,0 +1,176 @@
+// Google-benchmark microbenchmarks for THOR's primitives: HTML parsing,
+// signature construction, TFIDF weighting, cosine similarity, a K-Means
+// iteration, string edit distance, the subtree shape distance, and
+// Zhang-Shasha tree edit distance.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/kmeans.h"
+#include "src/core/common_subtrees.h"
+#include "src/core/signature_builder.h"
+#include "src/core/subtree_filter.h"
+#include "src/deepweb/prober.h"
+#include "src/deepweb/site_generator.h"
+#include "src/html/parser.h"
+#include "src/ir/similarity.h"
+#include "src/ir/tfidf.h"
+#include "src/text/edit_distance.h"
+#include "src/treedist/zhang_shasha.h"
+
+namespace thor {
+namespace {
+
+const deepweb::DeepWebSite& BenchSite() {
+  static const auto& site = *new deepweb::DeepWebSite([] {
+    deepweb::SiteConfig config;
+    config.site_id = 0;
+    config.domain = deepweb::Domain::kEcommerce;
+    config.seed = 99;
+    config.catalog_size = 800;
+    config.error_rate = 0.0;
+    return config;
+  }());
+  return site;
+}
+
+const std::string& MultiMatchHtml() {
+  static const auto& html =
+      *new std::string(BenchSite().Query("electronics").html);
+  return html;
+}
+
+const html::TagTree& MultiMatchTree() {
+  static const auto& tree =
+      *new html::TagTree(html::ParseHtml(MultiMatchHtml()));
+  return tree;
+}
+
+void BM_ParseHtml(benchmark::State& state) {
+  const std::string& html = MultiMatchHtml();
+  for (auto _ : state) {
+    html::TagTree tree = html::ParseHtml(html);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(html.size()));
+}
+BENCHMARK(BM_ParseHtml);
+
+void BM_TagSignature(benchmark::State& state) {
+  const html::TagTree& tree = MultiMatchTree();
+  for (auto _ : state) {
+    auto vector = core::TagCountVector(tree);
+    benchmark::DoNotOptimize(vector.size());
+  }
+}
+BENCHMARK(BM_TagSignature);
+
+void BM_TermSignature(benchmark::State& state) {
+  const html::TagTree& tree = MultiMatchTree();
+  for (auto _ : state) {
+    ir::Vocabulary vocab;
+    auto vector = core::TermCountVector(tree, &vocab);
+    benchmark::DoNotOptimize(vector.size());
+  }
+}
+BENCHMARK(BM_TermSignature);
+
+std::vector<ir::SparseVector> ProbeTagCounts() {
+  std::vector<ir::SparseVector> counts;
+  deepweb::ProbeOptions probe;
+  for (const auto& response : deepweb::ProbeSite(BenchSite(), probe)) {
+    counts.push_back(
+        core::TagCountVector(html::ParseHtml(response.html)));
+  }
+  return counts;
+}
+
+void BM_TfidfWeighAll(benchmark::State& state) {
+  static const auto& counts = *new std::vector<ir::SparseVector>(
+      ProbeTagCounts());
+  ir::TfidfModel model = ir::TfidfModel::Fit(counts);
+  for (auto _ : state) {
+    auto weighted = model.WeighAll(counts, ir::Weighting::kTfidf);
+    benchmark::DoNotOptimize(weighted.size());
+  }
+}
+BENCHMARK(BM_TfidfWeighAll);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  static const auto& counts = *new std::vector<ir::SparseVector>(
+      ProbeTagCounts());
+  ir::TfidfModel model = ir::TfidfModel::Fit(counts);
+  auto weighted = model.WeighAll(counts, ir::Weighting::kTfidf);
+  size_t i = 0;
+  for (auto _ : state) {
+    double sim = ir::CosineNormalized(weighted[i % weighted.size()],
+                                      weighted[(i + 7) % weighted.size()]);
+    benchmark::DoNotOptimize(sim);
+    ++i;
+  }
+}
+BENCHMARK(BM_CosineSimilarity);
+
+void BM_KMeansIteration(benchmark::State& state) {
+  static const auto& counts = *new std::vector<ir::SparseVector>(
+      ProbeTagCounts());
+  ir::TfidfModel model = ir::TfidfModel::Fit(counts);
+  auto weighted = model.WeighAll(counts, ir::Weighting::kTfidf);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto result = cluster::KMeansOneIteration(weighted, 3, seed++);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_KMeansIteration);
+
+void BM_EditDistanceUrls(benchmark::State& state) {
+  std::string a = BenchSite().Query("guitar").url;
+  std::string b = BenchSite().Query("electronics").url;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistanceUrls);
+
+void BM_ShapeDistance(benchmark::State& state) {
+  const html::TagTree& tree = MultiMatchTree();
+  auto candidates = core::CandidateSubtrees(tree);
+  std::vector<core::ShapeQuad> quads;
+  for (html::NodeId id : candidates) {
+    quads.push_back(core::MakeShapeQuad(tree, id));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    double d = core::ShapeDistance(quads[i % quads.size()],
+                                   quads[(i + 3) % quads.size()]);
+    benchmark::DoNotOptimize(d);
+    ++i;
+  }
+}
+BENCHMARK(BM_ShapeDistance);
+
+void BM_SinglePageAnalysis(benchmark::State& state) {
+  const html::TagTree& tree = MultiMatchTree();
+  for (auto _ : state) {
+    auto candidates = core::CandidateSubtrees(tree);
+    benchmark::DoNotOptimize(candidates.size());
+  }
+}
+BENCHMARK(BM_SinglePageAnalysis);
+
+void BM_ZhangShasha(benchmark::State& state) {
+  treedist::OrderedTree a = treedist::OrderedTree::FromTagTree(
+      MultiMatchTree(), MultiMatchTree().root());
+  html::TagTree other_tree =
+      html::ParseHtml(BenchSite().Query("guitar").html);
+  treedist::OrderedTree b =
+      treedist::OrderedTree::FromTagTree(other_tree, other_tree.root());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(treedist::TreeEditDistance(a, b));
+  }
+}
+BENCHMARK(BM_ZhangShasha);
+
+}  // namespace
+}  // namespace thor

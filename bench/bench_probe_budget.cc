@@ -1,0 +1,78 @@
+// Probe-budget study (extension of the paper's fixed 100+10 Stage 1):
+//  1. How does the probe sample size affect downstream extraction quality?
+//     (Sweep the dictionary-word budget, run the full pipeline, score.)
+//  2. How much does coverage-driven adaptive probing save over the fixed
+//     budget at equal quality?
+
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/core/template_registry.h"
+#include "src/deepweb/adaptive_prober.h"
+
+namespace thor {
+namespace {
+
+int Main(int argc, char** argv) {
+  int num_sites = argc > 1 ? std::atoi(argv[1]) : 20;
+  deepweb::FleetOptions fleet_options;
+  fleet_options.num_sites = num_sites;
+  auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+
+  bench::PrintHeader("Probe budget sweep: pipeline quality vs sample size (" +
+                     std::to_string(num_sites) + " sites)");
+  bench::PrintRow("queries", {"precision", "recall"});
+  for (int budget : {10, 20, 40, 70, 100}) {
+    core::PrecisionRecall total;
+    for (const auto& site : fleet) {
+      deepweb::ProbeOptions probe;
+      probe.num_dictionary_words = budget;
+      probe.num_nonsense_words = std::max(2, budget / 10);
+      probe.seed = 1234 + 0x9e37u * static_cast<uint64_t>(
+                              site.config().site_id);
+      auto sample = deepweb::BuildSiteSample(site, probe);
+      auto pages = core::ToPages(sample);
+      auto result = core::RunThor(pages, core::ThorOptions{});
+      if (!result.ok()) continue;
+      total.Add(core::EvaluatePagelets(sample, *result));
+    }
+    bench::PrintRow(std::to_string(budget),
+                    {bench::Fmt(total.Precision()),
+                     bench::Fmt(total.Recall())});
+  }
+
+  bench::PrintHeader("Adaptive vs fixed probing");
+  double adaptive_queries = 0.0;
+  double adaptive_classes = 0.0;
+  core::PrecisionRecall adaptive_pr;
+  for (const auto& site : fleet) {
+    deepweb::AdaptiveProbeOptions options;
+    options.seed = 555 + static_cast<uint64_t>(site.config().site_id);
+    auto probe_result = deepweb::AdaptiveProbeSite(site, options);
+    adaptive_queries += probe_result.queries_issued;
+    adaptive_classes += probe_result.classes_detected;
+    deepweb::SiteSample sample;
+    sample.site_id = site.config().site_id;
+    for (const auto& response : probe_result.responses) {
+      sample.pages.push_back(deepweb::LabelPage(response));
+    }
+    auto pages = core::ToPages(sample);
+    auto result = core::RunThor(pages, core::ThorOptions{});
+    if (!result.ok()) continue;
+    adaptive_pr.Add(core::EvaluatePagelets(sample, *result));
+  }
+  std::printf(
+      "adaptive: %.1f dictionary queries/site on average (fixed: 100), "
+      "%.1f structural classes detected,\n          P=%.3f R=%.3f\n",
+      adaptive_queries / num_sites, adaptive_classes / num_sites,
+      adaptive_pr.Precision(), adaptive_pr.Recall());
+  std::printf(
+      "\nexpected: quality saturates well below 100 queries per site and "
+      "the\nadaptive prober lands near that knee automatically.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace thor
+
+int main(int argc, char** argv) { return thor::Main(argc, argv); }

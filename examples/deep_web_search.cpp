@@ -1,0 +1,70 @@
+// Deep-web search engine: the system the paper's introduction envisions,
+// assembled end to end from this library. THOR probes and analyzes a fleet
+// of deep-web sources once; every extracted QA-Object is indexed; the
+// engine then answers the two query styles the paper calls out:
+//
+//   (1) fine-grained content search ("list seller and price information of
+//       all digital cameras") across all sources at once, and
+//   (2) search by sites ("list all sources about jazz").
+
+#include <cstdio>
+
+#include "src/core/evaluation.h"
+#include "src/core/thor.h"
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site_generator.h"
+#include "src/search/deep_web_search.h"
+
+int main() {
+  using namespace thor;
+
+  deepweb::FleetOptions fleet_options;
+  fleet_options.num_sites = 9;
+  auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+
+  search::DeepWebSearchEngine engine;
+  deepweb::ProbeOptions probe;
+  for (const auto& site : fleet) {
+    deepweb::ProbeOptions per_site = probe;
+    per_site.seed += static_cast<uint64_t>(site.config().site_id);
+    auto sample = deepweb::BuildSiteSample(site, per_site);
+    auto pages = core::ToPages(sample);
+    auto result = core::RunThor(pages, core::ThorOptions{});
+    if (!result.ok()) continue;
+    int docs = engine.AddSite(site.config().site_id,
+                              site.style().site_name, pages, *result);
+    std::printf("%-18s (%-9s) -> %4d QA-Objects indexed\n",
+                site.style().site_name.c_str(),
+                deepweb::DomainName(site.config().domain), docs);
+  }
+  engine.Finalize();
+  std::printf("index: %d objects total\n\n", engine.num_documents());
+
+  // --- (1) fine-grained content search --------------------------------
+  for (const char* query : {"camera", "jazz guitar", "history fiction"}) {
+    std::printf("query: \"%s\"\n", query);
+    for (const auto& result : engine.Search(query, 3)) {
+      std::printf("  %5.2f  [%s]  %-40s $%.2f\n", result.score,
+                  result.document->site_name.c_str(),
+                  result.document->Title().c_str(),
+                  result.document->Price());
+    }
+  }
+
+  // --- (2) search by sites ---------------------------------------------
+  std::printf("\nsources for \"jazz\":\n");
+  for (const auto& site : engine.SearchBySite("jazz")) {
+    std::printf("  %-18s score=%6.2f matches=%d\n", site.site_name.c_str(),
+                site.score, site.matching_documents);
+  }
+
+  // --- per-source summaries --------------------------------------------
+  std::printf("\nsource summaries (most distinctive terms):\n");
+  for (const auto& site : fleet) {
+    auto summary = engine.SiteSummary(site.config().site_id, 6);
+    std::printf("  %-18s", site.style().site_name.c_str());
+    for (const auto& term : summary) std::printf(" %s", term.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Music-catalog crawler: the paper's AllMusic.com walkthrough (Figure 3).
+// A music site answers with three page types — multi-match listings,
+// single-artist detail pages, and "no matches" pages. This example shows
+// how THOR's Phase I separates those types and how the per-class clusters
+// feed Phase II, printing the cluster map the paper illustrates.
+
+#include <cstdio>
+#include <map>
+
+#include "src/cluster/quality.h"
+#include "src/core/evaluation.h"
+#include "src/core/thor.h"
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site_generator.h"
+
+int main() {
+  using namespace thor;
+
+  // Pick a music-domain site out of the fleet.
+  deepweb::FleetOptions fleet_options;
+  fleet_options.num_sites = 3;
+  auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+  const deepweb::DeepWebSite* music_site = nullptr;
+  for (const auto& site : fleet) {
+    if (site.config().domain == deepweb::Domain::kMusic) {
+      music_site = &site;
+    }
+  }
+  if (music_site == nullptr) {
+    std::printf("no music site in fleet\n");
+    return 1;
+  }
+  std::printf("crawling %s\n", music_site->style().site_name.c_str());
+
+  deepweb::SiteSample sample =
+      deepweb::BuildSiteSample(*music_site, deepweb::ProbeOptions{});
+  auto pages = core::ToPages(sample);
+  auto result = core::RunThor(pages, core::ThorOptions{});
+  if (!result.ok()) {
+    std::printf("THOR failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // The Figure-3 view: which page types landed in which cluster.
+  std::printf("\ncluster composition (Phase I):\n");
+  for (const auto& ranked : result->ranked_clusters) {
+    std::map<deepweb::PageClass, int> mix;
+    for (size_t i = 0; i < pages.size(); ++i) {
+      if (result->clustering.assignment[i] == ranked.cluster) {
+        ++mix[sample.pages[i].true_class];
+      }
+    }
+    std::printf("  cluster %d (score %.3f, %d pages):", ranked.cluster,
+                ranked.score, ranked.num_pages);
+    for (const auto& [page_class, count] : mix) {
+      std::printf(" %s=%d", deepweb::PageClassName(page_class), count);
+    }
+    bool passed = false;
+    for (int c : result->passed_clusters) passed |= (c == ranked.cluster);
+    std::printf("%s\n", passed ? "  -> phase II" : "  (dropped)");
+  }
+  double entropy = cluster::ClusteringEntropy(result->clustering.assignment,
+                                              sample.ClassLabels());
+  std::printf("clustering entropy: %.3f (0 = perfect)\n", entropy);
+
+  // Extraction examples per page type.
+  std::printf("\nextractions:\n");
+  bool shown_multi = false;
+  bool shown_single = false;
+  for (const auto& page_result : result->pages) {
+    const auto& truth =
+        sample.pages[static_cast<size_t>(page_result.page_index)];
+    bool is_multi = truth.true_class == deepweb::PageClass::kMultiMatch;
+    if (is_multi && shown_multi) continue;
+    if (!is_multi && shown_single) continue;
+    const auto& page = pages[static_cast<size_t>(page_result.page_index)];
+    std::printf("  [%s] query '%s': pagelet %s, %zu objects\n",
+                deepweb::PageClassName(truth.true_class),
+                truth.query.c_str(),
+                page.tree.PathString(page_result.pagelet).c_str(),
+                page_result.objects.size());
+    auto texts = core::ObjectTexts(page.tree, page_result.objects);
+    for (size_t i = 0; i < texts.size() && i < 2; ++i) {
+      std::printf("      %.70s\n", texts[i].c_str());
+    }
+    (is_multi ? shown_multi : shown_single) = true;
+    if (shown_multi && shown_single) break;
+  }
+
+  auto pr = core::EvaluatePagelets(sample, *result);
+  std::printf("\nprecision %.3f recall %.3f\n", pr.Precision(), pr.Recall());
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Template drift: the paper's robustness claim — THOR keeps working when a
+// site redesigns its presentation, because it learns structure from the
+// probed sample itself rather than from a hand-written wrapper.
+//
+// We simulate a redesign by instantiating the "same" database (same seed,
+// same records) under different site ids, which re-samples the whole
+// presentation genome (results markup, nav style, wrappers, ads). A
+// wrapper written for version 1 — here, the version-1 pagelet path — breaks
+// on version 2, while re-running THOR recovers the regions on every
+// version.
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/core/evaluation.h"
+#include "src/core/thor.h"
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site.h"
+
+int main() {
+  using namespace thor;
+
+  std::string version1_pagelet_path;
+  std::set<std::string> seen_paths;
+  for (int version = 1; version <= 3; ++version) {
+    deepweb::SiteConfig config;
+    config.site_id = 17;
+    config.domain = deepweb::Domain::kBooks;
+    config.seed = 4242;  // same underlying database on every version
+    config.style_seed = 1000 + static_cast<uint64_t>(version) * 77;
+    config.catalog_size = 700;
+    config.error_rate = 0.02;
+    deepweb::DeepWebSite site(config);
+
+    deepweb::SiteSample sample =
+        deepweb::BuildSiteSample(site, deepweb::ProbeOptions{});
+    auto pages = core::ToPages(sample);
+    auto result = core::RunThor(pages, core::ThorOptions{});
+    if (!result.ok()) {
+      std::printf("version %d failed: %s\n", version,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    auto pr = core::EvaluatePagelets(sample, *result);
+
+    // Representative extracted path for this version.
+    std::string path;
+    if (!result->pages.empty()) {
+      const auto& first = result->pages.front();
+      path = pages[static_cast<size_t>(first.page_index)].tree.PathString(
+          first.pagelet);
+    }
+    seen_paths.insert(path);
+    if (version == 1) version1_pagelet_path = path;
+
+    // The static "wrapper" approach: reuse version 1's path on later
+    // versions and count how many answer pages it still hits.
+    int wrapper_hits = 0;
+    int answer_pages = 0;
+    for (const auto& page : sample.pages) {
+      if (page.pagelet_node == html::kInvalidNode) continue;
+      ++answer_pages;
+      html::NodeId resolved =
+          page.tree.ResolvePath(version1_pagelet_path);
+      if (resolved != html::kInvalidNode &&
+          core::PageletMatches(page.tree, resolved, page.pagelet_node)) {
+        ++wrapper_hits;
+      }
+    }
+    std::printf(
+        "version %d  [%-22s]  THOR P=%.3f R=%.3f   v1-wrapper recall=%.3f\n",
+        version, path.c_str(), pr.Precision(), pr.Recall(),
+        answer_pages > 0 ? static_cast<double>(wrapper_hits) / answer_pages
+                         : 0.0);
+  }
+  std::printf(
+      "\n%zu distinct pagelet paths across versions: the fixed wrapper "
+      "only\nworks while the template it was written for survives; THOR "
+      "re-derives\nthe region from structure each time.\n",
+      seen_paths.size());
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "src/cluster/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/ir/similarity.h"
+
+namespace thor::cluster {
+
+Result<AgglomerativeResult> AgglomerativeCluster(
+    const std::vector<ir::SparseVector>& vectors,
+    const AgglomerativeOptions& options) {
+  const int n = static_cast<int>(vectors.size());
+  if (n == 0) {
+    return Status::InvalidArgument("AgglomerativeCluster: no input vectors");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("AgglomerativeCluster: k must be >= 1");
+  }
+  const int k = std::min(options.k, n);
+
+  // Dense distance matrix; active[i] marks live cluster rows.
+  std::vector<std::vector<double>> dist(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double d = 1.0 - ir::CosineSimilarity(vectors[static_cast<size_t>(i)],
+                                            vectors[static_cast<size_t>(j)]);
+      dist[static_cast<size_t>(i)][static_cast<size_t>(j)] = d;
+      dist[static_cast<size_t>(j)][static_cast<size_t>(i)] = d;
+    }
+  }
+  std::vector<bool> active(static_cast<size_t>(n), true);
+  std::vector<int> sizes(static_cast<size_t>(n), 1);
+  // Leaves of each live row (for the final assignment).
+  std::vector<std::vector<int>> members(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) members[static_cast<size_t>(i)] = {i};
+  // Dendrogram node id per live row (leaves are 0..n-1).
+  std::vector<int> node_id(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) node_id[static_cast<size_t>(i)] = i;
+
+  AgglomerativeResult result;
+  int live = n;
+  int next_node = n;
+  while (live > k) {
+    // Find the closest active pair.
+    int best_i = -1;
+    int best_j = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      if (!active[static_cast<size_t>(i)]) continue;
+      for (int j = i + 1; j < n; ++j) {
+        if (!active[static_cast<size_t>(j)]) continue;
+        double d = dist[static_cast<size_t>(i)][static_cast<size_t>(j)];
+        if (d < best) {
+          best = d;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    // Merge j into i with a Lance-Williams update.
+    result.dendrogram.push_back(
+        {node_id[static_cast<size_t>(best_i)],
+         node_id[static_cast<size_t>(best_j)], best});
+    double si = sizes[static_cast<size_t>(best_i)];
+    double sj = sizes[static_cast<size_t>(best_j)];
+    for (int x = 0; x < n; ++x) {
+      if (!active[static_cast<size_t>(x)] || x == best_i || x == best_j) {
+        continue;
+      }
+      double dix = dist[static_cast<size_t>(best_i)][static_cast<size_t>(x)];
+      double djx = dist[static_cast<size_t>(best_j)][static_cast<size_t>(x)];
+      double merged;
+      switch (options.linkage) {
+        case Linkage::kSingle:
+          merged = std::min(dix, djx);
+          break;
+        case Linkage::kComplete:
+          merged = std::max(dix, djx);
+          break;
+        case Linkage::kAverage:
+        default:
+          merged = (si * dix + sj * djx) / (si + sj);
+          break;
+      }
+      dist[static_cast<size_t>(best_i)][static_cast<size_t>(x)] = merged;
+      dist[static_cast<size_t>(x)][static_cast<size_t>(best_i)] = merged;
+    }
+    sizes[static_cast<size_t>(best_i)] += sizes[static_cast<size_t>(best_j)];
+    auto& into = members[static_cast<size_t>(best_i)];
+    auto& from = members[static_cast<size_t>(best_j)];
+    into.insert(into.end(), from.begin(), from.end());
+    from.clear();
+    active[static_cast<size_t>(best_j)] = false;
+    node_id[static_cast<size_t>(best_i)] = next_node++;
+    --live;
+  }
+
+  result.assignment.assign(static_cast<size_t>(n), 0);
+  int cluster = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!active[static_cast<size_t>(i)]) continue;
+    for (int leaf : members[static_cast<size_t>(i)]) {
+      result.assignment[static_cast<size_t>(leaf)] = cluster;
+    }
+    ++cluster;
+  }
+  return result;
+}
+
+}  // namespace thor::cluster

@@ -1,0 +1,197 @@
+#include "src/cluster/kmeans.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/ir/similarity.h"
+
+namespace thor::cluster {
+
+namespace {
+
+// Picks k distinct item indices as initial centroids.
+std::vector<ir::SparseVector> InitialCentroids(
+    const std::vector<ir::SparseVector>& vectors, int k, Rng* rng) {
+  std::vector<int> indices(vectors.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<int>(i);
+  rng->Shuffle(&indices);
+  std::vector<ir::SparseVector> centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    centroids.push_back(vectors[static_cast<size_t>(indices[static_cast<size_t>(i)])]);
+  }
+  return centroids;
+}
+
+// Assigns each vector to the most-similar centroid. Returns true if any
+// assignment changed.
+bool AssignAll(const std::vector<ir::SparseVector>& vectors,
+               const std::vector<ir::SparseVector>& centroids,
+               std::vector<int>* assignment) {
+  bool changed = false;
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    int best = 0;
+    double best_sim = -1.0;
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      double sim = ir::CosineSimilarity(vectors[i], centroids[c]);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = static_cast<int>(c);
+      }
+    }
+    if ((*assignment)[i] != best) {
+      (*assignment)[i] = best;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+// Re-seeds empty clusters with a random member of the largest cluster.
+void RepairEmptyClusters(std::vector<int>* assignment, int k, Rng* rng) {
+  std::vector<std::vector<int>> members(static_cast<size_t>(k));
+  for (size_t i = 0; i < assignment->size(); ++i) {
+    members[static_cast<size_t>((*assignment)[i])].push_back(
+        static_cast<int>(i));
+  }
+  for (int c = 0; c < k; ++c) {
+    if (!members[static_cast<size_t>(c)].empty()) continue;
+    int largest = 0;
+    for (int d = 1; d < k; ++d) {
+      if (members[static_cast<size_t>(d)].size() >
+          members[static_cast<size_t>(largest)].size()) {
+        largest = d;
+      }
+    }
+    auto& pool = members[static_cast<size_t>(largest)];
+    if (pool.size() <= 1) continue;  // cannot split a singleton
+    size_t pick = static_cast<size_t>(rng->UniformInt(pool.size()));
+    int item = pool[pick];
+    pool.erase(pool.begin() + static_cast<long>(pick));
+    (*assignment)[static_cast<size_t>(item)] = c;
+    members[static_cast<size_t>(c)].push_back(item);
+  }
+}
+
+Clustering RunOneRestart(const std::vector<ir::SparseVector>& vectors, int k,
+                         int max_iterations, Rng* rng) {
+  Clustering result;
+  result.assignment.assign(vectors.size(), -1);
+  result.centroids = InitialCentroids(vectors, k, rng);
+  int iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    bool changed = AssignAll(vectors, result.centroids, &result.assignment);
+    RepairEmptyClusters(&result.assignment, k, rng);
+    result.centroids = ComputeCentroids(vectors, result.assignment, k);
+    if (!changed && iter > 0) break;
+  }
+  result.iterations_run = iter;
+  result.internal_similarity =
+      InternalSimilarity(vectors, result.assignment, result.centroids);
+  return result;
+}
+
+}  // namespace
+
+std::vector<int> Clustering::Members(int c) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] == c) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> Clustering::Sizes() const {
+  std::vector<int> sizes(centroids.size(), 0);
+  for (int a : assignment) {
+    if (a >= 0 && a < static_cast<int>(sizes.size())) {
+      ++sizes[static_cast<size_t>(a)];
+    }
+  }
+  return sizes;
+}
+
+std::vector<ir::SparseVector> ComputeCentroids(
+    const std::vector<ir::SparseVector>& vectors,
+    const std::vector<int>& assignment, int k) {
+  std::vector<std::unordered_map<int32_t, double>> acc(
+      static_cast<size_t>(k));
+  std::vector<int> counts(static_cast<size_t>(k), 0);
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    int c = assignment[i];
+    if (c < 0 || c >= k) continue;
+    vectors[i].AccumulateInto(&acc[static_cast<size_t>(c)]);
+    ++counts[static_cast<size_t>(c)];
+  }
+  std::vector<ir::SparseVector> centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    std::vector<ir::VectorEntry> entries;
+    entries.reserve(acc[static_cast<size_t>(c)].size());
+    double inv = counts[static_cast<size_t>(c)] > 0
+                     ? 1.0 / counts[static_cast<size_t>(c)]
+                     : 0.0;
+    for (const auto& [id, w] : acc[static_cast<size_t>(c)]) {
+      entries.push_back({id, w * inv});
+    }
+    centroids.push_back(ir::SparseVector::FromPairs(std::move(entries)));
+  }
+  return centroids;
+}
+
+double InternalSimilarity(const std::vector<ir::SparseVector>& vectors,
+                          const std::vector<int>& assignment,
+                          const std::vector<ir::SparseVector>& centroids) {
+  // Sum over all items of cos(item, its centroid) — the I2-style criterion
+  // of the papers THOR cites ([29], [32]), equivalent to summing the
+  // cluster-centroid lengths for unit-length members. (THOR's text also
+  // multiplies each cluster term by n_i/n; taken literally that rewards
+  // merging distinct clusters, so the citation's unweighted form is used.)
+  if (vectors.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    int c = assignment[i];
+    if (c < 0 || c >= static_cast<int>(centroids.size())) continue;
+    total +=
+        ir::CosineSimilarity(vectors[i], centroids[static_cast<size_t>(c)]);
+  }
+  return total;
+}
+
+Result<Clustering> KMeansCluster(const std::vector<ir::SparseVector>& vectors,
+                                 const KMeansOptions& options) {
+  if (vectors.empty()) {
+    return Status::InvalidArgument("KMeansCluster: no input vectors");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("KMeansCluster: k must be >= 1");
+  }
+  int k = std::min<int>(options.k, static_cast<int>(vectors.size()));
+  int restarts = std::max(1, options.restarts);
+  Rng rng(options.seed);
+  Clustering best;
+  bool have_best = false;
+  for (int r = 0; r < restarts; ++r) {
+    Rng restart_rng = rng.Fork();
+    Clustering candidate =
+        RunOneRestart(vectors, k, options.max_iterations, &restart_rng);
+    if (!have_best ||
+        candidate.internal_similarity > best.internal_similarity) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+Result<Clustering> KMeansOneIteration(
+    const std::vector<ir::SparseVector>& vectors, int k, uint64_t seed) {
+  if (vectors.empty()) {
+    return Status::InvalidArgument("KMeansOneIteration: no input vectors");
+  }
+  k = std::min<int>(std::max(k, 1), static_cast<int>(vectors.size()));
+  Rng rng(seed);
+  return RunOneRestart(vectors, k, /*max_iterations=*/1, &rng);
+}
+
+}  // namespace thor::cluster

@@ -1,0 +1,73 @@
+#ifndef THOR_CLUSTER_KMEANS_H_
+#define THOR_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/sparse_vector.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace thor::cluster {
+
+/// Configuration for `KMeansCluster` (paper Section 3.1.2).
+struct KMeansOptions {
+  /// Number of clusters; clamped to the item count.
+  int k = 3;
+  /// Maximum refine iterations per restart.
+  int max_iterations = 50;
+  /// Number of random restarts; the restart whose clustering has the
+  /// highest internal similarity wins (paper Section 3.1.4).
+  int restarts = 10;
+  uint64_t seed = 42;
+};
+
+/// Result of a clustering run.
+struct Clustering {
+  /// Cluster index per input item, in [0, k).
+  std::vector<int> assignment;
+  /// Mean vector per cluster (not normalized: the paper's centroid is the
+  /// per-tag average of member weights).
+  std::vector<ir::SparseVector> centroids;
+  /// Internal similarity: the summed cosine between each member and its
+  /// cluster centroid (the I2 criterion of [29]/[32], which the paper
+  /// cites; see InternalSimilarity for why the paper's extra n_i/n weight
+  /// is not applied).
+  double internal_similarity = 0.0;
+  /// Iterations used by the winning restart.
+  int iterations_run = 0;
+
+  int num_clusters() const { return static_cast<int>(centroids.size()); }
+  /// Item indices in cluster `c`.
+  std::vector<int> Members(int c) const;
+  /// Cluster sizes.
+  std::vector<int> Sizes() const;
+};
+
+/// Centroid (mean) vectors for the given assignment.
+std::vector<ir::SparseVector> ComputeCentroids(
+    const std::vector<ir::SparseVector>& vectors,
+    const std::vector<int>& assignment, int k);
+
+/// Internal-similarity criterion for a whole clustering (see the
+/// `Clustering::internal_similarity` note on the exact form).
+double InternalSimilarity(const std::vector<ir::SparseVector>& vectors,
+                          const std::vector<int>& assignment,
+                          const std::vector<ir::SparseVector>& centroids);
+
+/// \brief Cosine-similarity Simple K-Means with random restarts.
+///
+/// `vectors` should be normalized to unit length (as the paper's TFIDF
+/// pipeline produces); non-normalized input still works because cosine is
+/// scale-invariant. Fails only on invalid arguments (k < 1 or no input).
+Result<Clustering> KMeansCluster(const std::vector<ir::SparseVector>& vectors,
+                                 const KMeansOptions& options);
+
+/// Runs exactly one assign+recenter cycle from random centers: the unit the
+/// paper times in Figures 5 and 7.
+Result<Clustering> KMeansOneIteration(
+    const std::vector<ir::SparseVector>& vectors, int k, uint64_t seed);
+
+}  // namespace thor::cluster
+
+#endif  // THOR_CLUSTER_KMEANS_H_

@@ -1,0 +1,104 @@
+#include "src/cluster/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/rng.h"
+
+namespace thor::cluster {
+
+namespace {
+
+MedoidClustering RunOnce(int n, const std::function<double(int, int)>& dist,
+                         int k, int max_iterations, Rng* rng) {
+  std::vector<int> indices(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) indices[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&indices);
+  MedoidClustering result;
+  result.medoids.assign(indices.begin(), indices.begin() + k);
+  result.assignment.assign(static_cast<size_t>(n), 0);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Assignment step.
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < result.medoids.size(); ++c) {
+        double d = dist(i, result.medoids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[static_cast<size_t>(i)] != best) {
+        result.assignment[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+    }
+    // Update step: medoid = member minimizing intra-cluster distance sum.
+    bool moved = false;
+    for (size_t c = 0; c < result.medoids.size(); ++c) {
+      std::vector<int> members;
+      for (int i = 0; i < n; ++i) {
+        if (result.assignment[static_cast<size_t>(i)] ==
+            static_cast<int>(c)) {
+          members.push_back(i);
+        }
+      }
+      if (members.empty()) continue;
+      int best_medoid = result.medoids[c];
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (int candidate : members) {
+        double cost = 0.0;
+        for (int other : members) cost += dist(candidate, other);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_medoid = candidate;
+        }
+      }
+      if (best_medoid != result.medoids[c]) {
+        result.medoids[c] = best_medoid;
+        moved = true;
+      }
+    }
+    if (!changed && !moved) break;
+  }
+  result.total_cost = 0.0;
+  for (int i = 0; i < n; ++i) {
+    result.total_cost += dist(
+        i,
+        result.medoids[static_cast<size_t>(
+            result.assignment[static_cast<size_t>(i)])]);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<MedoidClustering> KMedoidsCluster(
+    int num_items, const std::function<double(int, int)>& distance,
+    const KMedoidsOptions& options) {
+  if (num_items <= 0) {
+    return Status::InvalidArgument("KMedoidsCluster: no items");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("KMedoidsCluster: k must be >= 1");
+  }
+  int k = std::min(options.k, num_items);
+  Rng rng(options.seed);
+  MedoidClustering best;
+  bool have_best = false;
+  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+    Rng restart_rng = rng.Fork();
+    MedoidClustering candidate =
+        RunOnce(num_items, distance, k, options.max_iterations, &restart_rng);
+    if (!have_best || candidate.total_cost < best.total_cost) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace thor::cluster

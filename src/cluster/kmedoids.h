@@ -1,0 +1,42 @@
+#ifndef THOR_CLUSTER_KMEDOIDS_H_
+#define THOR_CLUSTER_KMEDOIDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace thor::cluster {
+
+/// Configuration for `KMedoidsCluster`.
+struct KMedoidsOptions {
+  int k = 3;
+  int max_iterations = 30;
+  int restarts = 5;
+  uint64_t seed = 42;
+};
+
+/// Result of a k-medoids run.
+struct MedoidClustering {
+  std::vector<int> assignment;
+  /// Item index acting as each cluster's medoid.
+  std::vector<int> medoids;
+  /// Sum of distances from items to their medoid (lower is better).
+  double total_cost = 0.0;
+};
+
+/// \brief PAM-style k-medoids over an arbitrary pairwise distance.
+///
+/// Used for the paper's URL-based (string edit distance) and size-based
+/// (byte delta) clustering baselines, which have no vector-space embedding.
+/// `distance(i, j)` must be symmetric and non-negative. O(n^2) per
+/// iteration; the baselines only run on per-site samples (<= a few hundred
+/// pages), matching the paper's setup.
+Result<MedoidClustering> KMedoidsCluster(
+    int num_items, const std::function<double(int, int)>& distance,
+    const KMedoidsOptions& options);
+
+}  // namespace thor::cluster
+
+#endif  // THOR_CLUSTER_KMEDOIDS_H_

@@ -1,0 +1,93 @@
+#include "src/cluster/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace thor::cluster {
+
+namespace {
+
+// cluster -> (class -> count), plus the distinct class count.
+struct Contingency {
+  std::map<int, std::map<int, int>> table;
+  std::map<int, int> cluster_sizes;
+  int num_classes = 0;
+  int n = 0;
+};
+
+Contingency BuildContingency(const std::vector<int>& assignment,
+                             const std::vector<int>& labels) {
+  Contingency c;
+  std::map<int, int> class_seen;
+  size_t n = std::min(assignment.size(), labels.size());
+  for (size_t i = 0; i < n; ++i) {
+    ++c.table[assignment[i]][labels[i]];
+    ++c.cluster_sizes[assignment[i]];
+    ++class_seen[labels[i]];
+  }
+  c.num_classes = static_cast<int>(class_seen.size());
+  c.n = static_cast<int>(n);
+  return c;
+}
+
+}  // namespace
+
+double ClusteringEntropy(const std::vector<int>& assignment,
+                         const std::vector<int>& labels) {
+  Contingency c = BuildContingency(assignment, labels);
+  if (c.n == 0 || c.num_classes <= 1) return 0.0;
+  double log_c = std::log(static_cast<double>(c.num_classes));
+  double total = 0.0;
+  for (const auto& [cluster, classes] : c.table) {
+    int ni = c.cluster_sizes[cluster];
+    double h = 0.0;
+    for (const auto& [cls, count] : classes) {
+      double p = static_cast<double>(count) / ni;
+      h -= p * std::log(p);
+    }
+    h /= log_c;
+    total += (static_cast<double>(ni) / c.n) * h;
+  }
+  return total;
+}
+
+double ClusteringPurity(const std::vector<int>& assignment,
+                        const std::vector<int>& labels) {
+  Contingency c = BuildContingency(assignment, labels);
+  if (c.n == 0) return 1.0;
+  int majority_sum = 0;
+  for (const auto& [cluster, classes] : c.table) {
+    int best = 0;
+    for (const auto& [cls, count] : classes) best = std::max(best, count);
+    majority_sum += best;
+  }
+  return static_cast<double>(majority_sum) / c.n;
+}
+
+double PairwiseF1(const std::vector<int>& assignment,
+                  const std::vector<int>& labels) {
+  size_t n = std::min(assignment.size(), labels.size());
+  long long tp = 0;
+  long long fp = 0;
+  long long fn = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      bool same_cluster = assignment[i] == assignment[j];
+      bool same_class = labels[i] == labels[j];
+      if (same_cluster && same_class) {
+        ++tp;
+      } else if (same_cluster && !same_class) {
+        ++fp;
+      } else if (!same_cluster && same_class) {
+        ++fn;
+      }
+    }
+  }
+  if (tp == 0) return 0.0;
+  double precision = static_cast<double>(tp) / (tp + fp);
+  double recall = static_cast<double>(tp) / (tp + fn);
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+}  // namespace thor::cluster

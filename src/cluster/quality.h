@@ -1,0 +1,28 @@
+#ifndef THOR_CLUSTER_QUALITY_H_
+#define THOR_CLUSTER_QUALITY_H_
+
+#include <vector>
+
+namespace thor::cluster {
+
+/// \brief External clustering-quality measures (paper Section 3.1.4).
+///
+/// `labels` are ground-truth class ids per item (any small non-negative
+/// ints); `assignment` is the produced cluster per item. Entropy follows
+/// the paper exactly: per-cluster entropy normalized by log(c), then the
+/// n_i/n weighted sum — 0 is perfect, 1 is worthless.
+double ClusteringEntropy(const std::vector<int>& assignment,
+                         const std::vector<int>& labels);
+
+/// Fraction of items whose cluster's majority class matches their own.
+double ClusteringPurity(const std::vector<int>& assignment,
+                        const std::vector<int>& labels);
+
+/// Pairwise F1: treats "same cluster" as a retrieval decision against
+/// "same class" ground truth. A stricter complement to entropy.
+double PairwiseF1(const std::vector<int>& assignment,
+                  const std::vector<int>& labels);
+
+}  // namespace thor::cluster
+
+#endif  // THOR_CLUSTER_QUALITY_H_

@@ -1,0 +1,16 @@
+#include "src/cluster/random_clusterer.h"
+
+#include "src/util/rng.h"
+
+namespace thor::cluster {
+
+std::vector<int> RandomAssignment(int num_items, int k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> assignment(static_cast<size_t>(std::max(num_items, 0)));
+  for (int& a : assignment) {
+    a = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(std::max(k, 1))));
+  }
+  return assignment;
+}
+
+}  // namespace thor::cluster

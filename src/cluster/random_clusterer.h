@@ -1,0 +1,15 @@
+#ifndef THOR_CLUSTER_RANDOM_CLUSTERER_H_
+#define THOR_CLUSTER_RANDOM_CLUSTERER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace thor::cluster {
+
+/// The paper's random-assignment baseline: each item goes to a uniformly
+/// random cluster in [0, k). Deterministic for a given seed.
+std::vector<int> RandomAssignment(int num_items, int k, uint64_t seed);
+
+}  // namespace thor::cluster
+
+#endif  // THOR_CLUSTER_RANDOM_CLUSTERER_H_

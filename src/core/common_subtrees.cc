@@ -1,0 +1,138 @@
+#include "src/core/common_subtrees.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/text/edit_distance.h"
+
+namespace thor::core {
+
+ShapeQuad MakeShapeQuad(const html::TagTree& tree, html::NodeId node) {
+  ShapeQuad quad;
+  quad.path_symbols = tree.PathSymbols(node);
+  quad.fanout = tree.Fanout(node);
+  quad.depth = tree.Depth(node);
+  quad.num_nodes = tree.SubtreeSize(node);
+  return quad;
+}
+
+namespace {
+
+double RatioTerm(int a, int b) {
+  int hi = std::max(a, b);
+  if (hi == 0) return 0.0;
+  return static_cast<double>(std::abs(a - b)) / hi;
+}
+
+}  // namespace
+
+double ShapeDistance(const ShapeQuad& a, const ShapeQuad& b,
+                     const ShapeDistanceWeights& weights) {
+  double path_term = text::NormalizedEditDistance(a.path_symbols,
+                                                  b.path_symbols);
+  return weights.path * path_term + weights.fanout * RatioTerm(a.fanout, b.fanout) +
+         weights.depth * RatioTerm(a.depth, b.depth) +
+         weights.nodes * RatioTerm(a.num_nodes, b.num_nodes);
+}
+
+std::vector<CommonSubtreeSet> FindCommonSubtreeSets(
+    const std::vector<const html::TagTree*>& trees,
+    const std::vector<std::vector<html::NodeId>>& candidates,
+    const CommonSubtreeOptions& options) {
+  std::vector<CommonSubtreeSet> sets;
+  if (trees.empty() || candidates.size() != trees.size()) return sets;
+  int prototype = options.prototype_page;
+  if (prototype < 0 || prototype >= static_cast<int>(trees.size())) {
+    // Auto: a content-rich page, but not an outlier — the page at the 75th
+    // percentile of content length. This anchors a mixed cluster (answer
+    // pages plus misclustered no-match pages) on an answer page, while one
+    // freak page cannot hijack the prototype role.
+    std::vector<int> order(trees.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&trees](int a, int b) {
+      return trees[static_cast<size_t>(a)]
+                 ->node(trees[static_cast<size_t>(a)]->root())
+                 .content_length >
+             trees[static_cast<size_t>(b)]
+                 ->node(trees[static_cast<size_t>(b)]->root())
+                 .content_length;
+    });
+    prototype = order[order.size() / 4];
+  }
+
+  // Seed one set per prototype candidate and cache its quadruple.
+  const auto& proto_candidates = candidates[static_cast<size_t>(prototype)];
+  std::vector<ShapeQuad> proto_quads;
+  proto_quads.reserve(proto_candidates.size());
+  for (html::NodeId node : proto_candidates) {
+    sets.push_back(CommonSubtreeSet{{{prototype, node}}});
+    proto_quads.push_back(
+        MakeShapeQuad(*trees[static_cast<size_t>(prototype)], node));
+  }
+
+  // Greedy minimum-distance matching per page: sort all (set, candidate)
+  // pairs by distance, take each set and each candidate at most once.
+  struct Pair {
+    double distance;
+    int set_index;
+    int cand_index;
+  };
+  for (size_t page = 0; page < trees.size(); ++page) {
+    if (static_cast<int>(page) == prototype) continue;
+    const auto& page_candidates = candidates[page];
+    std::vector<ShapeQuad> page_quads;
+    page_quads.reserve(page_candidates.size());
+    for (html::NodeId node : page_candidates) {
+      page_quads.push_back(MakeShapeQuad(*trees[page], node));
+    }
+    std::vector<bool> set_taken(proto_quads.size(), false);
+    std::vector<bool> cand_taken(page_quads.size(), false);
+    auto greedy_pass = [&](bool require_same_path, double cutoff) {
+      std::vector<Pair> pairs;
+      for (size_t s = 0; s < proto_quads.size(); ++s) {
+        if (set_taken[s]) continue;
+        for (size_t c = 0; c < page_quads.size(); ++c) {
+          if (cand_taken[c]) continue;
+          if (require_same_path &&
+              proto_quads[s].path_symbols != page_quads[c].path_symbols) {
+            continue;
+          }
+          double d = ShapeDistance(proto_quads[s], page_quads[c],
+                                   options.weights);
+          if (d <= cutoff) {
+            pairs.push_back({d, static_cast<int>(s), static_cast<int>(c)});
+          }
+        }
+      }
+      std::sort(pairs.begin(), pairs.end(),
+                [](const Pair& a, const Pair& b) {
+                  if (a.distance != b.distance) {
+                    return a.distance < b.distance;
+                  }
+                  if (a.set_index != b.set_index) {
+                    return a.set_index < b.set_index;
+                  }
+                  return a.cand_index < b.cand_index;
+                });
+      for (const Pair& p : pairs) {
+        if (set_taken[static_cast<size_t>(p.set_index)] ||
+            cand_taken[static_cast<size_t>(p.cand_index)]) {
+          continue;
+        }
+        set_taken[static_cast<size_t>(p.set_index)] = true;
+        cand_taken[static_cast<size_t>(p.cand_index)] = true;
+        sets[static_cast<size_t>(p.set_index)].members.push_back(
+            {static_cast<int>(page),
+             page_candidates[static_cast<size_t>(p.cand_index)]});
+      }
+    };
+    if (options.exact_path_first) {
+      greedy_pass(/*require_same_path=*/true,
+                  options.max_same_path_distance);
+    }
+    greedy_pass(/*require_same_path=*/false, options.max_match_distance);
+  }
+  return sets;
+}
+
+}  // namespace thor::core

@@ -1,0 +1,76 @@
+#ifndef THOR_CORE_OBJECT_PARTITION_H_
+#define THOR_CORE_OBJECT_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/html/tag_tree.h"
+
+namespace thor::core {
+
+/// Stage-3 knobs.
+struct ObjectPartitionOptions {
+  /// Minimum repetitions for a child pattern to count as an object list.
+  int min_objects = 2;
+  /// Two sibling subtrees are "the same object type" when their shape
+  /// distance is at most this. Sibling records rendered from one template
+  /// land near 0; a heading or pager next to them lands around 0.3.
+  double shape_distance_threshold = 0.25;
+  /// Longest repeated separator period tried (e.g. 2 for <dt>/<dd> pairs).
+  int max_period = 4;
+};
+
+/// One QA-Object: a run of consecutive children of the pagelet root.
+struct ObjectSpan {
+  /// Consecutive sibling nodes forming the object (usually one; two for
+  /// <dt>/<dd>-style layouts).
+  std::vector<html::NodeId> parts;
+
+  html::NodeId root() const {
+    return parts.empty() ? html::kInvalidNode : parts.front();
+  }
+};
+
+/// \brief Stage 3: partitions a QA-Pagelet into itemized QA-Objects.
+///
+/// Detects the repeated structure among the pagelet root's tag children:
+/// first by exact repeated tag-period (handles table rows, list items and
+/// dt/dd pairs), then by shape-similarity grouping (handles ragged item
+/// markup); a pagelet with no repetition (a single-match detail region) is
+/// returned as one object spanning the whole pagelet.
+///
+/// `hints` may carry Phase-II's dynamic-descendant recommendations; any
+/// hinted node that is a direct child of the pagelet root seeds the
+/// dominant group.
+std::vector<ObjectSpan> PartitionObjects(
+    const html::TagTree& tree, html::NodeId pagelet,
+    const std::vector<html::NodeId>& hints = {},
+    const ObjectPartitionOptions& options = {});
+
+/// Convenience: the concatenated text of each object.
+std::vector<std::string> ObjectTexts(const html::TagTree& tree,
+                                     const std::vector<ObjectSpan>& objects);
+
+/// One page's pagelet and partitioned objects, for cross-page validation.
+struct PageObjects {
+  const html::TagTree* tree = nullptr;
+  html::NodeId pagelet = html::kInvalidNode;
+  std::vector<ObjectSpan> objects;
+};
+
+/// \brief Cross-page Stage-3 validation over the pages of one cluster.
+///
+/// On a detail-page cluster the repeated "objects" found by
+/// `PartitionObjects` are field rows whose leading label (Title, Price,
+/// ...) is identical on every page; real QA-Objects lead with query
+/// answers that never repeat across pages. When at least
+/// `stable_fraction_threshold` of the leading tokens are static across
+/// `min_pages` pages, each page's object list is collapsed to a single
+/// whole-pagelet object (one record per page). Returns true if collapsed.
+bool CollapseFieldRowObjects(std::vector<PageObjects>* pages,
+                             double stable_fraction_threshold = 0.7,
+                             int min_pages = 3);
+
+}  // namespace thor::core
+
+#endif  // THOR_CORE_OBJECT_PARTITION_H_

@@ -1,0 +1,138 @@
+#include "src/core/page_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "src/cluster/kmedoids.h"
+#include "src/cluster/random_clusterer.h"
+#include "src/core/signature_builder.h"
+#include "src/ir/vocabulary.h"
+#include "src/text/edit_distance.h"
+
+namespace thor::core {
+
+namespace {
+
+Result<PageClusteringResult> ClusterVectors(
+    std::vector<ir::SparseVector> counts, ir::Weighting weighting,
+    const cluster::KMeansOptions& kmeans) {
+  ir::TfidfModel model = ir::TfidfModel::Fit(counts);
+  PageClusteringResult result;
+  result.vectors = model.WeighAll(counts, weighting, /*normalize=*/true);
+  auto clustering = cluster::KMeansCluster(result.vectors, kmeans);
+  if (!clustering.ok()) return clustering.status();
+  result.assignment = std::move(clustering->assignment);
+  result.centroids = std::move(clustering->centroids);
+  result.internal_similarity = clustering->internal_similarity;
+  result.k = static_cast<int>(result.centroids.size());
+  return result;
+}
+
+Result<PageClusteringResult> ClusterByDistance(
+    int num_items, const std::function<double(int, int)>& distance,
+    const cluster::KMeansOptions& kmeans) {
+  cluster::KMedoidsOptions medoid_options;
+  medoid_options.k = kmeans.k;
+  // Each medoid restart is O(n^2) distance evaluations; a few restarts are
+  // enough for these one-dimensional baselines.
+  medoid_options.restarts = std::min(kmeans.restarts, 3);
+  medoid_options.seed = kmeans.seed;
+  auto clustering = cluster::KMedoidsCluster(num_items, distance,
+                                             medoid_options);
+  if (!clustering.ok()) return clustering.status();
+  PageClusteringResult result;
+  result.assignment = std::move(clustering->assignment);
+  result.k = static_cast<int>(clustering->medoids.size());
+  return result;
+}
+
+}  // namespace
+
+const char* ApproachLabel(ClusteringApproach approach) {
+  switch (approach) {
+    case ClusteringApproach::kTfidfTags:
+      return "TTag";
+    case ClusteringApproach::kRawTags:
+      return "RTag";
+    case ClusteringApproach::kTfidfContent:
+      return "TCon";
+    case ClusteringApproach::kRawContent:
+      return "RCon";
+    case ClusteringApproach::kUrl:
+      return "URLs";
+    case ClusteringApproach::kSize:
+      return "Size";
+    case ClusteringApproach::kRandom:
+      return "Rand";
+  }
+  return "?";
+}
+
+Result<PageClusteringResult> ClusterPages(
+    const std::vector<Page>& pages, const PageClusteringOptions& options) {
+  if (pages.empty()) {
+    return Status::InvalidArgument("ClusterPages: no pages");
+  }
+  const int n = static_cast<int>(pages.size());
+  switch (options.approach) {
+    case ClusteringApproach::kTfidfTags:
+    case ClusteringApproach::kRawTags: {
+      std::vector<ir::SparseVector> counts;
+      counts.reserve(pages.size());
+      for (const Page& p : pages) counts.push_back(TagCountVector(p.tree));
+      ir::Weighting w = options.approach == ClusteringApproach::kTfidfTags
+                            ? ir::Weighting::kTfidf
+                            : ir::Weighting::kRawFrequency;
+      return ClusterVectors(std::move(counts), w, options.kmeans);
+    }
+    case ClusteringApproach::kTfidfContent:
+    case ClusteringApproach::kRawContent: {
+      ir::Vocabulary vocab;
+      std::vector<ir::SparseVector> counts;
+      counts.reserve(pages.size());
+      for (const Page& p : pages) {
+        counts.push_back(TermCountVector(p.tree, &vocab));
+      }
+      ir::Weighting w = options.approach == ClusteringApproach::kTfidfContent
+                            ? ir::Weighting::kTfidf
+                            : ir::Weighting::kRawFrequency;
+      return ClusterVectors(std::move(counts), w, options.kmeans);
+    }
+    case ClusteringApproach::kUrl: {
+      auto distance = [&pages](int i, int j) {
+        return text::NormalizedEditDistance(
+            pages[static_cast<size_t>(i)].url,
+            pages[static_cast<size_t>(j)].url);
+      };
+      return ClusterByDistance(n, distance, options.kmeans);
+    }
+    case ClusteringApproach::kSize: {
+      auto distance = [&pages](int i, int j) {
+        return std::abs(
+            static_cast<double>(pages[static_cast<size_t>(i)].size_bytes) -
+            pages[static_cast<size_t>(j)].size_bytes);
+      };
+      return ClusterByDistance(n, distance, options.kmeans);
+    }
+    case ClusteringApproach::kRandom: {
+      PageClusteringResult result;
+      result.assignment =
+          cluster::RandomAssignment(n, options.kmeans.k, options.kmeans.seed);
+      result.k = options.kmeans.k;
+      return result;
+    }
+  }
+  return Status::InvalidArgument("ClusterPages: unknown approach");
+}
+
+Result<PageClusteringResult> ClusterSignatures(
+    const std::vector<ir::SparseVector>& count_vectors,
+    ir::Weighting weighting, const cluster::KMeansOptions& kmeans) {
+  if (count_vectors.empty()) {
+    return Status::InvalidArgument("ClusterSignatures: no vectors");
+  }
+  return ClusterVectors(count_vectors, weighting, kmeans);
+}
+
+}  // namespace thor::core

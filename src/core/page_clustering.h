@@ -1,0 +1,61 @@
+#ifndef THOR_CORE_PAGE_CLUSTERING_H_
+#define THOR_CORE_PAGE_CLUSTERING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/kmeans.h"
+#include "src/core/page.h"
+#include "src/ir/tfidf.h"
+#include "src/util/status.h"
+
+namespace thor::core {
+
+/// The seven page-grouping approaches compared in the paper's Phase-I
+/// experiments (Figures 4, 5, 10).
+enum class ClusteringApproach {
+  kTfidfTags = 0,   ///< THOR's approach: TFIDF-weighted tag-tree signatures
+  kRawTags = 1,     ///< raw tag-frequency signatures
+  kTfidfContent = 2,///< TFIDF-weighted stemmed content terms
+  kRawContent = 3,  ///< raw content-term frequencies
+  kUrl = 4,         ///< URL string edit distance (k-medoids)
+  kSize = 5,        ///< page byte size (k-medoids)
+  kRandom = 6,      ///< random assignment baseline
+};
+inline constexpr int kNumClusteringApproaches = 7;
+
+/// Short label used in bench output ("TTag", "RTag", ... as in Figure 10).
+const char* ApproachLabel(ClusteringApproach approach);
+
+/// Phase-I configuration.
+struct PageClusteringOptions {
+  ClusteringApproach approach = ClusteringApproach::kTfidfTags;
+  cluster::KMeansOptions kmeans;  ///< k, restarts, seed
+};
+
+/// Phase-I output: a clustering of the input pages.
+struct PageClusteringResult {
+  std::vector<int> assignment;
+  int k = 0;
+  /// Internal similarity of the winning clustering (vector approaches).
+  double internal_similarity = 0.0;
+  /// The weighted signature vectors actually clustered (vector approaches
+  /// only; empty for URL/size/random). Useful for diagnostics and ranking.
+  std::vector<ir::SparseVector> vectors;
+  std::vector<ir::SparseVector> centroids;
+};
+
+/// Clusters `pages` with the configured approach. This is THOR Phase I.
+Result<PageClusteringResult> ClusterPages(const std::vector<Page>& pages,
+                                          const PageClusteringOptions& options);
+
+/// Clusters precomputed count signatures (tag or term counts) — the entry
+/// point for the synthetic scale experiments (Figures 6, 7), where pages
+/// exist only in signature space.
+Result<PageClusteringResult> ClusterSignatures(
+    const std::vector<ir::SparseVector>& count_vectors,
+    ir::Weighting weighting, const cluster::KMeansOptions& kmeans);
+
+}  // namespace thor::core
+
+#endif  // THOR_CORE_PAGE_CLUSTERING_H_

@@ -1,0 +1,49 @@
+#include "src/core/signature_builder.h"
+
+#include <unordered_map>
+
+namespace thor::core {
+
+ir::SparseVector TagCountVector(const html::TagTree& tree,
+                                html::NodeId root) {
+  std::unordered_map<int32_t, int> counts;
+  for (html::NodeId id : tree.SubtreeNodes(root)) {
+    const html::Node& n = tree.node(id);
+    if (n.kind == html::NodeKind::kTag) ++counts[n.tag];
+  }
+  return ir::SparseVector::FromCounts(counts);
+}
+
+ir::SparseVector TagCountVector(const html::TagTree& tree) {
+  return TagCountVector(tree, tree.root());
+}
+
+ir::SparseVector TermCountVector(const html::TagTree& tree,
+                                 html::NodeId root, ir::Vocabulary* vocab,
+                                 const text::TermOptions& options) {
+  std::unordered_map<int32_t, int> counts;
+  for (html::NodeId id : tree.SubtreeNodes(root)) {
+    const html::Node& n = tree.node(id);
+    if (n.kind != html::NodeKind::kContent) continue;
+    for (const std::string& term : text::ExtractTerms(n.text, options)) {
+      ++counts[vocab->Intern(term)];
+    }
+  }
+  return ir::SparseVector::FromCounts(counts);
+}
+
+ir::SparseVector TermCountVector(const html::TagTree& tree,
+                                 ir::Vocabulary* vocab,
+                                 const text::TermOptions& options) {
+  return TermCountVector(tree, tree.root(), vocab, options);
+}
+
+int DistinctTermCount(const html::TagTree& tree) {
+  return text::CountDistinctTerms(tree.SubtreeText(tree.root()));
+}
+
+int DistinctTagCount(const html::TagTree& tree) {
+  return static_cast<int>(TagCountVector(tree).size());
+}
+
+}  // namespace thor::core

@@ -1,0 +1,49 @@
+#ifndef THOR_CORE_SUBTREE_RANKING_H_
+#define THOR_CORE_SUBTREE_RANKING_H_
+
+#include <vector>
+
+#include "src/core/common_subtrees.h"
+#include "src/text/term_tokenizer.h"
+
+namespace thor::core {
+
+/// Cross-page analysis step-2 knobs (paper Section 3.2.1 Step 2).
+struct SubtreeRankOptions {
+  /// Use the paper's TFIDF weighting of subtree content vectors. Turning
+  /// this off reproduces the degenerate left histogram of Figure 9.
+  bool use_tfidf = true;
+  /// Sets whose intra-set similarity exceeds this are considered static
+  /// content and pruned from QA-Pagelet consideration ("not very
+  /// important" exact value — 0.5 in the paper's first prototype).
+  double prune_threshold = 0.5;
+  text::TermOptions terms;
+};
+
+/// One common subtree set with its intra-set content similarity.
+struct RankedSubtreeSet {
+  CommonSubtreeSet set;
+  /// Mean pairwise cosine of the (TFIDF-weighted) subtree content vectors:
+  /// near 1 for static regions (nav bars, boilerplate), near 0 for
+  /// query-dependent regions.
+  double intra_similarity = 1.0;
+
+  bool IsDynamic(double threshold) const {
+    return intra_similarity <= threshold;
+  }
+};
+
+/// \brief Cross-page analysis step 2: computes intra-set content similarity
+/// for every common subtree set and returns the sets sorted ascending
+/// (most-dynamic first — the paper's rank order).
+///
+/// Singleton sets get similarity 1.0: with no cross-page counterpart there
+/// is no evidence of query-dependence.
+std::vector<RankedSubtreeSet> RankSubtreeSets(
+    const std::vector<const html::TagTree*>& trees,
+    const std::vector<CommonSubtreeSet>& sets,
+    const SubtreeRankOptions& options = {});
+
+}  // namespace thor::core
+
+#endif  // THOR_CORE_SUBTREE_RANKING_H_

@@ -1,0 +1,151 @@
+#include "src/core/thor.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace thor::core {
+
+Phase2Result RunPhase2(const std::vector<const html::TagTree*>& trees,
+                       const Phase2Options& options) {
+  Phase2Result result;
+  if (trees.empty()) return result;
+  std::vector<std::vector<html::NodeId>> candidates;
+  candidates.reserve(trees.size());
+  for (const html::TagTree* tree : trees) {
+    candidates.push_back(CandidateSubtrees(*tree, options.filter));
+  }
+  std::vector<CommonSubtreeSet> sets =
+      FindCommonSubtreeSets(trees, candidates, options.common);
+  result.ranked_sets = RankSubtreeSets(trees, sets, options.rank);
+  result.pagelets =
+      SelectPagelets(trees, result.ranked_sets, options.selection);
+  return result;
+}
+
+Result<ThorResult> RunThor(const std::vector<Page>& pages,
+                           const ThorOptions& options) {
+  if (pages.empty()) {
+    return Status::InvalidArgument("RunThor: no pages");
+  }
+  ThorResult result;
+  auto clustering = ClusterPages(pages, options.clustering);
+  if (!clustering.ok()) return clustering.status();
+  result.clustering = std::move(*clustering);
+
+  result.ranked_clusters =
+      RankClusters(pages, result.clustering.assignment, result.clustering.k,
+                   options.cluster_ranking);
+  // Stage-1 knowledge: the cluster(s) holding the nonsense-probe answers
+  // realize the no-match template and cannot contain QA-Pagelets.
+  std::vector<bool> vetoed(static_cast<size_t>(result.clustering.k), false);
+  if (options.veto_nonsense_clusters) {
+    int total_nonsense = 0;
+    std::vector<int> nonsense_per_cluster(
+        static_cast<size_t>(result.clustering.k), 0);
+    for (size_t i = 0; i < pages.size(); ++i) {
+      if (!pages[i].from_nonsense_probe) continue;
+      ++total_nonsense;
+      int c = result.clustering.assignment[i];
+      if (c >= 0 && c < result.clustering.k) {
+        ++nonsense_per_cluster[static_cast<size_t>(c)];
+      }
+    }
+    if (total_nonsense > 0) {
+      std::vector<int> cluster_sizes(
+          static_cast<size_t>(result.clustering.k), 0);
+      for (int a : result.clustering.assignment) {
+        if (a >= 0 && a < result.clustering.k) {
+          ++cluster_sizes[static_cast<size_t>(a)];
+        }
+      }
+      double base_rate =
+          static_cast<double>(total_nonsense) / pages.size();
+      for (int c = 0; c < result.clustering.k; ++c) {
+        int in_cluster = nonsense_per_cluster[static_cast<size_t>(c)];
+        int size = cluster_sizes[static_cast<size_t>(c)];
+        if (size == 0) continue;
+        double share = static_cast<double>(in_cluster) / total_nonsense;
+        double density = static_cast<double>(in_cluster) / size;
+        // Veto requires both: the cluster absorbs most nonsense pages AND
+        // nonsense pages are clearly over-represented in it. The density
+        // condition keeps a merged answers+no-match cluster (a Phase-I
+        // mistake) alive so Phase II can still mine its answer pages.
+        if (share >= options.nonsense_veto_fraction &&
+            density >= 1.8 * base_rate) {
+          vetoed[static_cast<size_t>(c)] = true;
+        }
+      }
+    }
+  }
+  if (options.clusters_to_pass > 0) {
+    for (const RankedCluster& rc : result.ranked_clusters) {
+      if (static_cast<int>(result.passed_clusters.size()) >=
+          options.clusters_to_pass) {
+        break;
+      }
+      if (vetoed[static_cast<size_t>(rc.cluster)]) continue;
+      result.passed_clusters.push_back(rc.cluster);
+    }
+  } else {
+    double top_score = -1.0;
+    for (const RankedCluster& rc : result.ranked_clusters) {
+      if (rc.num_pages >= options.min_cluster_pages &&
+          !vetoed[static_cast<size_t>(rc.cluster)]) {
+        top_score = std::max(top_score, rc.score);
+      }
+    }
+    double cutoff = top_score * options.cluster_score_fraction;
+    for (const RankedCluster& rc : result.ranked_clusters) {
+      if (vetoed[static_cast<size_t>(rc.cluster)]) continue;
+      if (rc.num_pages < options.min_cluster_pages) continue;
+      if (rc.score >= cutoff) result.passed_clusters.push_back(rc.cluster);
+    }
+  }
+
+  for (int cluster_id : result.passed_clusters) {
+    // Collect this cluster's pages, remembering original indices.
+    std::vector<const html::TagTree*> trees;
+    std::vector<int> original_index;
+    for (size_t i = 0; i < pages.size(); ++i) {
+      if (result.clustering.assignment[i] == cluster_id) {
+        trees.push_back(&pages[i].tree);
+        original_index.push_back(static_cast<int>(i));
+      }
+    }
+    if (trees.empty()) continue;
+    Phase2Result phase2 = RunPhase2(trees, options.phase2);
+    std::vector<ThorPageResult> cluster_results;
+    for (const ExtractedPagelet& pagelet : phase2.pagelets) {
+      ThorPageResult page_result;
+      page_result.page_index =
+          original_index[static_cast<size_t>(pagelet.page_index)];
+      page_result.pagelet = pagelet.node;
+      const html::TagTree& tree =
+          *trees[static_cast<size_t>(pagelet.page_index)];
+      page_result.objects =
+          PartitionObjects(tree, pagelet.node, pagelet.dynamic_descendants,
+                           options.objects);
+      cluster_results.push_back(std::move(page_result));
+    }
+    // Cross-page Stage-3 validation: collapse field-row "objects" of
+    // detail-page clusters into one record per page.
+    std::vector<PageObjects> cluster_objects;
+    cluster_objects.reserve(cluster_results.size());
+    for (ThorPageResult& page_result : cluster_results) {
+      cluster_objects.push_back(
+          {&pages[static_cast<size_t>(page_result.page_index)].tree,
+           page_result.pagelet, std::move(page_result.objects)});
+    }
+    CollapseFieldRowObjects(&cluster_objects);
+    for (size_t i = 0; i < cluster_results.size(); ++i) {
+      cluster_results[i].objects = std::move(cluster_objects[i].objects);
+    }
+    for (ThorPageResult& page_result : cluster_results) {
+      result.pages.push_back(std::move(page_result));
+    }
+  }
+  return result;
+}
+
+}  // namespace thor::core

@@ -1,0 +1,99 @@
+#ifndef THOR_CORE_THOR_H_
+#define THOR_CORE_THOR_H_
+
+#include <vector>
+
+#include "src/core/cluster_ranking.h"
+#include "src/core/common_subtrees.h"
+#include "src/core/object_partition.h"
+#include "src/core/page.h"
+#include "src/core/page_clustering.h"
+#include "src/core/pagelet_selection.h"
+#include "src/core/subtree_filter.h"
+#include "src/core/subtree_ranking.h"
+#include "src/util/status.h"
+
+namespace thor::core {
+
+/// Phase-II configuration bundle.
+struct Phase2Options {
+  SubtreeFilterOptions filter;
+  CommonSubtreeOptions common;
+  SubtreeRankOptions rank;
+  PageletSelectionOptions selection;
+};
+
+/// Phase-II output for one page cluster.
+struct Phase2Result {
+  /// Every common subtree set with its intra-set similarity, ascending.
+  std::vector<RankedSubtreeSet> ranked_sets;
+  /// The selected QA-Pagelets (page indices refer to the input ordering).
+  std::vector<ExtractedPagelet> pagelets;
+};
+
+/// Runs Phase II (single-page analysis, cross-page analysis, selection) on
+/// the pages of one structurally similar cluster. This is the isolated
+/// entry point the paper's Figure 8/9 experiments exercise.
+Phase2Result RunPhase2(const std::vector<const html::TagTree*>& trees,
+                       const Phase2Options& options = {});
+
+/// Full THOR configuration.
+///
+/// The default clusters with k = 4 (the simulator produces four page
+/// classes; the paper reports k in 2..5 "resulted in only minor changes"
+/// because extra clusters just refine).
+struct ThorOptions {
+  ThorOptions() { clustering.kmeans.k = 4; }
+
+  PageClusteringOptions clustering;
+  ClusterRankOptions cluster_ranking;
+  /// Number m of top-ranked page clusters passed to Phase II (the Figure 11
+  /// precision/recall dial; the paper finds m = 2 a good compromise for
+  /// k = 3). 0 selects adaptively: every cluster whose rank score is at
+  /// least `cluster_score_fraction` of the best cluster's score advances,
+  /// so an over-refined answer class (k larger than the real class count)
+  /// still passes in full.
+  int clusters_to_pass = 0;
+  /// Relative score cutoff for adaptive cluster passing.
+  double cluster_score_fraction = 0.65;
+  /// Use the Stage-1 nonsense-probe knowledge: nonsense words are
+  /// unindexed by construction, so their answer pages are "no matches" (or
+  /// error) pages. Any cluster that captures at least
+  /// `nonsense_veto_fraction` of the nonsense-probe pages is the no-match
+  /// template and is never passed to Phase II.
+  bool veto_nonsense_clusters = true;
+  double nonsense_veto_fraction = 0.5;
+  /// Adaptive mode ignores clusters smaller than this: cross-page analysis
+  /// needs several structurally similar pages, and a one-page outlier
+  /// cluster must not define the score ceiling either.
+  int min_cluster_pages = 3;
+  Phase2Options phase2;
+  ObjectPartitionOptions objects;
+};
+
+/// One page's extraction outcome.
+struct ThorPageResult {
+  int page_index = 0;
+  html::NodeId pagelet = html::kInvalidNode;
+  std::vector<ObjectSpan> objects;
+};
+
+/// End-to-end THOR output.
+struct ThorResult {
+  PageClusteringResult clustering;
+  std::vector<RankedCluster> ranked_clusters;
+  /// Cluster indices that were passed to Phase II, best first.
+  std::vector<int> passed_clusters;
+  /// Extraction outcomes for every page that reached Phase II and yielded
+  /// a pagelet.
+  std::vector<ThorPageResult> pages;
+};
+
+/// \brief Runs the complete two-phase THOR pipeline plus Stage-3 object
+/// partitioning over a probed page sample from one site.
+Result<ThorResult> RunThor(const std::vector<Page>& pages,
+                           const ThorOptions& options = {});
+
+}  // namespace thor::core
+
+#endif  // THOR_CORE_THOR_H_

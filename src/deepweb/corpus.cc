@@ -1,0 +1,70 @@
+#include "src/deepweb/corpus.h"
+
+namespace thor::deepweb {
+
+std::vector<int> SiteSample::ClassLabels() const {
+  std::vector<int> labels;
+  labels.reserve(pages.size());
+  for (const LabeledPage& p : pages) {
+    labels.push_back(static_cast<int>(p.true_class));
+  }
+  return labels;
+}
+
+std::vector<int> SiteSample::PageletPageIndices() const {
+  std::vector<int> indices;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (ClassHasPagelet(pages[i].true_class)) {
+      indices.push_back(static_cast<int>(i));
+    }
+  }
+  return indices;
+}
+
+LabeledPage LabelPage(const QueryResponse& response) {
+  LabeledPage page;
+  page.url = response.url;
+  page.query = response.query;
+  page.html = response.html;
+  page.size_bytes = static_cast<int>(response.html.size());
+  page.true_class = response.page_class;
+  page.from_nonsense_probe = response.from_nonsense_probe;
+  page.tree = html::ParseHtml(response.html);
+  for (html::NodeId id : page.tree.Preorder()) {
+    if (page.tree.node(id).kind != html::NodeKind::kTag) continue;
+    std::string_view marker = page.tree.AttributeValue(id, kQaMarkerAttr);
+    if (marker == kQaPageletValue) {
+      page.pagelet_node = id;
+    } else if (marker == kQaObjectValue) {
+      page.object_nodes.push_back(id);
+    }
+  }
+  return page;
+}
+
+SiteSample BuildSiteSample(const DeepWebSite& site,
+                           const ProbeOptions& options) {
+  SiteSample sample;
+  sample.site_id = site.config().site_id;
+  std::vector<QueryResponse> responses = ProbeSite(site, options);
+  sample.pages.reserve(responses.size());
+  for (const QueryResponse& response : responses) {
+    sample.pages.push_back(LabelPage(response));
+  }
+  return sample;
+}
+
+std::vector<SiteSample> BuildCorpus(const std::vector<DeepWebSite>& fleet,
+                                    const ProbeOptions& options) {
+  std::vector<SiteSample> corpus;
+  corpus.reserve(fleet.size());
+  for (const DeepWebSite& site : fleet) {
+    ProbeOptions per_site = options;
+    per_site.seed =
+        options.seed + 0x9e37u * static_cast<uint64_t>(site.config().site_id);
+    corpus.push_back(BuildSiteSample(site, per_site));
+  }
+  return corpus;
+}
+
+}  // namespace thor::deepweb

@@ -1,0 +1,67 @@
+#ifndef THOR_DEEPWEB_CORPUS_H_
+#define THOR_DEEPWEB_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/deepweb/prober.h"
+#include "src/deepweb/site.h"
+#include "src/html/parser.h"
+#include "src/html/tag_tree.h"
+
+namespace thor::deepweb {
+
+/// \brief A cached answer page with parsed tree and ground-truth labels —
+/// the unit of the paper's hand-labeled 5,500-page corpus.
+///
+/// Ground truth comes from the generator: the renderer marks the
+/// QA-Pagelet root with data-qa="pagelet" and each QA-Object root with
+/// data-qa="object". The THOR algorithms never consult attributes, so the
+/// markers are inert for extraction and visible only to evaluation.
+struct LabeledPage {
+  std::string url;
+  std::string query;
+  std::string html;
+  html::TagTree tree;
+  PageClass true_class = PageClass::kNoMatch;
+  /// Ground-truth QA-Pagelet root, or kInvalidNode for no-match/error pages.
+  html::NodeId pagelet_node = html::kInvalidNode;
+  /// Ground-truth QA-Object roots within the pagelet.
+  std::vector<html::NodeId> object_nodes;
+  int size_bytes = 0;
+  /// This page came from a nonsense probe word (stage-1 knowledge).
+  bool from_nonsense_probe = false;
+
+  LabeledPage() = default;
+  LabeledPage(LabeledPage&&) = default;
+  LabeledPage& operator=(LabeledPage&&) = default;
+  LabeledPage(const LabeledPage&) = delete;
+  LabeledPage& operator=(const LabeledPage&) = delete;
+};
+
+/// All probed pages of one site.
+struct SiteSample {
+  int site_id = 0;
+  std::vector<LabeledPage> pages;
+
+  /// Ground-truth class labels as ints (for entropy computation).
+  std::vector<int> ClassLabels() const;
+  /// Indices of pages whose class carries a QA-Pagelet.
+  std::vector<int> PageletPageIndices() const;
+};
+
+/// Parses one query response and attaches its ground-truth labels.
+LabeledPage LabelPage(const QueryResponse& response);
+
+/// Probes `site` and labels every collected page.
+SiteSample BuildSiteSample(const DeepWebSite& site,
+                           const ProbeOptions& options);
+
+/// Probes every site in the fleet. The per-site probe seed is varied so
+/// different sites receive different word samples, as a crawler would.
+std::vector<SiteSample> BuildCorpus(const std::vector<DeepWebSite>& fleet,
+                                    const ProbeOptions& options);
+
+}  // namespace thor::deepweb
+
+#endif  // THOR_DEEPWEB_CORPUS_H_

@@ -1,0 +1,156 @@
+#include "src/deepweb/record_catalog.h"
+
+#include <algorithm>
+
+#include "src/text/word_lists.h"
+#include "src/util/strings.h"
+
+namespace thor::deepweb {
+
+namespace {
+
+const std::vector<std::string>& CreatorPool(Domain domain) {
+  static const auto& ecommerce = *new std::vector<std::string>{
+      "Acme",    "Zenith",   "Northstar", "Vertex",  "Pinnacle", "Orion",
+      "Helix",   "Quantum",  "Sterling",  "Cascade", "Summit",   "Atlas",
+      "Beacon",  "Catalyst", "Dynamo",    "Ember",   "Falcon",   "Granite",
+  };
+  static const auto& music = *new std::vector<std::string>{
+      "The Midnight Owls", "Silver Canyon",  "Echo Valley",  "Iron Lantern",
+      "Velvet Harbor",     "Crimson Tide",   "Paper Moons",  "Golden Static",
+      "The River Kings",   "Neon Prairie",   "Salt & Cedar", "Glass Animals of Maine",
+      "Harbor Lights",     "The Quiet Storm","Blue Meridian","Wandering Pines",
+  };
+  static const auto& books = *new std::vector<std::string>{
+      "Eleanor Whitfield", "Marcus Dunn",    "Priya Raman",   "Jonah Eastman",
+      "Celia Marsh",       "Viktor Hale",    "Anne Calloway", "Theodore Brask",
+      "Lucia Fontaine",    "Samuel Okafor",  "Greta Lindqvist","Omar Haddad",
+      "Rosa Delgado",      "Henry Ashworth", "Mei Tanaka",    "Nils Bergman",
+  };
+  switch (domain) {
+    case Domain::kEcommerce:
+      return ecommerce;
+    case Domain::kMusic:
+      return music;
+    case Domain::kBooks:
+      return books;
+  }
+  return ecommerce;
+}
+
+const std::vector<std::string>& CategoryPool(Domain domain) {
+  static const auto& ecommerce = *new std::vector<std::string>{
+      "electronics", "kitchen", "garden", "sports",  "office",
+      "automotive",  "toys",    "camera", "audio",   "outdoor",
+  };
+  static const auto& music = *new std::vector<std::string>{
+      "rock", "jazz", "folk", "electronic", "classical",
+      "blues", "country", "soul", "ambient", "indie",
+  };
+  static const auto& books = *new std::vector<std::string>{
+      "fiction", "history", "science", "biography", "mystery",
+      "travel",  "poetry",  "cooking", "business",  "fantasy",
+  };
+  switch (domain) {
+    case Domain::kEcommerce:
+      return ecommerce;
+    case Domain::kMusic:
+      return music;
+    case Domain::kBooks:
+      return books;
+  }
+  return ecommerce;
+}
+
+std::string TitleFromWords(Rng* rng, int min_words, int max_words) {
+  int count = static_cast<int>(rng->UniformRange(min_words, max_words));
+  std::string title;
+  for (int i = 0; i < count; ++i) {
+    std::string word = text::RandomWord(rng);
+    word[0] = static_cast<char>(word[0] - 'a' + 'A');
+    if (!title.empty()) title.push_back(' ');
+    title.append(word);
+  }
+  return title;
+}
+
+std::string DescriptionFromWords(Rng* rng, int count) {
+  std::string description;
+  for (int i = 0; i < count; ++i) {
+    if (!description.empty()) description.push_back(' ');
+    description.append(text::RandomWord(rng));
+  }
+  return description;
+}
+
+}  // namespace
+
+const char* DomainName(Domain domain) {
+  switch (domain) {
+    case Domain::kEcommerce:
+      return "ecommerce";
+    case Domain::kMusic:
+      return "music";
+    case Domain::kBooks:
+      return "books";
+  }
+  return "unknown";
+}
+
+RecordCatalog RecordCatalog::Generate(Domain domain, int num_records,
+                                      Rng* rng) {
+  RecordCatalog catalog;
+  catalog.domain_ = domain;
+  catalog.records_.reserve(static_cast<size_t>(std::max(num_records, 0)));
+  const auto& creators = CreatorPool(domain);
+  const auto& categories = CategoryPool(domain);
+  for (int i = 0; i < num_records; ++i) {
+    Record r;
+    r.title = TitleFromWords(rng, 2, 4);
+    r.creator = rng->Pick(creators);
+    r.category = rng->Pick(categories);
+    r.description =
+        DescriptionFromWords(rng, static_cast<int>(rng->UniformRange(6, 18)));
+    r.price = 1.0 + rng->UniformDouble() * 499.0;
+    r.year = static_cast<int>(rng->UniformRange(1975, 2003));
+    r.rating = 1.0 + rng->UniformDouble() * 4.0;
+    r.extra = static_cast<int>(rng->UniformRange(1, 40));
+    catalog.records_.push_back(std::move(r));
+  }
+  // Build the keyword index over title + creator + category. Descriptions
+  // are displayed but not indexed, so probe words produce a realistic mix
+  // of multi-match, single-match and no-match answers.
+  for (int id = 0; id < catalog.size(); ++id) {
+    const Record& r = catalog.record(id);
+    std::string all = r.title;
+    all.push_back(' ');
+    all.append(r.creator);
+    all.push_back(' ');
+    all.append(r.category);
+    std::string lower = AsciiLower(all);
+    size_t pos = 0;
+    std::vector<std::string> words;
+    while (pos < lower.size()) {
+      if (!IsAsciiAlnum(lower[pos])) {
+        ++pos;
+        continue;
+      }
+      size_t start = pos;
+      while (pos < lower.size() && IsAsciiAlnum(lower[pos])) ++pos;
+      words.emplace_back(lower.substr(start, pos - start));
+    }
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    for (std::string& w : words) {
+      catalog.index_[std::move(w)].push_back(id);
+    }
+  }
+  return catalog;
+}
+
+std::vector<int> RecordCatalog::Search(std::string_view keyword) const {
+  auto it = index_.find(AsciiLower(keyword));
+  return it == index_.end() ? std::vector<int>{} : it->second;
+}
+
+}  // namespace thor::deepweb

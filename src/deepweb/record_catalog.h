@@ -1,0 +1,67 @@
+#ifndef THOR_DEEPWEB_RECORD_CATALOG_H_
+#define THOR_DEEPWEB_RECORD_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace thor::deepweb {
+
+/// Content domains for simulated deep-web databases. Different domains
+/// produce different field sets and vocabulary mixes, giving the 50-site
+/// fleet the content diversity of the paper's real crawl.
+enum class Domain {
+  kEcommerce,  ///< products: maker, price, rating
+  kMusic,      ///< albums: artist, label, year
+  kBooks,      ///< books: author, publisher, pages
+};
+
+const char* DomainName(Domain domain);
+
+/// One database record behind a simulated site's search form.
+struct Record {
+  std::string title;
+  /// Maker / artist / author depending on the domain.
+  std::string creator;
+  std::string category;
+  std::string description;
+  double price = 0.0;
+  int year = 0;
+  double rating = 0.0;
+  int extra = 0;  ///< stock count / track count / page count
+};
+
+/// \brief A seeded synthetic record database with a keyword index.
+///
+/// Stands in for the autonomous databases behind the paper's 50 deep-web
+/// sources. Titles, creators and descriptions are drawn from the embedded
+/// lexicon so dictionary probe words hit realistic match distributions,
+/// while nonsense probe words never match.
+class RecordCatalog {
+ public:
+  /// Generates `num_records` records for `domain`, deterministic in `*rng`.
+  static RecordCatalog Generate(Domain domain, int num_records, Rng* rng);
+
+  Domain domain() const { return domain_; }
+  const std::vector<Record>& records() const { return records_; }
+  const Record& record(int id) const {
+    return records_[static_cast<size_t>(id)];
+  }
+  int size() const { return static_cast<int>(records_.size()); }
+
+  /// Record ids whose indexed text contains `keyword` (lowercased exact
+  /// word match, like a simple search engine).
+  std::vector<int> Search(std::string_view keyword) const;
+
+ private:
+  Domain domain_ = Domain::kEcommerce;
+  std::vector<Record> records_;
+  std::unordered_map<std::string, std::vector<int>> index_;
+};
+
+}  // namespace thor::deepweb
+
+#endif  // THOR_DEEPWEB_RECORD_CATALOG_H_

@@ -1,0 +1,107 @@
+#include "src/deepweb/site.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace thor::deepweb {
+
+namespace {
+
+uint64_t HashKeyword(std::string_view keyword) {
+  // FNV-1a, then a SplitMix64 finalizer for avalanche.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : keyword) {
+    h ^= static_cast<unsigned char>(AsciiToLower(c));
+    h *= 1099511628211ULL;
+  }
+  return SplitMix64(&h);
+}
+
+}  // namespace
+
+const char* PageClassName(PageClass page_class) {
+  switch (page_class) {
+    case PageClass::kMultiMatch:
+      return "multi-match";
+    case PageClass::kSingleMatch:
+      return "single-match";
+    case PageClass::kNoMatch:
+      return "no-match";
+    case PageClass::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+DeepWebSite::DeepWebSite(const SiteConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  Rng catalog_rng = rng.Fork();
+  catalog_ = RecordCatalog::Generate(config.domain, config.catalog_size,
+                                     &catalog_rng);
+  Rng style_rng =
+      config.style_seed != 0 ? Rng(config.style_seed) : rng.Fork();
+  std::string name = "Site";
+  name.append(std::to_string(config.site_id));
+  name.append(DomainName(config.domain));
+  // Capitalize for a storefront look, e.g. "Site7music" -> "Site7Music".
+  style_ = SiteStyle::Sample(config.domain, std::move(name), &style_rng);
+  base_url_ = "http://site";
+  base_url_.append(std::to_string(config.site_id));
+  base_url_.push_back('.');
+  base_url_.append(DomainName(config.domain));
+  base_url_.append(".example/search.dll?query=");
+}
+
+QueryResponse DeepWebSite::Query(std::string_view keyword) const {
+  QueryResponse response;
+  response.query = std::string(keyword);
+  response.url = base_url_;
+  response.url.append(response.query);
+  Rng query_rng(config_.seed ^ HashKeyword(keyword));
+  if (query_rng.Bernoulli(config_.error_rate)) {
+    response.page_class = PageClass::kError;
+    response.html = RenderErrorPage(style_, keyword);
+    if (style_.sloppy_markup) {
+      response.html = DropOptionalEndTags(std::move(response.html));
+    }
+    return response;
+  }
+  std::vector<int> matches = catalog_.Search(keyword);
+  response.num_matches = static_cast<int>(matches.size());
+  if (matches.empty()) {
+    response.page_class = PageClass::kNoMatch;
+    std::vector<const Record*> popular;
+    if (catalog_.size() > 0) {
+      int count = static_cast<int>(query_rng.UniformRange(3, 5));
+      for (int i = 0; i < count; ++i) {
+        popular.push_back(&catalog_.record(static_cast<int>(
+            query_rng.UniformInt(static_cast<uint64_t>(catalog_.size())))));
+      }
+    }
+    response.html = RenderNoMatchPage(style_, config_.domain, keyword,
+                                      popular, &query_rng);
+  } else if (matches.size() == 1) {
+    response.page_class = PageClass::kSingleMatch;
+    response.html = RenderSingleMatchPage(
+        style_, config_.domain, keyword, catalog_.record(matches[0]),
+        &query_rng);
+  } else {
+    response.page_class = PageClass::kMultiMatch;
+    std::vector<const Record*> listed;
+    int cap = std::min<int>(style_.max_results_per_page,
+                            static_cast<int>(matches.size()));
+    listed.reserve(static_cast<size_t>(cap));
+    for (int i = 0; i < cap; ++i) {
+      listed.push_back(&catalog_.record(matches[static_cast<size_t>(i)]));
+    }
+    response.html = RenderMultiMatchPage(style_, config_.domain, keyword,
+                                         listed, &query_rng);
+  }
+  if (style_.sloppy_markup) {
+    response.html = DropOptionalEndTags(std::move(response.html));
+  }
+  return response;
+}
+
+}  // namespace thor::deepweb

@@ -1,0 +1,88 @@
+#ifndef THOR_DEEPWEB_SITE_H_
+#define THOR_DEEPWEB_SITE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/deepweb/record_catalog.h"
+#include "src/deepweb/site_template.h"
+
+namespace thor::deepweb {
+
+/// Ground-truth page classes produced by the simulator — the classes the
+/// paper hand-labeled ("normal results", "no results", etc.).
+enum class PageClass {
+  kMultiMatch = 0,
+  kSingleMatch = 1,
+  kNoMatch = 2,
+  kError = 3,
+};
+inline constexpr int kNumPageClasses = 4;
+
+const char* PageClassName(PageClass page_class);
+
+/// Whether pages of this class contain a QA-Pagelet.
+inline bool ClassHasPagelet(PageClass c) {
+  return c == PageClass::kMultiMatch || c == PageClass::kSingleMatch;
+}
+
+/// Configuration of one simulated deep-web source.
+struct SiteConfig {
+  int site_id = 0;
+  Domain domain = Domain::kEcommerce;
+  uint64_t seed = 1;
+  /// When non-zero, the presentation genome is sampled from this seed
+  /// instead of `seed`, so the same database can be served under a
+  /// redesigned template (the paper's presentation-change robustness
+  /// scenario).
+  uint64_t style_seed = 0;
+  int catalog_size = 800;
+  /// Probability that a query hits a transient server error page.
+  double error_rate = 0.02;
+};
+
+/// A dynamically generated answer page plus its ground truth.
+struct QueryResponse {
+  std::string url;
+  std::string html;
+  PageClass page_class = PageClass::kNoMatch;
+  std::string query;
+  /// Number of catalog records matched (before per-page capping).
+  int num_matches = 0;
+  /// Set by the prober: this page was produced by a nonsense probe word
+  /// (guaranteed unindexed), so it cannot be an answer page. THOR uses
+  /// this stage-1 knowledge to veto the no-match cluster.
+  bool from_nonsense_probe = false;
+};
+
+/// \brief One simulated deep-web source: a search form over a hidden
+/// database, answering single-keyword queries with dynamically generated
+/// pages.
+///
+/// Responses are deterministic: the same (site seed, keyword) pair always
+/// yields byte-identical HTML, so every experiment is reproducible. The
+/// rotating ad block and error dispatch are driven by a per-query RNG
+/// derived from the keyword.
+class DeepWebSite {
+ public:
+  explicit DeepWebSite(const SiteConfig& config);
+
+  /// Answers a single-keyword probe query.
+  QueryResponse Query(std::string_view keyword) const;
+
+  const SiteConfig& config() const { return config_; }
+  const SiteStyle& style() const { return style_; }
+  const RecordCatalog& catalog() const { return catalog_; }
+  const std::string& base_url() const { return base_url_; }
+
+ private:
+  SiteConfig config_;
+  RecordCatalog catalog_;
+  SiteStyle style_;
+  std::string base_url_;
+};
+
+}  // namespace thor::deepweb
+
+#endif  // THOR_DEEPWEB_SITE_H_

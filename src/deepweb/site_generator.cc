@@ -1,0 +1,32 @@
+#include "src/deepweb/site_generator.h"
+
+namespace thor::deepweb {
+
+std::vector<SiteConfig> GenerateFleetConfigs(const FleetOptions& options) {
+  std::vector<SiteConfig> configs;
+  configs.reserve(static_cast<size_t>(std::max(options.num_sites, 0)));
+  Rng rng(options.seed);
+  for (int i = 0; i < options.num_sites; ++i) {
+    SiteConfig config;
+    config.site_id = i;
+    config.domain = static_cast<Domain>(i % 3);
+    config.seed = rng.Next();
+    config.catalog_size = static_cast<int>(rng.UniformRange(
+        options.min_catalog_size, options.max_catalog_size));
+    config.error_rate = options.error_rate;
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+std::vector<DeepWebSite> GenerateSiteFleet(const FleetOptions& options) {
+  std::vector<DeepWebSite> fleet;
+  std::vector<SiteConfig> configs = GenerateFleetConfigs(options);
+  fleet.reserve(configs.size());
+  for (const SiteConfig& config : configs) {
+    fleet.emplace_back(config);
+  }
+  return fleet;
+}
+
+}  // namespace thor::deepweb

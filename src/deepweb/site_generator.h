@@ -1,0 +1,30 @@
+#ifndef THOR_DEEPWEB_SITE_GENERATOR_H_
+#define THOR_DEEPWEB_SITE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/deepweb/site.h"
+
+namespace thor::deepweb {
+
+/// Fleet-generation knobs.
+struct FleetOptions {
+  /// Number of simulated deep-web sources (the paper sampled 50).
+  int num_sites = 50;
+  uint64_t seed = 7;
+  int min_catalog_size = 400;
+  int max_catalog_size = 1200;
+  double error_rate = 0.02;
+};
+
+/// Generates the per-site configurations for a diverse fleet: domains
+/// cycle, catalog sizes vary, and each site gets an independent seed.
+std::vector<SiteConfig> GenerateFleetConfigs(const FleetOptions& options);
+
+/// Instantiates the whole fleet (convenience wrapper).
+std::vector<DeepWebSite> GenerateSiteFleet(const FleetOptions& options);
+
+}  // namespace thor::deepweb
+
+#endif  // THOR_DEEPWEB_SITE_GENERATOR_H_

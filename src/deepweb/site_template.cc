@@ -1,0 +1,583 @@
+#include "src/deepweb/site_template.h"
+
+#include <cstdio>
+
+#include "src/text/word_lists.h"
+
+namespace thor::deepweb {
+
+namespace {
+
+std::string FormatPrice(double price) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "$%.2f", price);
+  return buf;
+}
+
+std::string FormatRating(double rating) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", rating);
+  return buf;
+}
+
+const char* CreatorLabel(Domain domain) {
+  switch (domain) {
+    case Domain::kEcommerce:
+      return "Brand";
+    case Domain::kMusic:
+      return "Artist";
+    case Domain::kBooks:
+      return "Author";
+  }
+  return "Creator";
+}
+
+// --- shared page scaffolding -------------------------------------------
+
+void AppendHead(const SiteStyle& style, std::string_view title,
+                std::string* out) {
+  out->append("<html><head><title>");
+  out->append(style.site_name);
+  out->append(" - ");
+  out->append(title);
+  out->append("</title><meta name=\"generator\" content=\"");
+  out->append(style.css_token);
+  out->append("\"><style>.");
+  out->append(style.css_token);
+  out->append(" { font-family: sans-serif; }</style></head><body class=\"");
+  out->append(style.css_token);
+  out->append("\">");
+}
+
+void AppendHeader(const SiteStyle& style, std::string* out) {
+  switch (style.header) {
+    case HeaderMarkup::kTableBanner:
+      out->append("<table class=\"hdr-");
+      out->append(style.css_token);
+      out->append("\" width=\"100%\"><tr><td><img src=\"/logo.gif\" alt=\"");
+      out->append(style.site_name);
+      out->append("\"></td><td><h1>");
+      out->append(style.site_name);
+      out->append("</h1></td><td>");
+      out->append(style.tagline);
+      out->append("</td></tr></table>");
+      break;
+    case HeaderMarkup::kDivBanner:
+      out->append("<div class=\"hdr-");
+      out->append(style.css_token);
+      out->append("\"><img src=\"/logo.gif\" alt=\"logo\"><h1>");
+      out->append(style.site_name);
+      out->append("</h1><span>");
+      out->append(style.tagline);
+      out->append("</span></div>");
+      break;
+    case HeaderMarkup::kCenterBanner:
+      out->append("<center><h1>");
+      if (style.use_font_tags) {
+        out->append("<font color=\"navy\">");
+        out->append(style.site_name);
+        out->append("</font>");
+      } else {
+        out->append(style.site_name);
+      }
+      out->append("</h1><small>");
+      out->append(style.tagline);
+      out->append("</small></center><hr>");
+      break;
+  }
+}
+
+void AppendNav(const SiteStyle& style, std::string* out) {
+  switch (style.nav) {
+    case NavMarkup::kListNav:
+      out->append("<ul class=\"nav-");
+      out->append(style.css_token);
+      out->append("\">");
+      for (const std::string& label : style.nav_labels) {
+        out->append("<li><a href=\"/");
+        out->append(label);
+        out->append("\">");
+        out->append(label);
+        out->append("</a></li>");
+      }
+      out->append("</ul>");
+      break;
+    case NavMarkup::kTableNav:
+      out->append("<table class=\"nav-");
+      out->append(style.css_token);
+      out->append("\"><tr>");
+      for (const std::string& label : style.nav_labels) {
+        out->append("<td><a href=\"/");
+        out->append(label);
+        out->append("\">");
+        out->append(label);
+        out->append("</a></td>");
+      }
+      out->append("</tr></table>");
+      break;
+    case NavMarkup::kInlineLinks:
+      out->append("<p class=\"nav-");
+      out->append(style.css_token);
+      out->append("\">");
+      for (size_t i = 0; i < style.nav_labels.size(); ++i) {
+        if (i != 0) out->append(" | ");
+        out->append("<a href=\"/");
+        out->append(style.nav_labels[i]);
+        out->append("\">");
+        out->append(style.nav_labels[i]);
+        out->append("</a>");
+      }
+      out->append("</p>");
+      break;
+  }
+}
+
+// Sidebar content without the presence check (the grid layout always
+// needs something in its left cell).
+void AppendSidebarContent(const SiteStyle& style, std::string* out) {
+  out->append("<div class=\"side-");
+  out->append(style.css_token);
+  out->append(
+      "\"><h4>Departments</h4><ul><li><a href=\"/new\">New arrivals</a></li>"
+      "<li><a href=\"/top\">Top rated</a></li>"
+      "<li><a href=\"/deals\">Weekly deals</a></li>"
+      "<li><a href=\"/gift\">Gift ideas</a></li></ul></div>");
+}
+
+void AppendSidebar(const SiteStyle& style, std::string* out) {
+  if (!style.has_sidebar) return;
+  AppendSidebarContent(style, out);
+}
+
+// Places `main` into the page scaffold: linearly after nav/sidebar, or in
+// the main cell of a 2003-style layout table.
+void AssembleBody(const SiteStyle& style, const std::string& main,
+                  std::string* out) {
+  AppendHeader(style, out);
+  AppendNav(style, out);
+  if (style.layout == PageLayout::kLinear) {
+    AppendSidebar(style, out);
+    out->append(main);
+    return;
+  }
+  out->append("<table class=\"layout-");
+  out->append(style.css_token);
+  out->append("\" width=\"100%\"><tr><td width=\"22%\" valign=\"top\">");
+  AppendSidebarContent(style, out);
+  out->append("</td><td valign=\"top\">");
+  out->append(main);
+  out->append("</td></tr></table>");
+}
+
+// The rotating advertisement: dynamically generated but *not* an answer to
+// the query — the confounder the paper's Section 4.2 discusses.
+void AppendAdBlock(const SiteStyle& style, Rng* ad_rng, std::string* out) {
+  if (!style.has_ad_block) return;
+  if (!ad_rng->Bernoulli(style.ad_presence)) return;  // impression skipped
+  out->append("<div class=\"ad-");
+  out->append(style.css_token);
+  out->append("\"><b>Sponsored:</b> ");
+  int words = 3 + static_cast<int>(ad_rng->UniformInt(4));
+  for (int i = 0; i < words; ++i) {
+    if (i != 0) out->push_back(' ');
+    out->append(text::RandomWord(ad_rng));
+  }
+  out->append(" <a href=\"/promo?id=");
+  out->append(std::to_string(ad_rng->UniformInt(100000)));
+  out->append("\">shop now</a></div>");
+}
+
+void AppendFooter(const SiteStyle& style, std::string* out) {
+  out->append("<hr><div class=\"ftr-");
+  out->append(style.css_token);
+  out->append("\">");
+  for (const std::string& paragraph : style.boilerplate_paragraphs) {
+    out->append("<p>");
+    out->append(paragraph);
+    out->append("</p>");
+  }
+  out->append(
+      "<a href=\"/about\">About</a> <a href=\"/privacy\">Privacy</a> "
+      "<a href=\"/help\">Help</a> <a href=\"/contact\">Contact us</a>"
+      "<br>Copyright 2003 ");
+  out->append(style.site_name);
+  out->append(". All rights reserved.</div></body></html>");
+}
+
+void OpenWrappers(const SiteStyle& style, std::string* out) {
+  for (int i = 0; i < style.wrapper_depth; ++i) {
+    out->append("<div class=\"wrap");
+    out->append(std::to_string(i));
+    out->append("-");
+    out->append(style.css_token);
+    out->append("\">");
+  }
+}
+
+void CloseWrappers(const SiteStyle& style, std::string* out) {
+  for (int i = 0; i < style.wrapper_depth; ++i) out->append("</div>");
+}
+
+// --- result item rendering ----------------------------------------------
+
+void AppendRecordFields(const SiteStyle& style, Domain domain,
+                        const Record& r, std::string* out) {
+  out->append("<a href=\"/item?id=");
+  out->append(std::to_string(r.year * 1000 + r.extra));
+  out->append("\">");
+  if (style.use_font_tags) out->append("<font size=\"+1\">");
+  out->append("<b>");
+  out->append(r.title);
+  out->append("</b>");
+  if (style.use_font_tags) out->append("</font>");
+  out->append("</a> <i>");
+  out->append(CreatorLabel(domain));
+  out->append(": ");
+  out->append(r.creator);
+  out->append("</i> <span>");
+  out->append(FormatPrice(r.price));
+  out->append("</span>");
+  if (style.results_show_rating) {
+    out->append(" <em>");
+    out->append(FormatRating(r.rating));
+    out->append(" stars</em>");
+  }
+  out->append(" <small>");
+  out->append(r.category);
+  out->append(" (");
+  out->append(std::to_string(r.year));
+  out->append(")</small>");
+  if (style.results_show_snippet) {
+    // First few description words, like a search-result snippet.
+    out->append(" <span class=\"snip\">");
+    int words = 0;
+    for (char c : r.description) {
+      if (c == ' ' && ++words == 8) break;
+      out->push_back(c);
+    }
+    out->append("...</span>");
+  }
+}
+
+void AppendResultsRegion(const SiteStyle& style, Domain domain,
+                         std::string_view query,
+                         const std::vector<const Record*>& records,
+                         std::string* out) {
+  std::string marker = " ";
+  marker.append(kQaMarkerAttr);
+  marker.append("=\"");
+  marker.append(kQaPageletValue);
+  marker.append("\"");
+  std::string item_marker = " ";
+  item_marker.append(kQaMarkerAttr);
+  item_marker.append("=\"");
+  item_marker.append(kQaObjectValue);
+  item_marker.append("\"");
+
+  out->append("<h2>Search results for ");
+  out->append(query);
+  out->append("</h2>");
+  switch (style.results) {
+    case ResultsMarkup::kTableRows:
+      out->append("<table class=\"res-");
+      out->append(style.css_token);
+      out->append("\"");
+      out->append(marker);
+      out->append(">");
+      for (const Record* r : records) {
+        out->append("<tr");
+        out->append(item_marker);
+        out->append("><td>");
+        if (style.results_show_image) {
+          out->append("<img src=\"/thumb.gif\" alt=\"thumb\"> ");
+        }
+        AppendRecordFields(style, domain, *r, out);
+        out->append("</td></tr>");
+      }
+      out->append("</table>");
+      break;
+    case ResultsMarkup::kListItems:
+      out->append("<ul class=\"res-");
+      out->append(style.css_token);
+      out->append("\"");
+      out->append(marker);
+      out->append(">");
+      for (const Record* r : records) {
+        out->append("<li");
+        out->append(item_marker);
+        out->append(">");
+        AppendRecordFields(style, domain, *r, out);
+        out->append("</li>");
+      }
+      out->append("</ul>");
+      break;
+    case ResultsMarkup::kDivBlocks:
+      out->append("<div class=\"res-");
+      out->append(style.css_token);
+      out->append("\"");
+      out->append(marker);
+      out->append(">");
+      for (const Record* r : records) {
+        out->append("<div class=\"item\"");
+        out->append(item_marker);
+        out->append(">");
+        if (style.results_show_image) {
+          out->append("<img src=\"/thumb.gif\" alt=\"thumb\"> ");
+        }
+        AppendRecordFields(style, domain, *r, out);
+        out->append("</div>");
+      }
+      out->append("</div>");
+      break;
+    case ResultsMarkup::kDlPairs:
+      out->append("<dl class=\"res-");
+      out->append(style.css_token);
+      out->append("\"");
+      out->append(marker);
+      out->append(">");
+      for (const Record* r : records) {
+        out->append("<dt");
+        out->append(item_marker);
+        out->append("><a href=\"/item\">");
+        out->append(r->title);
+        out->append("</a></dt><dd>");
+        out->append(CreatorLabel(domain));
+        out->append(": ");
+        out->append(r->creator);
+        out->append(", ");
+        out->append(FormatPrice(r->price));
+        out->append(", ");
+        out->append(r->category);
+        out->append(" (");
+        out->append(std::to_string(r->year));
+        out->append(")</dd>");
+      }
+      out->append("</dl>");
+      break;
+  }
+  out->append("<p class=\"pager\"><a href=\"/search?page=2\">Next</a> ");
+  out->append("<a href=\"/search?page=last\">Last</a></p>");
+}
+
+}  // namespace
+
+SiteStyle SiteStyle::Sample(Domain domain, std::string site_name, Rng* rng) {
+  SiteStyle style;
+  style.site_name = std::move(site_name);
+  static constexpr char kTokenChars[] = "abcdefghijklmnopqrstuvwxyz";
+  for (int i = 0; i < 6; ++i) {
+    style.css_token.push_back(kTokenChars[rng->UniformInt(26)]);
+  }
+  style.header = static_cast<HeaderMarkup>(rng->UniformInt(3));
+  style.nav = static_cast<NavMarkup>(rng->UniformInt(3));
+  style.layout = rng->Bernoulli(0.4) ? PageLayout::kTableGrid
+                                     : PageLayout::kLinear;
+  style.results = static_cast<ResultsMarkup>(rng->UniformInt(4));
+  style.has_sidebar = rng->Bernoulli(0.5);
+  style.has_ad_block = rng->Bernoulli(0.7);
+  style.ad_presence = 0.6 + 0.4 * rng->UniformDouble();
+  style.ad_before_results = rng->Bernoulli(0.5);
+  style.use_font_tags = rng->Bernoulli(0.3);
+  style.wrapper_depth = static_cast<int>(rng->UniformInt(4));
+  style.nav_link_count = static_cast<int>(rng->UniformRange(4, 9));
+  style.results_show_image = rng->Bernoulli(0.6);
+  style.results_show_rating = rng->Bernoulli(0.6);
+  style.results_show_snippet = rng->Bernoulli(0.7);
+  style.single_uses_table = rng->Bernoulli(0.5);
+  style.sloppy_markup = rng->Bernoulli(0.35);
+  style.max_results_per_page = static_cast<int>(rng->UniformRange(8, 14));
+  static const std::vector<std::string>& kNavPool =
+      *new std::vector<std::string>{
+          "home",   "browse",  "search",  "categories", "bestsellers",
+          "new",    "account", "cart",    "wishlist",   "support",
+          "stores", "community"};
+  std::vector<std::string> pool = kNavPool;
+  rng->Shuffle(&pool);
+  style.nav_labels.assign(
+      pool.begin(), pool.begin() + style.nav_link_count);
+  style.tagline = "Your trusted source for ";
+  style.tagline.append(DomainName(domain));
+  style.tagline.append(" since 199");
+  style.tagline.push_back(
+      static_cast<char>('0' + rng->UniformInt(10)));
+  int paragraphs = static_cast<int>(rng->UniformRange(2, 4));
+  for (int p = 0; p < paragraphs; ++p) {
+    int words = static_cast<int>(rng->UniformRange(25, 45));
+    std::string paragraph;
+    for (int w = 0; w < words; ++w) {
+      if (!paragraph.empty()) paragraph.push_back(' ');
+      paragraph.append(text::RandomWord(rng));
+    }
+    paragraph.push_back('.');
+    style.boilerplate_paragraphs.push_back(std::move(paragraph));
+  }
+  return style;
+}
+
+std::string DropOptionalEndTags(std::string html) {
+  static constexpr const char* kOptional[] = {"</li>", "</td>", "</tr>",
+                                              "</p>",  "</dd>", "</dt>"};
+  std::string out;
+  out.reserve(html.size());
+  size_t i = 0;
+  while (i < html.size()) {
+    bool skipped = false;
+    if (html[i] == '<' && i + 1 < html.size() && html[i + 1] == '/') {
+      for (const char* tag : kOptional) {
+        size_t len = std::char_traits<char>::length(tag);
+        if (html.compare(i, len, tag) == 0) {
+          i += len;
+          skipped = true;
+          break;
+        }
+      }
+    }
+    if (!skipped) out.push_back(html[i++]);
+  }
+  return out;
+}
+
+std::string RenderMultiMatchPage(const SiteStyle& style, Domain domain,
+                                 std::string_view query,
+                                 const std::vector<const Record*>& records,
+                                 Rng* ad_rng) {
+  std::string main;
+  main.reserve(8192);
+  OpenWrappers(style, &main);
+  if (style.ad_before_results) AppendAdBlock(style, ad_rng, &main);
+  AppendResultsRegion(style, domain, query, records, &main);
+  if (!style.ad_before_results) AppendAdBlock(style, ad_rng, &main);
+  CloseWrappers(style, &main);
+  std::string out;
+  out.reserve(main.size() + 4096);
+  AppendHead(style, "search results", &out);
+  AssembleBody(style, main, &out);
+  AppendFooter(style, &out);
+  return out;
+}
+
+std::string RenderSingleMatchPage(const SiteStyle& style, Domain domain,
+                                  std::string_view query,
+                                  const Record& record, Rng* ad_rng) {
+  std::string out;
+  out.reserve(8192);
+  OpenWrappers(style, &out);
+  if (style.ad_before_results) AppendAdBlock(style, ad_rng, &out);
+
+  std::string marker = " ";
+  marker.append(kQaMarkerAttr);
+  marker.append("=\"");
+  marker.append(kQaPageletValue);
+  marker.append("\"");
+  out.append("<h2>Details for ");
+  out.append(query);
+  out.append("</h2>");
+  struct Field {
+    const char* label;
+    std::string value;
+  };
+  std::vector<Field> fields = {
+      {"Title", record.title},
+      {CreatorLabel(domain), record.creator},
+      {"Category", record.category},
+      {"Price", FormatPrice(record.price)},
+      {"Year", std::to_string(record.year)},
+      {"Rating", FormatRating(record.rating)},
+      {"Description", record.description},
+  };
+  if (style.single_uses_table) {
+    out.append("<table class=\"detail-");
+    out.append(style.css_token);
+    out.append("\"");
+    out.append(marker);
+    out.append(">");
+    for (const Field& f : fields) {
+      out.append("<tr><th>");
+      out.append(f.label);
+      out.append("</th><td>");
+      out.append(f.value);
+      out.append("</td></tr>");
+    }
+    out.append("</table>");
+  } else {
+    out.append("<dl class=\"detail-");
+    out.append(style.css_token);
+    out.append("\"");
+    out.append(marker);
+    out.append(">");
+    for (const Field& f : fields) {
+      out.append("<dt>");
+      out.append(f.label);
+      out.append("</dt><dd>");
+      out.append(f.value);
+      out.append("</dd>");
+    }
+    out.append("</dl>");
+  }
+  if (!style.ad_before_results) AppendAdBlock(style, ad_rng, &out);
+  CloseWrappers(style, &out);
+  std::string page;
+  page.reserve(out.size() + 4096);
+  AppendHead(style, record.title, &page);
+  AssembleBody(style, out, &page);
+  AppendFooter(style, &page);
+  return page;
+}
+
+std::string RenderNoMatchPage(const SiteStyle& style, Domain domain,
+                              std::string_view query,
+                              const std::vector<const Record*>& popular,
+                              Rng* ad_rng) {
+  std::string out;
+  out.reserve(4096);
+  OpenWrappers(style, &out);
+  if (style.ad_before_results) AppendAdBlock(style, ad_rng, &out);
+  out.append("<h2>No matches</h2><p>Your search for <b>");
+  out.append(query);
+  out.append(
+      "</b> did not match any items in our catalog.</p>"
+      "<p>Suggestions: check the spelling, try a more general keyword, or "
+      "browse the departments.</p>");
+  if (!popular.empty()) {
+    out.append("<h3>Popular right now</h3><ul class=\"pop-");
+    out.append(style.css_token);
+    out.append("\">");
+    for (const Record* r : popular) {
+      out.append("<li><a href=\"/item\">");
+      out.append(r->title);
+      out.append("</a> ");
+      out.append(CreatorLabel(domain));
+      out.append(": ");
+      out.append(r->creator);
+      out.append(" ");
+      out.append(FormatPrice(r->price));
+      out.append("</li>");
+    }
+    out.append("</ul>");
+  }
+  if (!style.ad_before_results) AppendAdBlock(style, ad_rng, &out);
+  CloseWrappers(style, &out);
+  std::string page;
+  page.reserve(out.size() + 4096);
+  AppendHead(style, "no matches", &page);
+  AssembleBody(style, out, &page);
+  AppendFooter(style, &page);
+  return page;
+}
+
+std::string RenderErrorPage(const SiteStyle& style, std::string_view query) {
+  std::string out;
+  out.reserve(2048);
+  AppendHead(style, "error", &out);
+  out.append("<h1>Server Error</h1><p>The request for <code>");
+  out.append(query);
+  out.append(
+      "</code> could not be completed.</p><pre>SearchException: backend "
+      "timeout\n  at QueryDispatcher.run(dispatch:112)\n  at "
+      "HttpWorker.serve(worker:45)</pre><p><a href=\"/\">Return to the home "
+      "page</a></p>");
+  AppendFooter(style, &out);
+  return out;
+}
+
+}  // namespace thor::deepweb

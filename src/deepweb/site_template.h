@@ -1,0 +1,119 @@
+#ifndef THOR_DEEPWEB_SITE_TEMPLATE_H_
+#define THOR_DEEPWEB_SITE_TEMPLATE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/deepweb/record_catalog.h"
+#include "src/util/rng.h"
+
+namespace thor::deepweb {
+
+/// Markup dialect a site uses for its query-answer region. Sites differ in
+/// which HTML constructs carry their results, exactly the template
+/// diversity THOR must be robust to.
+enum class ResultsMarkup { kTableRows, kListItems, kDivBlocks, kDlPairs };
+
+/// Markup dialect of the masthead.
+enum class HeaderMarkup { kTableBanner, kDivBanner, kCenterBanner };
+
+/// Markup dialect of the navigation bar.
+enum class NavMarkup { kListNav, kTableNav, kInlineLinks };
+
+/// Overall page scaffold. kTableGrid is the 2003-era idiom: the whole
+/// page body lives inside a layout <table> with a sidebar cell and a main
+/// cell, burying the QA region several table levels deep.
+enum class PageLayout { kLinear, kTableGrid };
+
+/// \brief Per-site presentation genome.
+///
+/// Sampled once per simulated site; every page of the site is rendered from
+/// this style, so pages of one site share templates (the paper's
+/// "structural relevance") while sites differ from each other.
+struct SiteStyle {
+  std::string site_name;
+  /// Per-site salt baked into class names and boilerplate so content-based
+  /// clustering sees site-specific static text.
+  std::string css_token;
+  HeaderMarkup header = HeaderMarkup::kTableBanner;
+  NavMarkup nav = NavMarkup::kListNav;
+  PageLayout layout = PageLayout::kLinear;
+  ResultsMarkup results = ResultsMarkup::kTableRows;
+  bool has_sidebar = false;
+  bool has_ad_block = true;
+  /// Probability that a given response actually carries the ad block;
+  /// real ad servers skip impressions, so the region comes and goes
+  /// between pages of the same class (shifting sibling positions).
+  double ad_presence = 1.0;
+  /// Ad block rendered above (true) or below (false) the results region.
+  bool ad_before_results = true;
+  /// Legacy <font>/<center> styling quirks.
+  bool use_font_tags = false;
+  /// Extra nested <div> wrappers around the main region (0..3).
+  int wrapper_depth = 0;
+  int nav_link_count = 6;
+  bool results_show_image = true;
+  bool results_show_rating = true;
+  /// Show a description snippet per listed result.
+  bool results_show_snippet = true;
+  /// Detail page uses a field table (true) or dl pairs (false).
+  bool single_uses_table = true;
+  /// Emit 1990s-style sloppy markup: optional end tags (</li>, </td>,
+  /// </tr>, </p>, </dd>, </dt>) are omitted. The parser's implied-end-tag
+  /// recovery must reconstruct the same tree.
+  bool sloppy_markup = false;
+  /// Maximum records listed on a multi-match page.
+  int max_results_per_page = 10;
+  std::vector<std::string> nav_labels;
+  /// Static boilerplate sentence unique to the site.
+  std::string tagline;
+  /// Site-specific static prose (about-us / policies / shipping blurbs)
+  /// rendered on every page. Real pages carry a heavy static text mass
+  /// that dominates raw content signatures; ~60-140 words per site.
+  std::vector<std::string> boilerplate_paragraphs;
+
+  /// Samples a style for a site of `domain`, deterministic in `*rng`.
+  static SiteStyle Sample(Domain domain, std::string site_name, Rng* rng);
+};
+
+/// Ground-truth marker attribute names emitted by the renderers. The THOR
+/// algorithms never read attributes; only the evaluation harness does.
+inline constexpr std::string_view kQaMarkerAttr = "data-qa";
+inline constexpr std::string_view kQaPageletValue = "pagelet";
+inline constexpr std::string_view kQaObjectValue = "object";
+
+/// Renders a multi-match answer page listing `records` (already capped by
+/// the caller). `ad_rng` drives the rotating advertisement content, the
+/// paper's known confounder. The QA region root carries
+/// data-qa="pagelet" and each item data-qa="object".
+std::string RenderMultiMatchPage(const SiteStyle& style, Domain domain,
+                                 std::string_view query,
+                                 const std::vector<const Record*>& records,
+                                 Rng* ad_rng);
+
+/// Renders a single-match detail page for `record`.
+std::string RenderSingleMatchPage(const SiteStyle& style, Domain domain,
+                                  std::string_view query,
+                                  const Record& record, Rng* ad_rng);
+
+/// Renders a "no matches" page (no QA-Pagelet marker). `popular` lists the
+/// site's rotating "popular items" suggestions — catalog content shown on
+/// miss pages, as real storefronts do; it is dynamic but not an answer.
+std::string RenderNoMatchPage(const SiteStyle& style, Domain domain,
+                              std::string_view query,
+                              const std::vector<const Record*>& popular,
+                              Rng* ad_rng);
+
+/// Renders a server-error page (no QA-Pagelet marker).
+std::string RenderErrorPage(const SiteStyle& style, std::string_view query);
+
+/// Strips the optional end tags real 1990s markup omitted (</li>, </td>,
+/// </tr>, </p>, </dd>, </dt>). Applied to every page of a
+/// `sloppy_markup` site; the parser's implied-end-tag recovery rebuilds
+/// an equivalent tree.
+std::string DropOptionalEndTags(std::string html);
+
+}  // namespace thor::deepweb
+
+#endif  // THOR_DEEPWEB_SITE_TEMPLATE_H_

@@ -1,0 +1,150 @@
+#include "src/deepweb/synthetic_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "src/core/signature_builder.h"
+#include "src/ir/vocabulary.h"
+
+namespace thor::deepweb {
+
+namespace {
+
+// Per-dimension count accumulation over a class's pages.
+struct DimAccumulator {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  int present = 0;
+};
+
+}  // namespace
+
+SyntheticCorpusModel SyntheticCorpusModel::Fit(const SiteSample& sample) {
+  SyntheticCorpusModel model;
+  if (sample.pages.empty()) return model;
+
+  // Shared vocabulary across the whole site so term dimensions align.
+  ir::Vocabulary vocab;
+  struct PageSig {
+    int label;
+    ir::SparseVector tags;
+    ir::SparseVector terms;
+    int size;
+  };
+  std::vector<PageSig> sigs;
+  sigs.reserve(sample.pages.size());
+  for (const LabeledPage& page : sample.pages) {
+    PageSig sig;
+    sig.label = static_cast<int>(page.true_class);
+    sig.tags = core::TagCountVector(page.tree);
+    sig.terms = core::TermCountVector(page.tree, &vocab);
+    sig.size = page.size_bytes;
+    sigs.push_back(std::move(sig));
+  }
+
+  std::map<int, std::vector<const PageSig*>> by_class;
+  for (const PageSig& sig : sigs) by_class[sig.label].push_back(&sig);
+
+  for (const auto& [label, pages] : by_class) {
+    ClassModel cm;
+    cm.label = label;
+    cm.proportion =
+        static_cast<double>(pages.size()) / static_cast<double>(sigs.size());
+    auto fit_dims = [&](auto get_vector) {
+      std::unordered_map<int32_t, DimAccumulator> acc;
+      for (const PageSig* p : pages) {
+        for (const ir::VectorEntry& e : get_vector(*p).entries()) {
+          DimAccumulator& a = acc[e.id];
+          a.sum += e.weight;
+          a.sum_sq += e.weight * e.weight;
+          ++a.present;
+        }
+      }
+      std::vector<DimStat> stats;
+      stats.reserve(acc.size());
+      double n = static_cast<double>(pages.size());
+      for (const auto& [id, a] : acc) {
+        DimStat s;
+        s.id = id;
+        // Mean/variance over all pages of the class (absent = 0 count).
+        s.mean = a.sum / n;
+        double var = std::max(0.0, a.sum_sq / n - s.mean * s.mean);
+        s.stddev = std::sqrt(var);
+        s.presence = a.present / n;
+        stats.push_back(s);
+      }
+      std::sort(stats.begin(), stats.end(),
+                [](const DimStat& x, const DimStat& y) { return x.id < y.id; });
+      return stats;
+    };
+    cm.tag_stats = fit_dims([](const PageSig& p) -> const ir::SparseVector& {
+      return p.tags;
+    });
+    cm.term_stats = fit_dims([](const PageSig& p) -> const ir::SparseVector& {
+      return p.terms;
+    });
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (const PageSig* p : pages) {
+      sum += p->size;
+      sum_sq += static_cast<double>(p->size) * p->size;
+    }
+    cm.size_mean = sum / pages.size();
+    cm.size_stddev = std::sqrt(
+        std::max(0.0, sum_sq / pages.size() - cm.size_mean * cm.size_mean));
+    model.classes_.push_back(std::move(cm));
+  }
+  return model;
+}
+
+ir::SparseVector SyntheticCorpusModel::SampleVector(
+    const std::vector<DimStat>& stats, Rng* rng) {
+  std::vector<ir::VectorEntry> entries;
+  entries.reserve(stats.size());
+  for (const DimStat& s : stats) {
+    if (!rng->Bernoulli(s.presence)) continue;
+    // Condition on presence: rescale so expected count is preserved.
+    double conditional_mean = s.presence > 0.0 ? s.mean / s.presence : 0.0;
+    double draw = rng->Normal(conditional_mean, s.stddev);
+    int count = static_cast<int>(std::lround(draw));
+    if (count < 1) count = 1;
+    entries.push_back({s.id, static_cast<double>(count)});
+  }
+  return ir::SparseVector::FromPairs(std::move(entries));
+}
+
+std::vector<SyntheticPage> SyntheticCorpusModel::Generate(int num_pages,
+                                                          Rng* rng) const {
+  std::vector<SyntheticPage> pages;
+  if (classes_.empty() || num_pages <= 0) return pages;
+  pages.reserve(static_cast<size_t>(num_pages));
+  for (int i = 0; i < num_pages; ++i) {
+    // Pick a class by fitted proportion.
+    double u = rng->UniformDouble();
+    const ClassModel* chosen = &classes_.back();
+    double cumulative = 0.0;
+    for (const ClassModel& cm : classes_) {
+      cumulative += cm.proportion;
+      if (u < cumulative) {
+        chosen = &cm;
+        break;
+      }
+    }
+    SyntheticPage page;
+    page.class_label = chosen->label;
+    page.tag_counts = SampleVector(chosen->tag_stats, rng);
+    page.term_counts = SampleVector(chosen->term_stats, rng);
+    page.size_bytes = std::max(
+        64, static_cast<int>(
+                std::lround(rng->Normal(chosen->size_mean,
+                                        chosen->size_stddev))));
+    page.url = "http://synthetic.example/search.dll?query=word";
+    page.url.append(std::to_string(i));
+    pages.push_back(std::move(page));
+  }
+  return pages;
+}
+
+}  // namespace thor::deepweb

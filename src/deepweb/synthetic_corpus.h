@@ -1,0 +1,67 @@
+#ifndef THOR_DEEPWEB_SYNTHETIC_CORPUS_H_
+#define THOR_DEEPWEB_SYNTHETIC_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/deepweb/corpus.h"
+#include "src/ir/sparse_vector.h"
+#include "src/util/rng.h"
+
+namespace thor::deepweb {
+
+/// A synthetic page in signature space: exactly what the paper's scaled
+/// 55K/550K/5.5M-page datasets were — per-class random tag and content
+/// signatures, not rendered HTML.
+struct SyntheticPage {
+  int class_label = 0;
+  ir::SparseVector tag_counts;
+  ir::SparseVector term_counts;
+  int size_bytes = 0;
+  std::string url;
+};
+
+/// \brief Per-class signature distribution fitted from a probed site
+/// sample; generates arbitrarily many synthetic pages with the same class
+/// mix and per-dimension count statistics (paper Section 4, synthetic
+/// data sets).
+class SyntheticCorpusModel {
+ public:
+  /// Fits per-class per-dimension (mean, stddev) models of the tag-count
+  /// and term-count distributions, plus byte-size stats and the class
+  /// proportions, from a labeled sample.
+  static SyntheticCorpusModel Fit(const SiteSample& sample);
+
+  /// Draws `num_pages` synthetic pages. Class proportions follow the
+  /// fitted sample; per-page counts are truncated-normal draws around the
+  /// class statistics.
+  std::vector<SyntheticPage> Generate(int num_pages, Rng* rng) const;
+
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+
+ private:
+  struct DimStat {
+    int32_t id = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    /// Fraction of the class's pages containing this dimension at all.
+    double presence = 1.0;
+  };
+  struct ClassModel {
+    int label = 0;
+    double proportion = 0.0;
+    std::vector<DimStat> tag_stats;
+    std::vector<DimStat> term_stats;
+    double size_mean = 0.0;
+    double size_stddev = 0.0;
+  };
+
+  static ir::SparseVector SampleVector(const std::vector<DimStat>& stats,
+                                       Rng* rng);
+
+  std::vector<ClassModel> classes_;
+};
+
+}  // namespace thor::deepweb
+
+#endif  // THOR_DEEPWEB_SYNTHETIC_CORPUS_H_

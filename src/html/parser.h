@@ -1,0 +1,32 @@
+#ifndef THOR_HTML_PARSER_H_
+#define THOR_HTML_PARSER_H_
+
+#include <string_view>
+
+#include "src/html/tag_tree.h"
+
+namespace thor::html {
+
+/// Knobs for the tree builder.
+struct ParseOptions {
+  /// Keep the raw text of <script>/<style> as content nodes. Off by
+  /// default: the paper's content signatures measure visible terms, and
+  /// scripts/styles would pollute them.
+  bool keep_script_text = false;
+  /// Hard cap on tree size to bound adversarial inputs; further markup is
+  /// dropped (0 = unlimited).
+  int max_nodes = 0;
+};
+
+/// \brief Error-tolerant HTML tree builder.
+///
+/// Produces the paper's tag-tree model: a rooted tree of tag nodes and
+/// content-node leaves. Recovery rules (implied end tags, void elements,
+/// head/body synthesis, mismatched end-tag skipping) mirror what the paper
+/// obtained by piping pages through HTML Tidy. Parsing never fails; any
+/// byte sequence yields a tree.
+TagTree ParseHtml(std::string_view input, const ParseOptions& options = {});
+
+}  // namespace thor::html
+
+#endif  // THOR_HTML_PARSER_H_

@@ -1,0 +1,190 @@
+#include "src/html/tag_table.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace thor::html {
+
+namespace {
+
+struct Registry {
+  std::vector<std::string> names;
+  std::unordered_map<std::string, TagId> ids;
+
+  TagId Intern(std::string_view raw) {
+    std::string lower = AsciiLower(raw);
+    auto it = ids.find(lower);
+    if (it != ids.end()) return it->second;
+    TagId id = static_cast<TagId>(names.size());
+    names.push_back(lower);
+    ids.emplace(std::move(lower), id);
+    return id;
+  }
+};
+
+Registry& GetRegistry() {
+  static Registry& registry = *new Registry();
+  return registry;
+}
+
+TagId Reg(const char* name) { return GetRegistry().Intern(name); }
+
+}  // namespace
+
+// Registration order fixes the well-known ids; do not reorder.
+const TagId Tag::kHtml = Reg("html");
+const TagId Tag::kHead = Reg("head");
+const TagId Tag::kBody = Reg("body");
+const TagId Tag::kTitle = Reg("title");
+const TagId Tag::kMeta = Reg("meta");
+const TagId Tag::kLink = Reg("link");
+const TagId Tag::kScript = Reg("script");
+const TagId Tag::kStyle = Reg("style");
+const TagId Tag::kBase = Reg("base");
+const TagId Tag::kP = Reg("p");
+const TagId Tag::kDiv = Reg("div");
+const TagId Tag::kSpan = Reg("span");
+const TagId Tag::kTable = Reg("table");
+const TagId Tag::kTr = Reg("tr");
+const TagId Tag::kTd = Reg("td");
+const TagId Tag::kTh = Reg("th");
+const TagId Tag::kThead = Reg("thead");
+const TagId Tag::kTbody = Reg("tbody");
+const TagId Tag::kTfoot = Reg("tfoot");
+const TagId Tag::kUl = Reg("ul");
+const TagId Tag::kOl = Reg("ol");
+const TagId Tag::kLi = Reg("li");
+const TagId Tag::kDl = Reg("dl");
+const TagId Tag::kDt = Reg("dt");
+const TagId Tag::kDd = Reg("dd");
+const TagId Tag::kA = Reg("a");
+const TagId Tag::kImg = Reg("img");
+const TagId Tag::kBr = Reg("br");
+const TagId Tag::kHr = Reg("hr");
+const TagId Tag::kInput = Reg("input");
+const TagId Tag::kForm = Reg("form");
+const TagId Tag::kSelect = Reg("select");
+const TagId Tag::kOption = Reg("option");
+const TagId Tag::kTextarea = Reg("textarea");
+const TagId Tag::kB = Reg("b");
+const TagId Tag::kI = Reg("i");
+const TagId Tag::kU = Reg("u");
+const TagId Tag::kEm = Reg("em");
+const TagId Tag::kStrong = Reg("strong");
+const TagId Tag::kFont = Reg("font");
+const TagId Tag::kSmall = Reg("small");
+const TagId Tag::kBig = Reg("big");
+const TagId Tag::kH1 = Reg("h1");
+const TagId Tag::kH2 = Reg("h2");
+const TagId Tag::kH3 = Reg("h3");
+const TagId Tag::kH4 = Reg("h4");
+const TagId Tag::kH5 = Reg("h5");
+const TagId Tag::kH6 = Reg("h6");
+const TagId Tag::kCenter = Reg("center");
+const TagId Tag::kBlockquote = Reg("blockquote");
+const TagId Tag::kPre = Reg("pre");
+const TagId Tag::kCode = Reg("code");
+const TagId Tag::kNobr = Reg("nobr");
+const TagId Tag::kLabel = Reg("label");
+const TagId Tag::kButton = Reg("button");
+const TagId Tag::kCaption = Reg("caption");
+const TagId Tag::kCol = Reg("col");
+const TagId Tag::kColgroup = Reg("colgroup");
+const TagId Tag::kFrame = Reg("frame");
+const TagId Tag::kFrameset = Reg("frameset");
+const TagId Tag::kIframe = Reg("iframe");
+const TagId Tag::kMap = Reg("map");
+const TagId Tag::kArea = Reg("area");
+const TagId Tag::kParam = Reg("param");
+const TagId Tag::kObject = Reg("object");
+const TagId Tag::kEmbed = Reg("embed");
+const TagId Tag::kNoscript = Reg("noscript");
+
+TagId InternTag(std::string_view name) { return GetRegistry().Intern(name); }
+
+TagId FindTag(std::string_view name) {
+  const Registry& registry = GetRegistry();
+  auto it = registry.ids.find(AsciiLower(name));
+  return it == registry.ids.end() ? -1 : it->second;
+}
+
+const std::string& TagName(TagId id) {
+  const Registry& registry = GetRegistry();
+  assert(id >= 0 && static_cast<size_t>(id) < registry.names.size());
+  return registry.names[static_cast<size_t>(id)];
+}
+
+int TagCount() { return static_cast<int>(GetRegistry().names.size()); }
+
+char TagPathSymbol(TagId id) {
+  // Bijective for ids < 62, nearly-unique beyond; the distance metric only
+  // needs symbols to rarely collide.
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  return kAlphabet[static_cast<size_t>(id) % (sizeof(kAlphabet) - 1)];
+}
+
+bool IsVoidTag(TagId id) {
+  return id == Tag::kBr || id == Tag::kImg || id == Tag::kHr ||
+         id == Tag::kInput || id == Tag::kMeta || id == Tag::kLink ||
+         id == Tag::kBase || id == Tag::kCol || id == Tag::kArea ||
+         id == Tag::kParam || id == Tag::kEmbed || id == Tag::kFrame;
+}
+
+bool IsRawTextTag(TagId id) {
+  return id == Tag::kScript || id == Tag::kStyle || id == Tag::kTextarea ||
+         id == Tag::kTitle;
+}
+
+bool ClosesOnOpen(TagId open_tag, TagId incoming) {
+  // <p> is closed by any block-level start tag.
+  if (open_tag == Tag::kP) {
+    return incoming == Tag::kP || incoming == Tag::kDiv ||
+           incoming == Tag::kTable || incoming == Tag::kUl ||
+           incoming == Tag::kOl || incoming == Tag::kLi ||
+           incoming == Tag::kBlockquote || incoming == Tag::kPre ||
+           incoming == Tag::kHr || incoming == Tag::kH1 ||
+           incoming == Tag::kH2 || incoming == Tag::kH3 ||
+           incoming == Tag::kH4 || incoming == Tag::kH5 ||
+           incoming == Tag::kH6 || incoming == Tag::kForm ||
+           incoming == Tag::kDl;
+  }
+  if (open_tag == Tag::kLi) return incoming == Tag::kLi;
+  if (open_tag == Tag::kDt || open_tag == Tag::kDd) {
+    return incoming == Tag::kDt || incoming == Tag::kDd;
+  }
+  if (open_tag == Tag::kOption) return incoming == Tag::kOption;
+  if (open_tag == Tag::kTr) {
+    return incoming == Tag::kTr || incoming == Tag::kThead ||
+           incoming == Tag::kTbody || incoming == Tag::kTfoot;
+  }
+  if (open_tag == Tag::kTd || open_tag == Tag::kTh) {
+    return incoming == Tag::kTd || incoming == Tag::kTh ||
+           incoming == Tag::kTr || incoming == Tag::kThead ||
+           incoming == Tag::kTbody || incoming == Tag::kTfoot;
+  }
+  if (open_tag == Tag::kThead || open_tag == Tag::kTbody ||
+      open_tag == Tag::kTfoot) {
+    return incoming == Tag::kThead || incoming == Tag::kTbody ||
+           incoming == Tag::kTfoot;
+  }
+  if (open_tag == Tag::kHead) return incoming == Tag::kBody;
+  return false;
+}
+
+bool IsScopeBoundary(TagId id) {
+  return id == Tag::kTable || id == Tag::kHtml || id == Tag::kBody ||
+         id == Tag::kHead;
+}
+
+bool IsInlineTag(TagId id) {
+  return id == Tag::kA || id == Tag::kB || id == Tag::kI || id == Tag::kU ||
+         id == Tag::kEm || id == Tag::kStrong || id == Tag::kFont ||
+         id == Tag::kSpan || id == Tag::kSmall || id == Tag::kBig ||
+         id == Tag::kCode || id == Tag::kNobr || id == Tag::kLabel;
+}
+
+}  // namespace thor::html

@@ -1,0 +1,71 @@
+#ifndef THOR_HTML_TAG_TABLE_H_
+#define THOR_HTML_TAG_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace thor::html {
+
+/// Interned identifier for a (lowercased) tag name. Identifiers are stable
+/// for the lifetime of the process, so tag-tree signatures from different
+/// pages share a vocabulary. Well-known tags get small fixed ids (see
+/// `Tag::k*`), unknown tags are interned on first use.
+using TagId = int32_t;
+
+/// Well-known tag ids, fixed at registration order in tag_table.cc.
+/// Only tags the library itself consults are named here; any other tag is
+/// still interned and usable.
+struct Tag {
+  static const TagId kHtml, kHead, kBody, kTitle, kMeta, kLink, kScript,
+      kStyle, kBase, kP, kDiv, kSpan, kTable, kTr, kTd, kTh, kThead, kTbody,
+      kTfoot, kUl, kOl, kLi, kDl, kDt, kDd, kA, kImg, kBr, kHr, kInput,
+      kForm, kSelect, kOption, kTextarea, kB, kI, kU, kEm, kStrong, kFont,
+      kSmall, kBig, kH1, kH2, kH3, kH4, kH5, kH6, kCenter, kBlockquote,
+      kPre, kCode, kNobr, kLabel, kButton, kCaption, kCol, kColgroup,
+      kFrame, kFrameset, kIframe, kMap, kArea, kParam, kObject, kEmbed,
+      kNoscript;
+};
+
+/// Interns `name` (case-insensitive; stored lowercased) and returns its id.
+TagId InternTag(std::string_view name);
+
+/// Returns the interned id if `name` is already known, or -1.
+TagId FindTag(std::string_view name);
+
+/// Returns the canonical lowercase name for an id. `id` must be valid.
+const std::string& TagName(TagId id);
+
+/// Number of distinct tag names interned so far.
+int TagCount();
+
+/// Single fixed-length letter used to spell this tag inside a path string
+/// for edit-distance comparison (the paper's "simplify each tag name to a
+/// unique identifier of fixed length q" with q == 1 for the first 90 or so
+/// tags; rarely-seen tags may share a letter, which only makes the distance
+/// slightly pessimistic).
+char TagPathSymbol(TagId id);
+
+/// True for void elements (no content, no end tag): br, img, hr, input, ...
+bool IsVoidTag(TagId id);
+
+/// True for elements whose content is raw text (no markup): script, style,
+/// textarea, title.
+bool IsRawTextTag(TagId id);
+
+/// True if an open element `open_tag` is implicitly closed when a start tag
+/// `incoming` appears (e.g. <li> closes an open <li>; <tr> closes an open
+/// <td>). This is the error-recovery core of the tidy-style parser.
+bool ClosesOnOpen(TagId open_tag, TagId incoming);
+
+/// True for tags that the parser must not implicitly close when recovering
+/// from a mismatched end tag (table cells close at table boundaries, etc.).
+bool IsScopeBoundary(TagId id);
+
+/// True for inline formatting elements (b, i, font, span, ...). Used by the
+/// tidy normalizer and by site synthesis.
+bool IsInlineTag(TagId id);
+
+}  // namespace thor::html
+
+#endif  // THOR_HTML_TAG_TABLE_H_

@@ -1,0 +1,91 @@
+#include "src/html/tidy.h"
+
+namespace thor::html {
+
+namespace {
+
+class TidyPass {
+ public:
+  TidyPass(const TagTree& in, const TidyOptions& options)
+      : in_(in), options_(options) {}
+
+  TagTree Run() {
+    TagTree out;
+    // Copy root attributes.
+    out.mutable_node(out.root()).attributes =
+        in_.node(in_.root()).attributes;
+    CopyChildren(in_.root(), out.root(), &out);
+    out.FinalizeDerived();
+    return out;
+  }
+
+ private:
+  // True if `id` (after recursion) should be dropped entirely.
+  bool ShouldDropEmptyInline(const TagTree& out, NodeId copied) const {
+    if (!options_.drop_empty_inline) return false;
+    const Node& n = out.node(copied);
+    return n.kind == NodeKind::kTag && IsInlineTag(n.tag) &&
+           n.children.empty();
+  }
+
+  void CopyChildren(NodeId src, NodeId dst, TagTree* out) {
+    std::string pending_text;
+    auto flush_text = [&] {
+      if (!pending_text.empty()) {
+        out->AddContent(dst, pending_text);
+        pending_text.clear();
+      }
+    };
+    for (NodeId child : in_.node(src).children) {
+      const Node& c = in_.node(child);
+      if (c.kind == NodeKind::kContent) {
+        if (options_.merge_adjacent_text) {
+          if (!pending_text.empty()) pending_text.push_back(' ');
+          pending_text.append(c.text);
+        } else {
+          out->AddContent(dst, c.text);
+        }
+        continue;
+      }
+      flush_text();
+      NodeId grand_src = child;
+      // Unwrap <b><b>..</b></b> chains.
+      if (options_.unwrap_duplicate_inline) {
+        while (true) {
+          const Node& g = in_.node(grand_src);
+          if (g.kind == NodeKind::kTag && IsInlineTag(g.tag) &&
+              g.children.size() == 1) {
+            const Node& only = in_.node(g.children[0]);
+            if (only.kind == NodeKind::kTag && only.tag == g.tag) {
+              grand_src = g.children[0];
+              continue;
+            }
+          }
+          break;
+        }
+      }
+      const Node& cc = in_.node(grand_src);
+      NodeId copied = out->AddTag(dst, cc.tag, cc.attributes);
+      CopyChildren(grand_src, copied, out);
+      if (ShouldDropEmptyInline(*out, copied)) {
+        // The node has no descendants: detach it from the parent's child
+        // list and orphan the arena slot (FinalizeDerived skips orphans).
+        out->mutable_node(dst).children.pop_back();
+        out->mutable_node(copied).parent = kInvalidNode;
+      }
+    }
+    flush_text();
+  }
+
+  const TagTree& in_;
+  const TidyOptions& options_;
+};
+
+}  // namespace
+
+TagTree Tidy(const TagTree& tree, const TidyOptions& options) {
+  TidyPass pass(tree, options);
+  return pass.Run();
+}
+
+}  // namespace thor::html

@@ -1,0 +1,27 @@
+#ifndef THOR_HTML_TIDY_H_
+#define THOR_HTML_TIDY_H_
+
+#include "src/html/tag_tree.h"
+
+namespace thor::html {
+
+/// Normalization knobs, mirroring the HTML Tidy cleanups the paper relied
+/// on before analysis.
+struct TidyOptions {
+  /// Merge adjacent content-node siblings into one node.
+  bool merge_adjacent_text = true;
+  /// Drop inline formatting elements that ended up with no children
+  /// (e.g. "<b></b>").
+  bool drop_empty_inline = true;
+  /// Unwrap inline elements whose only child is another identical inline
+  /// element ("<b><b>x</b></b>" -> "<b>x</b>").
+  bool unwrap_duplicate_inline = true;
+};
+
+/// Returns a normalized copy of `tree`. Derived fields of the result are
+/// finalized; the input is not modified.
+TagTree Tidy(const TagTree& tree, const TidyOptions& options = {});
+
+}  // namespace thor::html
+
+#endif  // THOR_HTML_TIDY_H_

@@ -1,0 +1,245 @@
+#include "src/html/tokenizer.h"
+
+#include "src/html/entities.h"
+#include "src/html/tag_table.h"
+#include "src/util/strings.h"
+
+namespace thor::html {
+
+namespace {
+
+bool IsTagNameStart(char c) { return IsAsciiAlpha(c); }
+bool IsTagNameChar(char c) {
+  return IsAsciiAlnum(c) || c == '-' || c == '_' || c == ':';
+}
+
+}  // namespace
+
+bool Tokenizer::Next(Token* token) {
+  *token = Token{};
+  if (has_pending_raw_text_) {
+    has_pending_raw_text_ = false;
+    if (!pending_raw_text_.empty()) {
+      token->kind = TokenKind::kText;
+      token->text = std::move(pending_raw_text_);
+      pending_raw_text_.clear();
+      return true;
+    }
+  }
+  if (pos_ >= input_.size()) {
+    token->kind = TokenKind::kEndOfInput;
+    return false;
+  }
+  token->offset = pos_;
+  if (input_[pos_] == '<') {
+    size_t saved = pos_;
+    if (LexMarkup(token)) return true;
+    pos_ = saved;  // literal '<': fall through to text
+  }
+  // Accumulate text until the next plausible markup start.
+  size_t start = pos_;
+  ++pos_;  // consume at least one byte (possibly a literal '<')
+  while (pos_ < input_.size()) {
+    if (input_[pos_] == '<' && pos_ + 1 < input_.size()) {
+      char next = input_[pos_ + 1];
+      if (IsTagNameStart(next) || next == '/' || next == '!' || next == '?') {
+        break;
+      }
+    }
+    ++pos_;
+  }
+  token->kind = TokenKind::kText;
+  token->text = DecodeEntities(input_.substr(start, pos_ - start));
+  return true;
+}
+
+bool Tokenizer::LexMarkup(Token* token) {
+  // pos_ points at '<'.
+  if (pos_ + 1 >= input_.size()) return false;
+  char c = input_[pos_ + 1];
+  if (c == '!') {
+    if (input_.compare(pos_ + 2, 2, "--") == 0) {
+      LexComment(token);
+    } else if (input_.size() - pos_ >= 9 &&
+               EqualsIgnoreAsciiCase(input_.substr(pos_ + 2, 7), "doctype")) {
+      LexDoctype(token);
+    } else {
+      LexBogusComment(token);
+    }
+    return true;
+  }
+  if (c == '?') {  // processing instruction / XML decl: bogus comment
+    LexBogusComment(token);
+    return true;
+  }
+  if (c == '/') {
+    if (pos_ + 2 < input_.size() && IsTagNameStart(input_[pos_ + 2])) {
+      LexEndTag(token);
+      return true;
+    }
+    LexBogusComment(token);  // "</3" and friends
+    return true;
+  }
+  if (IsTagNameStart(c)) {
+    LexStartTag(token);
+    return true;
+  }
+  return false;  // literal '<'
+}
+
+void Tokenizer::LexComment(Token* token) {
+  pos_ += 4;  // "<!--"
+  size_t end = input_.find("-->", pos_);
+  token->kind = TokenKind::kComment;
+  if (end == std::string_view::npos) {
+    token->text = std::string(input_.substr(pos_));
+    pos_ = input_.size();
+  } else {
+    token->text = std::string(input_.substr(pos_, end - pos_));
+    pos_ = end + 3;
+  }
+}
+
+void Tokenizer::LexBogusComment(Token* token) {
+  pos_ += 1;  // '<'
+  size_t end = input_.find('>', pos_);
+  token->kind = TokenKind::kComment;
+  if (end == std::string_view::npos) {
+    token->text = std::string(input_.substr(pos_));
+    pos_ = input_.size();
+  } else {
+    token->text = std::string(input_.substr(pos_, end - pos_));
+    pos_ = end + 1;
+  }
+}
+
+void Tokenizer::LexDoctype(Token* token) {
+  pos_ += 2;  // "<!"
+  size_t end = input_.find('>', pos_);
+  token->kind = TokenKind::kDoctype;
+  if (end == std::string_view::npos) {
+    token->text = std::string(input_.substr(pos_));
+    pos_ = input_.size();
+  } else {
+    token->text = std::string(input_.substr(pos_, end - pos_));
+    pos_ = end + 1;
+  }
+}
+
+void Tokenizer::LexEndTag(Token* token) {
+  pos_ += 2;  // "</"
+  size_t start = pos_;
+  while (pos_ < input_.size() && IsTagNameChar(input_[pos_])) ++pos_;
+  token->kind = TokenKind::kEndTag;
+  token->name = AsciiLower(input_.substr(start, pos_ - start));
+  // Skip anything up to '>' (attributes on end tags are ignored).
+  size_t end = input_.find('>', pos_);
+  pos_ = (end == std::string_view::npos) ? input_.size() : end + 1;
+}
+
+void Tokenizer::LexStartTag(Token* token) {
+  pos_ += 1;  // '<'
+  size_t start = pos_;
+  while (pos_ < input_.size() && IsTagNameChar(input_[pos_])) ++pos_;
+  token->kind = TokenKind::kStartTag;
+  token->name = AsciiLower(input_.substr(start, pos_ - start));
+  LexAttributes(token);
+  TagId id = FindTag(token->name);
+  if (!token->self_closing && id >= 0 && IsRawTextTag(id)) {
+    EnterRawText(token->name);
+  }
+}
+
+void Tokenizer::LexAttributes(Token* token) {
+  while (pos_ < input_.size()) {
+    while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size()) return;
+    char c = input_[pos_];
+    if (c == '>') {
+      ++pos_;
+      return;
+    }
+    if (c == '/') {
+      ++pos_;
+      if (pos_ < input_.size() && input_[pos_] == '>') {
+        token->self_closing = true;
+        ++pos_;
+        return;
+      }
+      continue;  // stray '/': skip
+    }
+    // Attribute name.
+    size_t name_start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != '=' &&
+           input_[pos_] != '>' && input_[pos_] != '/' &&
+           !IsAsciiSpace(input_[pos_])) {
+      ++pos_;
+    }
+    if (pos_ == name_start) {  // stray byte such as '"': skip it
+      ++pos_;
+      continue;
+    }
+    Attribute attr;
+    attr.name = AsciiLower(input_.substr(name_start, pos_ - name_start));
+    while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
+    if (pos_ < input_.size() && input_[pos_] == '=') {
+      ++pos_;
+      while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
+      if (pos_ < input_.size() &&
+          (input_[pos_] == '"' || input_[pos_] == '\'')) {
+        char quote = input_[pos_++];
+        size_t value_start = pos_;
+        while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+        attr.value =
+            DecodeEntities(input_.substr(value_start, pos_ - value_start));
+        if (pos_ < input_.size()) ++pos_;  // closing quote
+      } else {
+        size_t value_start = pos_;
+        while (pos_ < input_.size() && !IsAsciiSpace(input_[pos_]) &&
+               input_[pos_] != '>') {
+          ++pos_;
+        }
+        attr.value =
+            DecodeEntities(input_.substr(value_start, pos_ - value_start));
+      }
+    }
+    token->attributes.push_back(std::move(attr));
+  }
+}
+
+void Tokenizer::EnterRawText(std::string_view tag_name) {
+  // Scan for "</tagname" (case-insensitive) followed by space, '/' or '>'.
+  size_t scan = pos_;
+  while (scan < input_.size()) {
+    size_t lt = input_.find('<', scan);
+    if (lt == std::string_view::npos || lt + 1 >= input_.size()) {
+      scan = input_.size();
+      break;
+    }
+    if (input_[lt + 1] == '/' &&
+        input_.size() - (lt + 2) >= tag_name.size() &&
+        EqualsIgnoreAsciiCase(input_.substr(lt + 2, tag_name.size()),
+                              tag_name)) {
+      size_t after = lt + 2 + tag_name.size();
+      if (after >= input_.size() || input_[after] == '>' ||
+          input_[after] == '/' || IsAsciiSpace(input_[after])) {
+        scan = lt;
+        break;
+      }
+    }
+    scan = lt + 1;
+  }
+  pending_raw_text_ = std::string(input_.substr(pos_, scan - pos_));
+  has_pending_raw_text_ = true;
+  pos_ = scan;  // leave the "</tag>" for the normal path to lex
+}
+
+std::vector<Token> Tokenizer::TokenizeAll(std::string_view input) {
+  std::vector<Token> tokens;
+  Tokenizer tokenizer(input);
+  Token token;
+  while (tokenizer.Next(&token)) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+}  // namespace thor::html

@@ -1,0 +1,53 @@
+#include "src/ir/similarity.h"
+
+#include <cmath>
+
+namespace thor::ir {
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  double na = a.Norm();
+  double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return SparseVector::Dot(a, b) / (na * nb);
+}
+
+namespace {
+
+template <typename PerDim>
+void MergeDims(const SparseVector& a, const SparseVector& b, PerDim f) {
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ea.size() || j < eb.size()) {
+    if (j >= eb.size() || (i < ea.size() && ea[i].id < eb[j].id)) {
+      f(ea[i].weight, 0.0);
+      ++i;
+    } else if (i >= ea.size() || eb[j].id < ea[i].id) {
+      f(0.0, eb[j].weight);
+      ++j;
+    } else {
+      f(ea[i].weight, eb[j].weight);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+double EuclideanDistance(const SparseVector& a, const SparseVector& b) {
+  double sum = 0.0;
+  MergeDims(a, b, [&](double x, double y) { sum += (x - y) * (x - y); });
+  return std::sqrt(sum);
+}
+
+double MinkowskiDistance(const SparseVector& a, const SparseVector& b,
+                         double p) {
+  double sum = 0.0;
+  MergeDims(a, b,
+            [&](double x, double y) { sum += std::pow(std::abs(x - y), p); });
+  return std::pow(sum, 1.0 / p);
+}
+
+}  // namespace thor::ir

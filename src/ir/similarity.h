@@ -1,0 +1,27 @@
+#ifndef THOR_IR_SIMILARITY_H_
+#define THOR_IR_SIMILARITY_H_
+
+#include "src/ir/sparse_vector.h"
+
+namespace thor::ir {
+
+/// Cosine similarity in [0, 1] for non-negative vectors; 0 when either
+/// vector is zero. This is the paper's page/subtree similarity.
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// Cosine for vectors already normalized to unit length (plain dot product;
+/// the K-Means hot path).
+inline double CosineNormalized(const SparseVector& a, const SparseVector& b) {
+  return SparseVector::Dot(a, b);
+}
+
+/// Euclidean distance.
+double EuclideanDistance(const SparseVector& a, const SparseVector& b);
+
+/// Minkowski distance of order `p` (p >= 1); p == 2 equals Euclidean.
+double MinkowskiDistance(const SparseVector& a, const SparseVector& b,
+                         double p);
+
+}  // namespace thor::ir
+
+#endif  // THOR_IR_SIMILARITY_H_

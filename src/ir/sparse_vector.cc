@@ -1,0 +1,95 @@
+#include "src/ir/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thor::ir {
+
+SparseVector SparseVector::FromPairs(std::vector<VectorEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const VectorEntry& a, const VectorEntry& b) {
+              return a.id < b.id;
+            });
+  SparseVector out;
+  out.entries_.reserve(entries.size());
+  for (const VectorEntry& e : entries) {
+    if (!out.entries_.empty() && out.entries_.back().id == e.id) {
+      out.entries_.back().weight += e.weight;
+    } else {
+      out.entries_.push_back(e);
+    }
+  }
+  out.entries_.erase(
+      std::remove_if(out.entries_.begin(), out.entries_.end(),
+                     [](const VectorEntry& e) { return e.weight == 0.0; }),
+      out.entries_.end());
+  return out;
+}
+
+SparseVector SparseVector::FromCounts(
+    const std::unordered_map<int32_t, int>& counts) {
+  std::vector<VectorEntry> entries;
+  entries.reserve(counts.size());
+  for (const auto& [id, count] : counts) {
+    entries.push_back({id, static_cast<double>(count)});
+  }
+  return FromPairs(std::move(entries));
+}
+
+double SparseVector::Norm() const {
+  double sum_sq = 0.0;
+  for (const VectorEntry& e : entries_) sum_sq += e.weight * e.weight;
+  return std::sqrt(sum_sq);
+}
+
+double SparseVector::Sum() const {
+  double sum = 0.0;
+  for (const VectorEntry& e : entries_) sum += e.weight;
+  return sum;
+}
+
+double SparseVector::At(int32_t id) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), id,
+                             [](const VectorEntry& e, int32_t want) {
+                               return e.id < want;
+                             });
+  return (it != entries_.end() && it->id == id) ? it->weight : 0.0;
+}
+
+void SparseVector::Scale(double factor) {
+  for (VectorEntry& e : entries_) e.weight *= factor;
+}
+
+void SparseVector::Normalize() {
+  double norm = Norm();
+  if (norm > 0.0) Scale(1.0 / norm);
+}
+
+double SparseVector::Dot(const SparseVector& a, const SparseVector& b) {
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  const auto& ea = a.entries_;
+  const auto& eb = b.entries_;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].id < eb[j].id) {
+      ++i;
+    } else if (ea[i].id > eb[j].id) {
+      ++j;
+    } else {
+      dot += ea[i].weight * eb[j].weight;
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+void SparseVector::AccumulateInto(std::unordered_map<int32_t, double>* acc,
+                                  double factor) const {
+  for (const VectorEntry& e : entries_) {
+    (*acc)[e.id] += e.weight * factor;
+  }
+}
+
+}  // namespace thor::ir

@@ -1,0 +1,67 @@
+#ifndef THOR_IR_SPARSE_VECTOR_H_
+#define THOR_IR_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace thor::ir {
+
+/// One (dimension, weight) entry of a sparse vector.
+struct VectorEntry {
+  int32_t id;
+  double weight;
+  friend bool operator==(const VectorEntry&, const VectorEntry&) = default;
+};
+
+/// \brief Immutable-ish sparse vector with entries sorted by dimension id.
+///
+/// The page and subtree signatures of the paper are sparse term/tag vectors;
+/// all phase-1/phase-2 similarity math runs on this type. Entries with zero
+/// weight are never stored.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Builds from unordered (id, weight) pairs; duplicate ids are summed and
+  /// zero weights dropped.
+  static SparseVector FromPairs(std::vector<VectorEntry> entries);
+
+  /// Builds from an id->count map (the common signature-construction path).
+  static SparseVector FromCounts(const std::unordered_map<int32_t, int>& counts);
+
+  const std::vector<VectorEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Euclidean norm.
+  double Norm() const;
+
+  /// Sum of weights.
+  double Sum() const;
+
+  /// Returns the weight at dimension `id` (0 if absent). O(log n).
+  double At(int32_t id) const;
+
+  /// Scales all weights in place.
+  void Scale(double factor);
+
+  /// Normalizes to unit Euclidean length in place; no-op for zero vectors.
+  void Normalize();
+
+  /// Dot product via sorted-merge. O(|a| + |b|).
+  static double Dot(const SparseVector& a, const SparseVector& b);
+
+  /// Accumulates `v` into a dense map (centroid computation).
+  void AccumulateInto(std::unordered_map<int32_t, double>* acc,
+                      double factor = 1.0) const;
+
+ private:
+  std::vector<VectorEntry> entries_;
+};
+
+}  // namespace thor::ir
+
+#endif  // THOR_IR_SPARSE_VECTOR_H_

@@ -1,0 +1,59 @@
+#include "src/ir/tfidf.h"
+
+#include <cmath>
+
+namespace thor::ir {
+
+TfidfModel TfidfModel::Fit(const std::vector<SparseVector>& count_vectors) {
+  TfidfModel model;
+  model.num_docs_ = static_cast<int>(count_vectors.size());
+  for (const SparseVector& v : count_vectors) {
+    for (const VectorEntry& e : v.entries()) {
+      if (e.weight > 0.0) ++model.doc_freq_[e.id];
+    }
+  }
+  return model;
+}
+
+double TfidfModel::Weight(double tf, int doc_freq) const {
+  if (doc_freq <= 0) doc_freq = 1;
+  // The paper's variant: even a tag present in all documents keeps non-zero
+  // weight because (n + 1) / n_k > 1.
+  return std::log(tf + 1.0) *
+         std::log(static_cast<double>(num_docs_ + 1) /
+                  static_cast<double>(doc_freq));
+}
+
+SparseVector TfidfModel::Weigh(const SparseVector& counts,
+                               Weighting weighting, bool normalize) const {
+  std::vector<VectorEntry> entries;
+  entries.reserve(counts.size());
+  for (const VectorEntry& e : counts.entries()) {
+    double w = e.weight;
+    if (weighting == Weighting::kTfidf) {
+      w = Weight(e.weight, DocFreq(e.id));
+    }
+    entries.push_back({e.id, w});
+  }
+  SparseVector out = SparseVector::FromPairs(std::move(entries));
+  if (normalize) out.Normalize();
+  return out;
+}
+
+std::vector<SparseVector> TfidfModel::WeighAll(
+    const std::vector<SparseVector>& count_vectors, Weighting weighting,
+    bool normalize) const {
+  std::vector<SparseVector> out;
+  out.reserve(count_vectors.size());
+  for (const SparseVector& v : count_vectors) {
+    out.push_back(Weigh(v, weighting, normalize));
+  }
+  return out;
+}
+
+int TfidfModel::DocFreq(int32_t id) const {
+  auto it = doc_freq_.find(id);
+  return it == doc_freq_.end() ? 0 : it->second;
+}
+
+}  // namespace thor::ir

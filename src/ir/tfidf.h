@@ -1,0 +1,55 @@
+#ifndef THOR_IR_TFIDF_H_
+#define THOR_IR_TFIDF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/sparse_vector.h"
+
+namespace thor::ir {
+
+/// Term-weighting schemes compared in the paper's Phase-I experiments.
+enum class Weighting {
+  /// Raw occurrence counts ("raw tags" / "raw content" baselines).
+  kRawFrequency,
+  /// The paper's TFIDF variant: w = log(tf + 1) * log((n + 1) / n_k).
+  kTfidf,
+};
+
+/// \brief Collection-level TFIDF statistics over a set of count vectors.
+///
+/// Built once from the raw count vectors of a collection (pages of a site,
+/// or subtrees of a common subtree set); `Weigh` then converts any count
+/// vector from the same collection into a (normalized) weighted vector.
+class TfidfModel {
+ public:
+  /// `count_vectors` are raw frequency vectors, one per document.
+  static TfidfModel Fit(const std::vector<SparseVector>& count_vectors);
+
+  /// Weight for a single (tf, document-frequency) pair under the paper's
+  /// formula. `doc_freq` of 0 is treated as "appears nowhere" and yields
+  /// the maximum IDF.
+  double Weight(double tf, int doc_freq) const;
+
+  /// Applies the chosen weighting to `counts`, normalizing the result to
+  /// unit length when `normalize` is true (the paper normalizes page and
+  /// subtree vectors).
+  SparseVector Weigh(const SparseVector& counts, Weighting weighting,
+                     bool normalize = true) const;
+
+  /// Applies `Weigh` to every vector in `count_vectors`.
+  std::vector<SparseVector> WeighAll(
+      const std::vector<SparseVector>& count_vectors, Weighting weighting,
+      bool normalize = true) const;
+
+  int num_docs() const { return num_docs_; }
+  int DocFreq(int32_t id) const;
+
+ private:
+  int num_docs_ = 0;
+  std::unordered_map<int32_t, int> doc_freq_;
+};
+
+}  // namespace thor::ir
+
+#endif  // THOR_IR_TFIDF_H_

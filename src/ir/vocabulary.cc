@@ -1,0 +1,19 @@
+#include "src/ir/vocabulary.h"
+
+namespace thor::ir {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Find(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? -1 : it->second;
+}
+
+}  // namespace thor::ir

@@ -1,0 +1,44 @@
+#ifndef THOR_IR_VOCABULARY_H_
+#define THOR_IR_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace thor::ir {
+
+/// Interned identifier for a term within one Vocabulary.
+using TermId = int32_t;
+
+/// \brief String-to-id interner scoped to one analysis context (e.g. the
+/// pages of one site, or the subtrees of one common subtree set).
+///
+/// Tag signatures use the process-wide html::TagTable instead; this class
+/// is for open-ended content terms.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Interns `term`, assigning the next id on first sight.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term` or -1 if never interned.
+  TermId Find(std::string_view term) const;
+
+  /// Canonical spelling for an id; `id` must be valid.
+  const std::string& Term(TermId id) const {
+    return terms_[static_cast<size_t>(id)];
+  }
+
+  int size() const { return static_cast<int>(terms_.size()); }
+
+ private:
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, TermId> ids_;
+};
+
+}  // namespace thor::ir
+
+#endif  // THOR_IR_VOCABULARY_H_

@@ -1,0 +1,123 @@
+#include "src/search/deep_web_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "src/text/term_tokenizer.h"
+
+namespace thor::search {
+
+std::string QaDocument::Title() const {
+  for (const core::QaField& field : fields) {
+    if (field.type == core::FieldType::kTitle) return field.value;
+  }
+  return text.substr(0, 48);
+}
+
+double QaDocument::Price() const {
+  for (const core::QaField& field : fields) {
+    if (field.type == core::FieldType::kPrice) return field.number;
+  }
+  return -1.0;
+}
+
+int DeepWebSearchEngine::AddSite(int site_id, std::string_view site_name,
+                                 const std::vector<core::Page>& pages,
+                                 const core::ThorResult& result) {
+  int added = 0;
+  for (const core::ThorPageResult& page_result : result.pages) {
+    const core::Page& page =
+        pages[static_cast<size_t>(page_result.page_index)];
+    auto texts = core::ObjectTexts(page.tree, page_result.objects);
+    auto fields = core::PartitionAllFields(page.tree, page_result.objects);
+    for (size_t o = 0; o < page_result.objects.size(); ++o) {
+      QaDocument doc;
+      doc.site_id = site_id;
+      doc.site_name = std::string(site_name);
+      doc.url = page.url;
+      doc.text = std::move(texts[o]);
+      doc.fields = std::move(fields[o]);
+      DocId id = index_.Add(doc.text);
+      (void)id;  // dense ids follow documents_ positions by construction
+      documents_.push_back(std::move(doc));
+      ++added;
+    }
+  }
+  return added;
+}
+
+void DeepWebSearchEngine::Finalize() { index_.Finalize(); }
+
+std::vector<DocumentResult> DeepWebSearchEngine::Search(
+    std::string_view query, int k) const {
+  std::vector<DocumentResult> results;
+  for (const SearchHit& hit : index_.Search(query, k)) {
+    results.push_back(
+        {&documents_[static_cast<size_t>(hit.doc)], hit.score});
+  }
+  return results;
+}
+
+std::vector<SiteResult> DeepWebSearchEngine::SearchBySite(
+    std::string_view query, int max_docs_considered) const {
+  std::map<int, SiteResult> by_site;
+  for (const SearchHit& hit : index_.Search(query, max_docs_considered)) {
+    const QaDocument& doc = documents_[static_cast<size_t>(hit.doc)];
+    SiteResult& entry = by_site[doc.site_id];
+    entry.site_id = doc.site_id;
+    entry.site_name = doc.site_name;
+    entry.score += hit.score;
+    ++entry.matching_documents;
+  }
+  std::vector<SiteResult> results;
+  results.reserve(by_site.size());
+  for (auto& [site, entry] : by_site) results.push_back(std::move(entry));
+  std::sort(results.begin(), results.end(),
+            [](const SiteResult& a, const SiteResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.site_id < b.site_id;
+            });
+  return results;
+}
+
+std::vector<std::string> DeepWebSearchEngine::SiteSummary(
+    int site_id, int max_terms) const {
+  // TFIDF of the site's concatenated object text against per-site document
+  // frequencies.
+  std::unordered_map<std::string, int> site_tf;
+  std::unordered_map<std::string, int> site_df;
+  std::map<int, bool> sites_seen;
+  std::map<int, std::unordered_map<std::string, bool>> per_site_terms;
+  for (const QaDocument& doc : documents_) {
+    sites_seen[doc.site_id] = true;
+    for (const std::string& term : text::ExtractTerms(doc.text)) {
+      if (doc.site_id == site_id) ++site_tf[term];
+      per_site_terms[doc.site_id][term] = true;
+    }
+  }
+  for (const auto& [site, terms] : per_site_terms) {
+    for (const auto& [term, present] : terms) {
+      if (present) ++site_df[term];
+    }
+  }
+  double num_sites = static_cast<double>(sites_seen.size());
+  std::vector<std::pair<double, std::string>> scored;
+  for (const auto& [term, tf] : site_tf) {
+    double idf = std::log((num_sites + 1.0) / (site_df[term] + 0.5));
+    scored.emplace_back(std::log(1.0 + tf) * idf, term);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<std::string> summary;
+  for (int i = 0; i < max_terms && i < static_cast<int>(scored.size());
+       ++i) {
+    summary.push_back(scored[static_cast<size_t>(i)].second);
+  }
+  return summary;
+}
+
+}  // namespace thor::search

@@ -1,0 +1,88 @@
+#ifndef THOR_SEARCH_DEEP_WEB_SEARCH_H_
+#define THOR_SEARCH_DEEP_WEB_SEARCH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/object_fields.h"
+#include "src/core/thor.h"
+#include "src/search/inverted_index.h"
+
+namespace thor::search {
+
+/// One indexed QA-Object with provenance and typed fields.
+struct QaDocument {
+  int site_id = 0;
+  std::string site_name;
+  std::string url;
+  std::string text;
+  std::vector<core::QaField> fields;
+
+  /// The title field's value, or a text prefix when no title was typed.
+  std::string Title() const;
+  /// The first price field, or a negative value when absent.
+  double Price() const;
+};
+
+/// A ranked document result.
+struct DocumentResult {
+  const QaDocument* document = nullptr;
+  double score = 0.0;
+};
+
+/// A ranked source result ("searching by sites" — paper Section 1
+/// feature 3): one deep-web source with its aggregate relevance.
+struct SiteResult {
+  int site_id = 0;
+  std::string site_name;
+  double score = 0.0;
+  int matching_documents = 0;
+};
+
+/// \brief The deep-web search engine the paper motivates, built on THOR.
+///
+/// Sites are registered with the QA-Objects THOR extracted from their
+/// probed pages; the engine then supports the paper's two retrieval modes:
+/// fine-grained content search over all extracted objects across sites,
+/// and search-by-site ranking of the sources themselves.
+class DeepWebSearchEngine {
+ public:
+  DeepWebSearchEngine() = default;
+
+  /// Ingests one site's THOR run: every extracted QA-Object becomes a
+  /// document. Returns the number of documents added.
+  int AddSite(int site_id, std::string_view site_name,
+              const std::vector<core::Page>& pages,
+              const core::ThorResult& result);
+
+  /// Call once after the last AddSite (idempotent).
+  void Finalize();
+
+  /// Fine-grained content search across all sites' QA-Objects.
+  std::vector<DocumentResult> Search(std::string_view query,
+                                     int k = 10) const;
+
+  /// Ranks sources by aggregate relevance of their objects to `query`.
+  std::vector<SiteResult> SearchBySite(std::string_view query,
+                                       int max_docs_considered = 200) const;
+
+  /// The terms most distinctive of one site relative to the whole corpus
+  /// (a per-source content summary, cf. database-summary probing [17]).
+  std::vector<std::string> SiteSummary(int site_id, int max_terms = 8) const;
+
+  int num_documents() const {
+    return static_cast<int>(documents_.size());
+  }
+  const QaDocument& document(DocId id) const {
+    return documents_[static_cast<size_t>(id)];
+  }
+
+ private:
+  InvertedIndex index_;
+  std::vector<QaDocument> documents_;
+};
+
+}  // namespace thor::search
+
+#endif  // THOR_SEARCH_DEEP_WEB_SEARCH_H_

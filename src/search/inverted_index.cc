@@ -1,0 +1,88 @@
+#include "src/search/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thor::search {
+
+DocId InvertedIndex::Add(std::string_view text) {
+  DocId doc = num_documents_++;
+  finalized_ = false;
+  std::unordered_map<ir::TermId, int> counts;
+  for (const std::string& term : text::ExtractTerms(text, analyzer_)) {
+    ++counts[vocabulary_.Intern(term)];
+  }
+  for (const auto& [term, count] : counts) {
+    if (static_cast<size_t>(term) >= postings_.size()) {
+      postings_.resize(static_cast<size_t>(term) + 1);
+    }
+    postings_[static_cast<size_t>(term)].push_back({doc, count});
+  }
+  return doc;
+}
+
+double InvertedIndex::IdfWeight(size_t postings_size) const {
+  return std::log((num_documents_ + 1.0) /
+                  (static_cast<double>(postings_size) + 1.0)) +
+         1.0;
+}
+
+void InvertedIndex::Finalize() {
+  doc_norm_.assign(static_cast<size_t>(num_documents_), 0.0);
+  for (const auto& postings : postings_) {
+    if (postings.empty()) continue;
+    double idf = IdfWeight(postings.size());
+    for (const Posting& p : postings) {
+      double w = (1.0 + std::log(p.term_frequency)) * idf;
+      doc_norm_[static_cast<size_t>(p.doc)] += w * w;
+    }
+  }
+  for (double& norm : doc_norm_) norm = std::sqrt(norm);
+  finalized_ = true;
+}
+
+std::vector<SearchHit> InvertedIndex::Search(std::string_view query,
+                                             int k) const {
+  std::vector<SearchHit> hits;
+  if (!finalized_ || k <= 0) return hits;
+  std::unordered_map<DocId, double> scores;
+  std::unordered_map<ir::TermId, int> query_counts;
+  for (const std::string& term : text::ExtractTerms(query, analyzer_)) {
+    ir::TermId id = vocabulary_.Find(term);
+    if (id >= 0) ++query_counts[id];
+  }
+  for (const auto& [term, query_tf] : query_counts) {
+    const auto& postings = postings_[static_cast<size_t>(term)];
+    if (postings.empty()) continue;
+    double idf = IdfWeight(postings.size());
+    double query_weight = (1.0 + std::log(query_tf)) * idf;
+    for (const Posting& p : postings) {
+      double doc_weight = (1.0 + std::log(p.term_frequency)) * idf;
+      scores[p.doc] += query_weight * doc_weight;
+    }
+  }
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    double norm = doc_norm_[static_cast<size_t>(doc)];
+    hits.push_back({doc, norm > 0.0 ? score / norm : 0.0});
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a,
+                                         const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (static_cast<int>(hits.size()) > k) {
+    hits.resize(static_cast<size_t>(k));
+  }
+  return hits;
+}
+
+int InvertedIndex::DocFreq(std::string_view term) const {
+  auto analyzed = text::ExtractTerms(term, analyzer_);
+  if (analyzed.size() != 1) return 0;
+  ir::TermId id = vocabulary_.Find(analyzed[0]);
+  if (id < 0 || static_cast<size_t>(id) >= postings_.size()) return 0;
+  return static_cast<int>(postings_[static_cast<size_t>(id)].size());
+}
+
+}  // namespace thor::search

@@ -1,0 +1,71 @@
+#ifndef THOR_SEARCH_INVERTED_INDEX_H_
+#define THOR_SEARCH_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/vocabulary.h"
+#include "src/text/term_tokenizer.h"
+
+namespace thor::search {
+
+/// Document identifier within one InvertedIndex.
+using DocId = int32_t;
+
+/// One posting: a document and the term's frequency in it.
+struct Posting {
+  DocId doc = 0;
+  int term_frequency = 0;
+};
+
+/// A ranked retrieval hit.
+struct SearchHit {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+/// \brief TFIDF-ranked inverted index over short text documents.
+///
+/// The retrieval substrate of the deep-web search engine the paper
+/// motivates: QA-Objects extracted by THOR become the documents. Terms are
+/// stemmed and stopword-filtered with the same analyzer as the extraction
+/// phases, queries are disjunctive with cosine-normalized ltc-style
+/// scoring.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Adds a document and returns its id. Ids are dense from 0.
+  DocId Add(std::string_view text);
+
+  /// Call once after the last Add and before Search (idempotent): computes
+  /// document lengths under the current collection statistics.
+  void Finalize();
+
+  /// Top-k disjunctive TFIDF search. Unknown terms are ignored; an empty
+  /// or all-unknown query returns no hits. Requires Finalize().
+  std::vector<SearchHit> Search(std::string_view query, int k = 10) const;
+
+  int num_documents() const { return num_documents_; }
+  int num_terms() const { return vocabulary_.size(); }
+
+  /// Document frequency of a term (after analysis), 0 if absent.
+  int DocFreq(std::string_view term) const;
+
+ private:
+  double IdfWeight(size_t postings_size) const;
+
+  text::TermOptions analyzer_;
+  ir::Vocabulary vocabulary_;
+  std::vector<std::vector<Posting>> postings_;  // by TermId
+  std::vector<double> doc_norm_;                // by DocId, after Finalize
+  int num_documents_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace thor::search
+
+#endif  // THOR_SEARCH_INVERTED_INDEX_H_

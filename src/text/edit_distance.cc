@@ -1,0 +1,90 @@
+#include "src/text/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace thor::text {
+
+namespace {
+
+template <typename Seq>
+int EditDistanceImpl(const Seq& a, const Seq& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  // Keep the shorter sequence as the row to minimize memory.
+  if (m > n) return EditDistanceImpl(b, a);
+  std::vector<int> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    int diag = row[0];
+    row[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int up = row[j];
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j - 1] + 1, up + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[m];
+}
+
+}  // namespace
+
+int EditDistance(std::string_view a, std::string_view b) {
+  return EditDistanceImpl(a, b);
+}
+
+int EditDistance(const std::vector<int>& a, const std::vector<int>& b) {
+  return EditDistanceImpl(a, b);
+}
+
+int BoundedEditDistance(std::string_view a, std::string_view b, int bound) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (std::abs(n - m) > bound) return bound + 1;
+  if (n == 0) return m;
+  if (m == 0) return n;
+  constexpr int kInf = std::numeric_limits<int>::max() / 2;
+  std::vector<int> row(static_cast<size_t>(m) + 1, kInf);
+  for (int j = 0; j <= std::min(m, bound); ++j) {
+    row[static_cast<size_t>(j)] = j;
+  }
+  for (int i = 1; i <= n; ++i) {
+    int lo = std::max(1, i - bound);
+    int hi = std::min(m, i + bound);
+    int diag = (lo == 1) ? i - 1 : row[static_cast<size_t>(lo - 1)];
+    if (lo == 1) {
+      // Column 0 of the current row: i deletions.
+      row[0] = i;
+    } else {
+      row[static_cast<size_t>(lo - 1)] = kInf;
+    }
+    int row_min = kInf;
+    for (int j = lo; j <= hi; ++j) {
+      int up = row[static_cast<size_t>(j)];
+      int cost = (a[static_cast<size_t>(i - 1)] ==
+                  b[static_cast<size_t>(j - 1)])
+                     ? 0
+                     : 1;
+      int left = row[static_cast<size_t>(j - 1)];
+      int val = std::min({left + 1, up + 1, diag + cost});
+      row[static_cast<size_t>(j)] = val;
+      row_min = std::min(row_min, val);
+      diag = up;
+    }
+    if (hi < m) row[static_cast<size_t>(hi + 1)] = kInf;
+    if (row_min > bound) return bound + 1;
+  }
+  return std::min(row[static_cast<size_t>(m)], bound + 1);
+}
+
+double NormalizedEditDistance(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(EditDistance(a, b)) /
+         static_cast<double>(longest);
+}
+
+}  // namespace thor::text

@@ -1,0 +1,28 @@
+#ifndef THOR_TEXT_EDIT_DISTANCE_H_
+#define THOR_TEXT_EDIT_DISTANCE_H_
+
+#include <string_view>
+#include <vector>
+
+namespace thor::text {
+
+/// Levenshtein distance (unit insert/delete/substitute costs) between two
+/// byte strings [21]. O(|a|*|b|) time, O(min) space.
+int EditDistance(std::string_view a, std::string_view b);
+
+/// Same, over sequences of interned symbols (used for tag paths where each
+/// tag is one symbol — the paper's fixed-length-q tag simplification).
+int EditDistance(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Banded variant: returns the exact distance if it is <= `bound`,
+/// otherwise any value > `bound` (early exit). Used by the URL-similarity
+/// clusterer on large collections.
+int BoundedEditDistance(std::string_view a, std::string_view b, int bound);
+
+/// Edit distance normalized by max length, in [0, 1]; 0 for two empty
+/// strings. This is the first term of the paper's subtree distance.
+double NormalizedEditDistance(std::string_view a, std::string_view b);
+
+}  // namespace thor::text
+
+#endif  // THOR_TEXT_EDIT_DISTANCE_H_

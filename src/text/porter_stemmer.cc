@@ -1,0 +1,292 @@
+#include "src/text/porter_stemmer.h"
+
+#include <array>
+
+namespace thor::text {
+
+namespace {
+
+// Working buffer view: the algorithm operates on b[0..k].
+struct Stemmer {
+  std::string b;
+  int k = 0;  // index of last letter
+  int j = 0;  // general offset set by Ends()
+
+  bool IsConsonant(int i) const {
+    switch (b[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the word between 0 and j: number of VC sequences.
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if 0..j contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // True if i-1, i contain a double consonant.
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (b[static_cast<size_t>(i)] != b[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return IsConsonant(i);
+  }
+
+  // True if i-2..i is consonant-vowel-consonant and the final consonant is
+  // not w, x or y (used to restore a final 'e', e.g. cav(e), lov(e)).
+  bool CvC(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2))
+      return false;
+    char ch = b[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool Ends(std::string_view s) {
+    int len = static_cast<int>(s.size());
+    if (len > k + 1) return false;
+    if (b.compare(static_cast<size_t>(k - len + 1), static_cast<size_t>(len),
+                  s) != 0) {
+      return false;
+    }
+    j = k - len;
+    return true;
+  }
+
+  void SetTo(std::string_view s) {
+    int len = static_cast<int>(s.size());
+    b.replace(static_cast<size_t>(j + 1), static_cast<size_t>(k - j), s);
+    k = j + len;
+  }
+
+  void ReplaceIfM(std::string_view s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  // Step 1a: plurals. Step 1b: -ed, -ing. Step 1c: y -> i.
+  void Step1ab() {
+    if (b[static_cast<size_t>(k)] == 's') {
+      if (Ends("sses")) {
+        k -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b[static_cast<size_t>(k - 1)] != 's') {
+        --k;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k = j;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k)) {
+        char ch = b[static_cast<size_t>(k)];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k;
+      } else if (Measure() == 1 && CvC(k)) {
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) b[static_cast<size_t>(k)] = 'i';
+  }
+
+  void Step2() {
+    switch (b[static_cast<size_t>(k - 1)]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfM("ate"); break; }
+        if (Ends("tional")) { ReplaceIfM("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfM("ence"); break; }
+        if (Ends("anci")) { ReplaceIfM("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfM("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfM("ble"); break; }
+        if (Ends("alli")) { ReplaceIfM("al"); break; }
+        if (Ends("entli")) { ReplaceIfM("ent"); break; }
+        if (Ends("eli")) { ReplaceIfM("e"); break; }
+        if (Ends("ousli")) { ReplaceIfM("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfM("ize"); break; }
+        if (Ends("ation")) { ReplaceIfM("ate"); break; }
+        if (Ends("ator")) { ReplaceIfM("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfM("al"); break; }
+        if (Ends("iveness")) { ReplaceIfM("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfM("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfM("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfM("al"); break; }
+        if (Ends("iviti")) { ReplaceIfM("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfM("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfM("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (b[static_cast<size_t>(k)]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfM("ic"); break; }
+        if (Ends("ative")) { ReplaceIfM(""); break; }
+        if (Ends("alize")) { ReplaceIfM("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfM("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfM("ic"); break; }
+        if (Ends("ful")) { ReplaceIfM(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfM(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    switch (b[static_cast<size_t>(k - 1)]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j >= 0 &&
+            (b[static_cast<size_t>(j)] == 's' ||
+             b[static_cast<size_t>(j)] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;  // takes care of -ous
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k = j;
+  }
+
+  void Step5() {
+    j = k;
+    if (b[static_cast<size_t>(k)] == 'e') {
+      int a = Measure();
+      if (a > 1 || (a == 1 && !CvC(k - 1))) --k;
+    }
+    if (b[static_cast<size_t>(k)] == 'l' && DoubleConsonant(k) &&
+        Measure() > 1) {
+      --k;
+    }
+  }
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (c < 'a' || c > 'z') return std::string(word);
+  }
+  Stemmer s;
+  s.b = std::string(word);
+  s.k = static_cast<int>(word.size()) - 1;
+  s.Step1ab();
+  s.Step1c();
+  if (s.k > 0) s.Step2();
+  if (s.k > 0) s.Step3();
+  if (s.k > 0) s.Step4();
+  if (s.k > 0) s.Step5();
+  s.b.resize(static_cast<size_t>(s.k + 1));
+  return s.b;
+}
+
+}  // namespace thor::text

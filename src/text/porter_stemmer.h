@@ -1,0 +1,19 @@
+#ifndef THOR_TEXT_PORTER_STEMMER_H_
+#define THOR_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace thor::text {
+
+/// \brief Porter's suffix-stripping algorithm (Porter 1980), as cited by
+/// the paper [24] for normalizing content terms before TFIDF weighting.
+///
+/// Input must already be lowercase ASCII letters; other inputs are returned
+/// unchanged. Implements all five steps of the original algorithm
+/// (including steps 1b', 2-4 rule tables and the step-5 cleanups).
+std::string PorterStem(std::string_view word);
+
+}  // namespace thor::text
+
+#endif  // THOR_TEXT_PORTER_STEMMER_H_

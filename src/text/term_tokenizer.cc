@@ -1,0 +1,72 @@
+#include "src/text/term_tokenizer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/text/porter_stemmer.h"
+#include "src/util/strings.h"
+
+namespace thor::text {
+
+namespace {
+
+const std::unordered_set<std::string_view>& StopwordSet() {
+  static const auto& set = *new std::unordered_set<std::string_view>{
+      "a",     "about", "above", "after", "again",  "all",   "also",  "am",
+      "an",    "and",   "any",   "are",   "as",     "at",    "be",    "been",
+      "before","being", "below", "between","both",  "but",   "by",    "can",
+      "could", "did",   "do",    "does",  "doing",  "down",  "during","each",
+      "few",   "for",   "from",  "further","had",   "has",   "have",  "having",
+      "he",    "her",   "here",  "hers",  "him",    "his",   "how",   "i",
+      "if",    "in",    "into",  "is",    "it",     "its",   "just",  "me",
+      "more",  "most",  "my",    "no",    "nor",    "not",   "now",   "of",
+      "off",   "on",    "once",  "only",  "or",     "other", "our",   "ours",
+      "out",   "over",  "own",   "same",  "she",    "so",    "some",  "such",
+      "than",  "that",  "the",   "their", "them",   "then",  "there", "these",
+      "they",  "this",  "those", "through","to",    "too",   "under", "until",
+      "up",    "very",  "was",   "we",    "were",   "what",  "when",  "where",
+      "which", "while", "who",   "whom",  "why",    "will",  "with",  "would",
+      "you",   "your",  "yours",
+  };
+  return set;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(word) > 0;
+}
+
+std::vector<std::string> ExtractTerms(std::string_view content,
+                                      const TermOptions& options) {
+  std::vector<std::string> terms;
+  size_t i = 0;
+  while (i < content.size()) {
+    if (!IsAsciiAlnum(content[i])) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    bool has_alpha = false;
+    while (i < content.size() && IsAsciiAlnum(content[i])) {
+      if (IsAsciiAlpha(content[i])) has_alpha = true;
+      ++i;
+    }
+    if (!has_alpha && !options.keep_numbers) continue;
+    std::string term = AsciiLower(content.substr(start, i - start));
+    if (options.remove_stopwords && IsStopword(term)) continue;
+    if (options.stem && has_alpha) term = PorterStem(term);
+    if (static_cast<int>(term.size()) < options.min_length) continue;
+    terms.push_back(std::move(term));
+  }
+  return terms;
+}
+
+int CountDistinctTerms(std::string_view content, const TermOptions& options) {
+  std::vector<std::string> terms = ExtractTerms(content, options);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return static_cast<int>(terms.size());
+}
+
+}  // namespace thor::text

@@ -1,0 +1,38 @@
+#ifndef THOR_TEXT_TERM_TOKENIZER_H_
+#define THOR_TEXT_TERM_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace thor::text {
+
+/// Term extraction knobs for content signatures.
+struct TermOptions {
+  /// Lowercase and Porter-stem each term (the paper stems content terms
+  /// before building term vectors).
+  bool stem = true;
+  /// Drop very common English function words.
+  bool remove_stopwords = true;
+  /// Drop terms shorter than this many bytes (after stemming).
+  int min_length = 2;
+  /// Keep pure-number tokens (prices, counts). The paper's content regions
+  /// are full of them, and they discriminate dynamic regions well.
+  bool keep_numbers = true;
+};
+
+/// True for the ~120 most common English stopwords ("the", "and", ...).
+bool IsStopword(std::string_view word);
+
+/// Splits free text into normalized terms: maximal ASCII alphanumeric runs,
+/// lowercased, optionally stopword-filtered and stemmed.
+std::vector<std::string> ExtractTerms(std::string_view content,
+                                      const TermOptions& options = {});
+
+/// Number of *distinct* terms in `content` (cluster-ranking feature).
+int CountDistinctTerms(std::string_view content,
+                       const TermOptions& options = {});
+
+}  // namespace thor::text
+
+#endif  // THOR_TEXT_TERM_TOKENIZER_H_

@@ -1,0 +1,192 @@
+#include "src/text/word_lists.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace thor::text {
+
+namespace {
+
+// ~900 common English words spanning the registers a deep-web catalog hits:
+// everyday vocabulary, commerce, music, literature, technology.
+constexpr const char* kLexiconText = R"(
+able about account across action active actor address adult advance
+adventure advice affair afternoon agency agent agree air album alive
+allow almost alone already although always amazing amount ancient angle
+animal answer anybody apart apple approach area argue army around arrive
+article artist aspect assume attack attempt attention audience author
+autumn average avoid award aware baby back balance ball band bank bar
+base basic basket battle beach bear beat beautiful because become bed
+begin behavior behind believe bell belong benefit beside best better
+beyond bicycle big bill bird birth black blade blue board boat body book
+border both bottle bottom box boy brain branch brand bread break bridge
+brief bright bring broad brother brown budget build burn business busy
+buyer cabin cable cake call camera camp canal candle capital captain car
+card care career carry case cast catch cause celebrate cell center
+century certain chain chair challenge chance change chapter character
+charge chart cheap check cheese chest chicken chief child choice choose
+church circle citizen city claim class classic clean clear climb clock
+close cloth cloud club coach coast coat code coffee cold collect college
+color column combine come comfort command comment common company compare
+complete computer concert condition confirm connect consider contact
+contain content contest context continue contract control cook cool
+copper copy corn corner correct cost cotton count country couple courage
+course court cover craft cream create credit crew crime critic crop
+cross crowd crown culture cup curious current curve custom customer cut
+cycle daily damage dance danger dark data daughter dawn dead deal dear
+debate decade decide deep defense degree deliver demand depend depth
+describe desert design desk detail develop device dialog diamond diet
+differ digital dinner direct discover discuss distance divide doctor
+document dollar domain door double doubt down dozen draft drama draw
+dream dress drink drive drop dry due during dust duty eager early earn
+earth east easy eat economy edge editor educate effect effort eight
+either electric element eleven else empire employ empty end enemy energy
+engine enjoy enough enter entire equal error escape estate evening event
+ever every evidence exact example excite exercise exist expand expect
+expert explain express extend extra eye face fact factor fail fair faith
+fall family famous fancy farm fashion fast father fault favor fear
+feature feed feel fellow female fence festival field fifteen fifty fight
+figure file fill film final find fine finger finish fire firm first fish
+fit five fix flag flat flavor flight floor flow flower fly focus follow
+food foot force foreign forest forget form formal fortune forward found
+four frame free fresh friend front fruit fuel full fun function fund
+furniture future gain galaxy game garden gate gather general gentle
+gift girl give glad glass global goal gold good grace grade grain grand
+grant grass gray great green ground group grow growth guard guess guest
+guide guitar habit hair half hall hand handle happen happy harbor hard
+harm harvest hat have head health hear heart heat heavy height hello
+help herb hero high hill hire history hold hole holiday home honest
+honey honor hope horse hospital host hotel hour house however huge human
+humor hundred hunt hurry idea image imagine impact import improve inch
+include income increase indeed index industry inform inside instead
+intend interest invite iron island issue item jacket job join joint
+journey judge juice jump jungle junior just justice keen keep kettle key
+kick kind king kitchen knee knife know label labor lack lady lake land
+language large last late laugh launch law layer lead leader leaf league
+learn least leather leave left legal lemon length lesson letter level
+library license life lift light like limit line link lion list listen
+little live local logic long look lose loss lot loud love low loyal
+lucky lunch machine magic mail main major make male manage manner many
+map march mark market marry master match material matter maybe meal mean
+measure meat media medical meet member memory mention menu merchant
+message metal method middle might mile milk mind mine minor minute
+mirror miss mission mix model modern moment money monitor month moon
+moral more morning most mother motion motor mountain mouse mouth move
+movie much music must mystery name narrow nation native nature near neat
+neck need neighbor nerve nest network never new news next nice night
+nine noble noise normal north note nothing notice novel number nurse
+object observe obtain obvious occasion occur ocean offer office officer
+often old olive once one onion open opera opinion orange order ordinary
+organ origin other ought ounce output outside oven over owner oxygen
+pace pack page paint pair palace pale palm panel paper parade parent
+park part partner party pass past path pattern pause pay peace pearl
+pencil people pepper perfect perform perhaps period permit person phase
+phone photo phrase piano pick picture piece pilot pink pioneer pipe
+pitch place plain plan plane planet plant plastic plate play player
+please plenty pocket poem poet point police policy polish polite pool
+poor popular portion position possible post pot potato pound power
+practice praise prefer prepare present press pretty prevent price pride
+prime print prior private prize problem process produce product profit
+program progress project promise proof proper protect proud prove
+provide public pull pump pupil purchase pure purple purpose push put
+quality quarter queen question quick quiet quite race radio rail rain
+raise range rapid rare rate rather reach read ready real reason receive
+recent recipe record red reduce refer reflect region regret regular
+relate release relief rely remain remember remind remove rent repair
+repeat reply report request require rescue research reserve resist
+resource respect respond rest result return review reward rhythm rice
+rich ride right ring rise risk river road rock role roll roof room root
+rope rose rough round route row royal rubber rule run rural rush sad
+safe sail salad salary sale salt same sample sand save scale scene
+schedule scheme school science score screen script sea search season
+seat second secret section sector secure see seed seek seem select sell
+send senior sense sentence separate series serious serve service set
+settle seven several shade shadow shake shall shape share sharp shelf
+shell shelter shift shine ship shirt shock shoe shoot shop shore short
+should shoulder show shower side sight sign signal silent silk silver
+similar simple since sing single sister sit site six size skill skin
+sky sleep slice slide slight slip slow small smart smell smile smooth
+snake snow social society soft soil soldier solid solve some son song
+soon sort soul sound soup source south space spare speak special speed
+spell spend spice spirit split sport spot spread spring square stable
+staff stage stair stamp stand standard star start state station stay
+steady steal steam steel step stick still stock stomach stone stop
+store storm story straight strange stream street strength stress
+stretch strike string strong structure student study stuff style
+subject succeed such sudden sugar suggest suit summer sun supply
+support suppose sure surface surprise survey sweet swim switch symbol
+system table tail take tale talent talk tall task taste tax teach team
+tear tell ten tender term test text thank theater theme theory thick
+thin thing think third thirty thought thousand thread three throat
+through throw thumb thunder ticket tide tie tiger tight time tiny tip
+tire title today together tomorrow tone tongue tonight tool tooth top
+topic total touch tour toward tower town toy track trade tradition
+traffic train transfer travel treasure treat tree trend trial tribe
+trick trip tropical trouble truck true trust truth try tube tune turn
+twelve twenty twice twin two type under understand union unique unit
+universe until upon upper urban urge use useful usual valley value
+variety various vast vehicle venture verse version very vessel victory
+view village violin visit visual vital voice volume vote wage wait
+wake walk wall want war warm warn wash waste watch water wave way weak
+wealth weapon wear weather web wedding week weight welcome well west
+wet wheat wheel when where while whisper white whole wide wife wild
+will win wind window wine wing winner winter wire wise wish within
+without witness woman wonder wood wool word work world worry worth
+wound wrap write wrong yard year yellow yesterday yet young zero zone
+)";
+
+std::vector<std::string> ParseLexicon() {
+  std::vector<std::string> words;
+  std::istringstream in(kLexiconText);
+  std::string w;
+  while (in >> w) words.push_back(w);
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  return words;
+}
+
+}  // namespace
+
+const std::vector<std::string>& EnglishLexicon() {
+  static const auto& lexicon = *new std::vector<std::string>(ParseLexicon());
+  return lexicon;
+}
+
+const std::string& RandomWord(thor::Rng* rng) {
+  const auto& lexicon = EnglishLexicon();
+  return lexicon[rng->UniformInt(lexicon.size())];
+}
+
+std::vector<std::string> SampleDictionaryWords(thor::Rng* rng, int count) {
+  const auto& lexicon = EnglishLexicon();
+  if (count >= static_cast<int>(lexicon.size())) return lexicon;
+  std::unordered_set<size_t> chosen;
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(count));
+  while (static_cast<int>(out.size()) < count) {
+    size_t idx = static_cast<size_t>(rng->UniformInt(lexicon.size()));
+    if (chosen.insert(idx).second) out.push_back(lexicon[idx]);
+  }
+  return out;
+}
+
+std::string MakeNonsenseWord(thor::Rng* rng) {
+  // Start with a rare-onset consonant cluster, then alternate improbable
+  // consonant/vowel picks; append a distinctive suffix. None of these can
+  // collide with the lexicon (checked by test).
+  static constexpr const char* kOnsets[] = {"xq", "zv", "qg", "vx", "jx",
+                                            "kz", "wq", "xz"};
+  static constexpr const char* kVowels = "aeiou";
+  static constexpr const char* kCoda = "bdgjkpqvxz";
+  std::string word = kOnsets[rng->UniformInt(std::size(kOnsets))];
+  int syllables = 2 + static_cast<int>(rng->UniformInt(2));
+  for (int i = 0; i < syllables; ++i) {
+    word.push_back(kVowels[rng->UniformInt(5)]);
+    word.push_back(kCoda[rng->UniformInt(10)]);
+  }
+  word.push_back('q');
+  return word;
+}
+
+}  // namespace thor::text

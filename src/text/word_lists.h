@@ -1,0 +1,29 @@
+#ifndef THOR_TEXT_WORD_LISTS_H_
+#define THOR_TEXT_WORD_LISTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace thor::text {
+
+/// Embedded English lexicon (~900 common words) standing in for the paper's
+/// "/usr/dict/words": the query prober samples from it, and the deep-web
+/// simulator draws description text from it.
+const std::vector<std::string>& EnglishLexicon();
+
+/// A random dictionary word.
+const std::string& RandomWord(thor::Rng* rng);
+
+/// Samples `count` distinct dictionary words (or the whole lexicon if
+/// count exceeds it).
+std::vector<std::string> SampleDictionaryWords(thor::Rng* rng, int count);
+
+/// Generates a pronounceable-but-nonsense probe word highly unlikely to be
+/// indexed ("xquvgle"-style), per the paper's Stage-1 design.
+std::string MakeNonsenseWord(thor::Rng* rng);
+
+}  // namespace thor::text
+
+#endif  // THOR_TEXT_WORD_LISTS_H_

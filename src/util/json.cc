@@ -1,0 +1,141 @@
+#include "src/util/json.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace thor {
+
+std::string JsonWriter::Escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (unsigned char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  char state = stack_.back();
+  if (state == 'a') {
+    if (first_.back() == '0') {
+      out_ += ',';
+    }
+    first_.back() = '0';
+  } else if (state == 'v') {
+    stack_.back() = 'o';  // value written; next comes a key
+  } else {
+    assert(false && "value emitted where an object key is required");
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_ += 'o';
+  first_ += '1';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == 'o');
+  out_ += '}';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_ += 'a';
+  first_ += '1';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == 'a');
+  out_ += ']';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && stack_.back() == 'o');
+  if (first_.back() == '0') {
+    out_ += ',';
+  }
+  first_.back() = '0';
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  stack_.back() = 'v';
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(long long value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace thor

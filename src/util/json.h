@@ -1,0 +1,51 @@
+#ifndef THOR_UTIL_JSON_H_
+#define THOR_UTIL_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace thor {
+
+/// \brief Minimal streaming JSON writer used by the CLI and examples to
+/// emit extraction results.
+///
+/// Handles escaping and comma placement; structural misuse (closing an
+/// array as an object, keys outside objects) is a programming error caught
+/// by assertions in debug builds. No DOM, no parsing — output only.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by a value or Begin*.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(long long value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The serialized document so far.
+  const std::string& str() const { return out_; }
+
+  /// Escapes `value` per RFC 8259 (quotes, backslash, control characters).
+  static std::string Escape(std::string_view value);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // Stack of container states: 'o' = object awaiting key, 'v' = object
+  // awaiting value, 'a' = array. Parallel flags for "first element".
+  std::string stack_;
+  std::string first_;
+};
+
+}  // namespace thor
+
+#endif  // THOR_UTIL_JSON_H_

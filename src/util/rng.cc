@@ -1,0 +1,92 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thor {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  // Lemire's nearly-divisionless method.
+  if (bound == 0) return 0;
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) sum += UniformDouble();
+  return mean + (sum - 6.0) * stddev;
+}
+
+int Rng::HeavyTailCount(double mean, int max_value) {
+  if (mean < 1.0) mean = 1.0;
+  // Exponential with the requested mean, shifted to be >= 1.
+  double u = UniformDouble();
+  double v = 1.0 - std::exp(-3.0);  // truncate tail for stability
+  double x = -std::log(1.0 - u * v) / 3.0;  // in [0, 1)
+  int count = 1 + static_cast<int>(x * (mean - 1.0) * 3.0);
+  return std::min(count, max_value);
+}
+
+Rng Rng::Fork() {
+  return Rng(Next());
+}
+
+}  // namespace thor

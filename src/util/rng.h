@@ -1,0 +1,75 @@
+#ifndef THOR_UTIL_RNG_H_
+#define THOR_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace thor {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every stochastic component in the library (K-Means restarts, the deep-web
+/// simulator, synthetic corpus generation) takes an explicit `Rng` so that
+/// experiments are bit-for-bit reproducible from a seed. The generator is
+/// seeded through SplitMix64 as recommended by the xoshiro authors.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// rejection method to avoid modulo bias.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Approximately normal sample (mean, stddev) via sum of uniforms
+  /// (Irwin-Hall with 12 terms); adequate for workload synthesis.
+  double Normal(double mean, double stddev);
+
+  /// Geometric-ish heavy-tailed positive integer with the given mean >= 1.
+  /// Used for synthetic result-list lengths.
+  int HeavyTailCount(double mean, int max_value);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; `items` must be non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[UniformInt(items.size())];
+  }
+
+  /// Derives an independent child generator (for per-site / per-restart
+  /// streams) without perturbing this generator's own sequence more than
+  /// one step.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+/// SplitMix64 step; exposed for seeding schemes and hashing in tests.
+uint64_t SplitMix64(uint64_t* state);
+
+}  // namespace thor
+
+#endif  // THOR_UTIL_RNG_H_

@@ -1,0 +1,120 @@
+#include "src/cluster/agglomerative.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/quality.h"
+#include "src/util/rng.h"
+
+namespace thor::cluster {
+namespace {
+
+struct Blobs {
+  std::vector<ir::SparseVector> vectors;
+  std::vector<int> labels;
+};
+
+Blobs MakeBlobs(int per_class, uint64_t seed) {
+  Blobs blobs;
+  Rng rng(seed);
+  for (int cls = 0; cls < 3; ++cls) {
+    for (int i = 0; i < per_class; ++i) {
+      std::vector<ir::VectorEntry> entries;
+      for (int d = 0; d < 4; ++d) {
+        entries.push_back({cls * 4 + d, 1.0 + rng.UniformDouble() * 0.2});
+      }
+      ir::SparseVector v = ir::SparseVector::FromPairs(std::move(entries));
+      v.Normalize();
+      blobs.vectors.push_back(std::move(v));
+      blobs.labels.push_back(cls);
+    }
+  }
+  return blobs;
+}
+
+class LinkageSweep : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkageSweep, RecoversSeparatedBlobs) {
+  Blobs blobs = MakeBlobs(15, 3);
+  AgglomerativeOptions options;
+  options.k = 3;
+  options.linkage = GetParam();
+  auto result = AgglomerativeCluster(blobs.vectors, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(ClusteringEntropy(result->assignment, blobs.labels), 0.0,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Linkages, LinkageSweep,
+                         ::testing::Values(Linkage::kSingle,
+                                           Linkage::kComplete,
+                                           Linkage::kAverage));
+
+TEST(AgglomerativeTest, AssignmentsValidForAnyK) {
+  Blobs blobs = MakeBlobs(8, 5);
+  for (int k : {1, 2, 3, 7, 24}) {
+    AgglomerativeOptions options;
+    options.k = k;
+    auto result = AgglomerativeCluster(blobs.vectors, options);
+    ASSERT_TRUE(result.ok());
+    int max_cluster = 0;
+    for (int a : result->assignment) {
+      EXPECT_GE(a, 0);
+      max_cluster = std::max(max_cluster, a);
+    }
+    EXPECT_LT(max_cluster, std::min<int>(k, 24));
+  }
+}
+
+TEST(AgglomerativeTest, DendrogramHasExpectedMergeCount) {
+  Blobs blobs = MakeBlobs(5, 7);  // 15 leaves
+  AgglomerativeOptions options;
+  options.k = 3;
+  auto result = AgglomerativeCluster(blobs.vectors, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dendrogram.size(), 12u);  // n - k merges
+}
+
+TEST(AgglomerativeTest, DeterministicWithoutSeeds) {
+  Blobs blobs = MakeBlobs(10, 9);
+  AgglomerativeOptions options;
+  options.k = 3;
+  auto a = AgglomerativeCluster(blobs.vectors, options);
+  auto b = AgglomerativeCluster(blobs.vectors, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(AgglomerativeTest, KOneMergesEverything) {
+  Blobs blobs = MakeBlobs(4, 11);
+  AgglomerativeOptions options;
+  options.k = 1;
+  auto result = AgglomerativeCluster(blobs.vectors, options);
+  ASSERT_TRUE(result.ok());
+  for (int a : result->assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(AgglomerativeTest, MergeDistancesNonDecreasingForCompleteLinkage) {
+  // Complete linkage is monotone: later merges never get cheaper.
+  Blobs blobs = MakeBlobs(8, 13);
+  AgglomerativeOptions options;
+  options.k = 1;
+  options.linkage = Linkage::kComplete;
+  auto result = AgglomerativeCluster(blobs.vectors, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->dendrogram.size(); ++i) {
+    EXPECT_GE(result->dendrogram[i].distance,
+              result->dendrogram[i - 1].distance - 1e-9);
+  }
+}
+
+TEST(AgglomerativeTest, RejectsInvalidInput) {
+  EXPECT_FALSE(AgglomerativeCluster({}, AgglomerativeOptions{}).ok());
+  Blobs blobs = MakeBlobs(2, 15);
+  AgglomerativeOptions options;
+  options.k = 0;
+  EXPECT_FALSE(AgglomerativeCluster(blobs.vectors, options).ok());
+}
+
+}  // namespace
+}  // namespace thor::cluster

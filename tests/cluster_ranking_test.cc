@@ -1,0 +1,117 @@
+#include "src/core/cluster_ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/evaluation.h"
+#include "src/core/page_clustering.h"
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site_generator.h"
+
+namespace thor::core {
+namespace {
+
+TEST(ClusterRankingTest, ContentRichClustersRankAboveNoMatchClusters) {
+  deepweb::FleetOptions fleet_options;
+  fleet_options.num_sites = 1;
+  auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+  auto sample = deepweb::BuildSiteSample(fleet[0], deepweb::ProbeOptions{});
+  auto pages = ToPages(sample);
+  PageClusteringOptions options;
+  options.kmeans.k = 4;
+  auto clustering = ClusterPages(pages, options);
+  ASSERT_TRUE(clustering.ok());
+  auto ranked = RankClusters(pages, clustering->assignment, clustering->k);
+  ASSERT_GE(ranked.size(), 2u);
+  // Scores sorted descending.
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+  // Compute per-cluster pagelet density: the top-ranked cluster must
+  // contain answer pages, the bottom one mostly not.
+  auto pagelet_fraction = [&](int cluster) {
+    int total = 0;
+    int with = 0;
+    for (size_t i = 0; i < pages.size(); ++i) {
+      if (clustering->assignment[i] != cluster) continue;
+      ++total;
+      if (sample.pages[i].pagelet_node != html::kInvalidNode) ++with;
+    }
+    return total > 0 ? static_cast<double>(with) / total : 0.0;
+  };
+  EXPECT_GT(pagelet_fraction(ranked.front().cluster), 0.9);
+  EXPECT_LT(pagelet_fraction(ranked.back().cluster), 0.1);
+}
+
+TEST(ClusterRankingTest, EmptyClustersOmitted) {
+  deepweb::FleetOptions fleet_options;
+  fleet_options.num_sites = 1;
+  auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+  deepweb::ProbeOptions probe;
+  probe.num_dictionary_words = 10;
+  probe.num_nonsense_words = 2;
+  auto sample = deepweb::BuildSiteSample(fleet[0], probe);
+  auto pages = ToPages(sample);
+  // Hand-build an assignment that leaves cluster 2 empty.
+  std::vector<int> assignment(pages.size(), 0);
+  assignment[0] = 1;
+  auto ranked = RankClusters(pages, assignment, 3);
+  EXPECT_EQ(ranked.size(), 2u);
+  int total_pages = 0;
+  for (const auto& rc : ranked) total_pages += rc.num_pages;
+  EXPECT_EQ(total_pages, static_cast<int>(pages.size()));
+}
+
+TEST(ClusterRankingTest, ScoresAreNormalizedWeightedSums) {
+  deepweb::FleetOptions fleet_options;
+  fleet_options.num_sites = 1;
+  auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+  deepweb::ProbeOptions probe;
+  probe.num_dictionary_words = 20;
+  probe.num_nonsense_words = 2;
+  auto sample = deepweb::BuildSiteSample(fleet[0], probe);
+  auto pages = ToPages(sample);
+  std::vector<int> assignment(pages.size());
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    assignment[i] = static_cast<int>(i % 2);
+  }
+  auto ranked = RankClusters(pages, assignment, 2);
+  for (const auto& rc : ranked) {
+    EXPECT_GE(rc.score, 0.0);
+    EXPECT_LE(rc.score, 1.0 + 1e-12);
+    EXPECT_GT(rc.avg_distinct_terms, 0.0);
+    EXPECT_GT(rc.avg_max_fanout, 0.0);
+    EXPECT_GT(rc.avg_page_size, 0.0);
+  }
+  // The per-criterion maximum cluster scores 1.0 when weights sum to 1 and
+  // it dominates all three criteria; at minimum the best score exceeds the
+  // mean of the weights times 1.
+  EXPECT_GT(ranked.front().score, 0.5);
+}
+
+TEST(ClusterRankingTest, CustomWeightsChangeTheWinner) {
+  // Build two synthetic pages: one tiny but term-rich, one huge but
+  // term-poor; ranking by terms-only vs size-only must flip the order.
+  std::vector<Page> pages;
+  pages.push_back(Page::Parse(
+      "u1", "<div><p>alpha beta gamma delta epsilon zeta eta theta</p></div>"));
+  std::string big = "<div>";
+  for (int i = 0; i < 200; ++i) big += "<p>word word word word</p>";
+  big += "</div>";
+  pages.push_back(Page::Parse("u2", std::move(big)));
+  std::vector<int> assignment = {0, 1};
+  ClusterRankOptions terms_only;
+  terms_only.weight_distinct_terms = 1.0;
+  terms_only.weight_fanout = 0.0;
+  terms_only.weight_page_size = 0.0;
+  auto by_terms = RankClusters(pages, assignment, 2, terms_only);
+  EXPECT_EQ(by_terms.front().cluster, 0);
+  ClusterRankOptions size_only;
+  size_only.weight_distinct_terms = 0.0;
+  size_only.weight_fanout = 0.0;
+  size_only.weight_page_size = 1.0;
+  auto by_size = RankClusters(pages, assignment, 2, size_only);
+  EXPECT_EQ(by_size.front().cluster, 1);
+}
+
+}  // namespace
+}  // namespace thor::core

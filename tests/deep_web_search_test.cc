@@ -1,0 +1,125 @@
+#include "src/search/deep_web_search.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/evaluation.h"
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site_generator.h"
+#include "src/util/strings.h"
+
+namespace thor::search {
+namespace {
+
+// Builds the engine over a small fleet; returns it plus the fleet handle
+// for ground-truth lookups.
+struct EngineFixture {
+  std::vector<deepweb::DeepWebSite> fleet;
+  DeepWebSearchEngine engine;
+
+  static EngineFixture Make(int sites = 6) {
+    EngineFixture fixture;
+    deepweb::FleetOptions fleet_options;
+    fleet_options.num_sites = sites;
+    fixture.fleet = deepweb::GenerateSiteFleet(fleet_options);
+    deepweb::ProbeOptions probe;
+    for (const auto& site : fixture.fleet) {
+      deepweb::ProbeOptions per_site = probe;
+      per_site.seed += static_cast<uint64_t>(site.config().site_id);
+      auto sample = deepweb::BuildSiteSample(site, per_site);
+      auto pages = core::ToPages(sample);
+      auto result = core::RunThor(pages, core::ThorOptions{});
+      EXPECT_TRUE(result.ok());
+      fixture.engine.AddSite(site.config().site_id,
+                             site.style().site_name, pages, *result);
+    }
+    fixture.engine.Finalize();
+    return fixture;
+  }
+};
+
+TEST(DeepWebSearchTest, IndexesThousandsOfObjects) {
+  EngineFixture fixture = EngineFixture::Make();
+  EXPECT_GT(fixture.engine.num_documents(), 500);
+}
+
+TEST(DeepWebSearchTest, FindsIndexedObjectsByTheirTitles) {
+  EngineFixture fixture = EngineFixture::Make();
+  // Querying the exact title of an indexed object must surface an object
+  // from the owning site at the top (full-title collisions across sites
+  // are negligible; within-site duplicates are fine).
+  int queried = 0;
+  int correct_site = 0;
+  for (int d = 0; d < fixture.engine.num_documents() && queried < 25;
+       d += 97) {
+    const QaDocument& doc = fixture.engine.document(d);
+    auto results = fixture.engine.Search(doc.Title(), 3);
+    ASSERT_FALSE(results.empty()) << doc.Title();
+    ++queried;
+    if (results[0].document->site_id == doc.site_id) ++correct_site;
+  }
+  ASSERT_GT(queried, 10);
+  EXPECT_GE(correct_site * 10, queried * 9);  // >= 90%
+}
+
+TEST(DeepWebSearchTest, DocumentsCarryTypedFields) {
+  EngineFixture fixture = EngineFixture::Make(3);
+  int with_title = 0;
+  int with_price = 0;
+  for (int d = 0; d < fixture.engine.num_documents(); ++d) {
+    const QaDocument& doc = fixture.engine.document(d);
+    EXPECT_FALSE(doc.text.empty());
+    EXPECT_FALSE(doc.site_name.empty());
+    if (!doc.Title().empty()) ++with_title;
+    if (doc.Price() > 0) ++with_price;
+  }
+  EXPECT_EQ(with_title, fixture.engine.num_documents());
+  EXPECT_GT(with_price, fixture.engine.num_documents() / 2);
+}
+
+TEST(DeepWebSearchTest, SearchBySiteRanksDomainSites) {
+  EngineFixture fixture = EngineFixture::Make(9);
+  // Music-domain vocabulary ("jazz", album categories) should surface
+  // music sites first.
+  auto sites = fixture.engine.SearchBySite("jazz blues");
+  ASSERT_FALSE(sites.empty());
+  // Map winning site ids to domains via the fleet.
+  const auto& top = sites.front();
+  deepweb::Domain top_domain =
+      fixture.fleet[static_cast<size_t>(top.site_id)].config().domain;
+  EXPECT_EQ(top_domain, deepweb::Domain::kMusic);
+  EXPECT_GT(top.matching_documents, 0);
+}
+
+TEST(DeepWebSearchTest, SiteSummariesAreDomainFlavored) {
+  EngineFixture fixture = EngineFixture::Make(6);
+  for (const auto& site : fixture.fleet) {
+    auto summary = fixture.engine.SiteSummary(site.config().site_id);
+    EXPECT_FALSE(summary.empty());
+    // Summaries must be distinctive: at most a small overlap between the
+    // summaries of two sites from different domains.
+    for (const auto& other : fixture.fleet) {
+      if (other.config().domain == site.config().domain) continue;
+      auto other_summary =
+          fixture.engine.SiteSummary(other.config().site_id);
+      int overlap = 0;
+      for (const auto& term : summary) {
+        for (const auto& other_term : other_summary) {
+          if (term == other_term) ++overlap;
+        }
+      }
+      EXPECT_LE(overlap, 3) << site.config().site_id << " vs "
+                            << other.config().site_id;
+    }
+  }
+}
+
+TEST(DeepWebSearchTest, EmptyEngine) {
+  DeepWebSearchEngine engine;
+  engine.Finalize();
+  EXPECT_TRUE(engine.Search("anything").empty());
+  EXPECT_TRUE(engine.SearchBySite("anything").empty());
+  EXPECT_EQ(engine.num_documents(), 0);
+}
+
+}  // namespace
+}  // namespace thor::search

@@ -1,0 +1,106 @@
+#include "src/text/edit_distance.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace thor::text {
+namespace {
+
+TEST(EditDistanceTest, PaperExample) {
+  // The paper: distance("cat", "cake") == 2.
+  EXPECT_EQ(EditDistance("cat", "cake"), 2);
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(EditDistance("he", "het"), 1);  // paper's path example
+}
+
+TEST(EditDistanceTest, SymbolSequences) {
+  EXPECT_EQ(EditDistance(std::vector<int>{1, 2, 3},
+                         std::vector<int>{1, 2, 3}),
+            0);
+  EXPECT_EQ(EditDistance(std::vector<int>{1, 2, 3},
+                         std::vector<int>{1, 3}),
+            1);
+  EXPECT_EQ(EditDistance(std::vector<int>{}, std::vector<int>{5, 6}), 2);
+}
+
+TEST(EditDistanceTest, NormalizedRangeAndKnown) {
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "xyz"), 1.0);
+  // Paper: "he" vs "het" -> 1/3.
+  EXPECT_NEAR(NormalizedEditDistance("he", "het"), 1.0 / 3.0, 1e-12);
+}
+
+TEST(EditDistanceTest, BoundedMatchesFullWithinBound) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 5), 3);
+  EXPECT_EQ(BoundedEditDistance("abc", "abc", 0), 0);
+}
+
+TEST(EditDistanceTest, BoundedReportsExceedance) {
+  EXPECT_GT(BoundedEditDistance("aaaa", "bbbb", 2), 2);
+  EXPECT_GT(BoundedEditDistance("short", "muchlongerstring", 3), 3);
+}
+
+class EditDistanceProperties : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomString(Rng* rng, int max_len) {
+  int len = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(max_len)));
+  std::string s;
+  for (int i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng->UniformInt(4)));
+  }
+  return s;
+}
+
+TEST_P(EditDistanceProperties, SymmetryIdentityTriangle) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string a = RandomString(&rng, 20);
+    std::string b = RandomString(&rng, 20);
+    std::string c = RandomString(&rng, 20);
+    int dab = EditDistance(a, b);
+    int dba = EditDistance(b, a);
+    EXPECT_EQ(dab, dba);
+    EXPECT_EQ(EditDistance(a, a), 0);
+    // Triangle inequality.
+    EXPECT_LE(dab, EditDistance(a, c) + EditDistance(c, b));
+    // Length-difference lower bound, max-length upper bound.
+    EXPECT_GE(dab, std::abs(static_cast<int>(a.size()) -
+                            static_cast<int>(b.size())));
+    EXPECT_LE(dab, static_cast<int>(std::max(a.size(), b.size())));
+  }
+}
+
+TEST_P(EditDistanceProperties, BoundedAgreesWithFull) {
+  Rng rng(GetParam() + 1000);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string a = RandomString(&rng, 16);
+    std::string b = RandomString(&rng, 16);
+    int full = EditDistance(a, b);
+    for (int bound : {0, 1, 2, 4, 8, 32}) {
+      int bounded = BoundedEditDistance(a, b, bound);
+      if (full <= bound) {
+        EXPECT_EQ(bounded, full) << a << " vs " << b << " bound " << bound;
+      } else {
+        EXPECT_GT(bounded, bound);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceProperties,
+                         ::testing::Values(1, 2, 3, 42, 777));
+
+}  // namespace
+}  // namespace thor::text

@@ -1,0 +1,110 @@
+#include "src/search/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace thor::search {
+namespace {
+
+InvertedIndex SmallIndex() {
+  InvertedIndex index;
+  index.Add("red guitar with walnut body");            // 0
+  index.Add("blue guitar, maple neck");                // 1
+  index.Add("drum kit with cymbals");                  // 2
+  index.Add("guitar guitar guitar everywhere");        // 3
+  index.Add("walnut dining table");                    // 4
+  index.Finalize();
+  return index;
+}
+
+TEST(InvertedIndexTest, BasicRetrieval) {
+  InvertedIndex index = SmallIndex();
+  auto hits = index.Search("guitar");
+  ASSERT_EQ(hits.size(), 3u);
+  for (const SearchHit& hit : hits) {
+    EXPECT_TRUE(hit.doc == 0 || hit.doc == 1 || hit.doc == 3);
+    EXPECT_GT(hit.score, 0.0);
+  }
+}
+
+TEST(InvertedIndexTest, RankingIsOrderedByScore) {
+  InvertedIndex index = SmallIndex();
+  auto hits = index.Search("walnut guitar");
+  ASSERT_GE(hits.size(), 3u);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+  // Document 0 matches both query terms and must rank first.
+  EXPECT_EQ(hits[0].doc, 0);
+}
+
+TEST(InvertedIndexTest, LengthNormalizationKeepsSpamInCheck) {
+  // Doc 3 repeats "guitar" but is all guitar; doc 0 mentions it once among
+  // other words. The repeated doc may rank higher, but not unboundedly:
+  // scores stay within a small factor thanks to cosine normalization.
+  InvertedIndex index = SmallIndex();
+  auto hits = index.Search("guitar", 5);
+  double best = hits.front().score;
+  double worst = hits.back().score;
+  EXPECT_LT(best / worst, 4.0);
+}
+
+TEST(InvertedIndexTest, StemmingUnifiesQueryAndDocument) {
+  InvertedIndex index;
+  index.Add("running shoes for marathon runners");
+  index.Finalize();
+  EXPECT_EQ(index.Search("run").size(), 1u);
+  EXPECT_EQ(index.Search("runs").size(), 1u);
+}
+
+TEST(InvertedIndexTest, StopwordsIgnored) {
+  InvertedIndex index = SmallIndex();
+  auto with_stopwords = index.Search("the guitar of and");
+  auto without = index.Search("guitar");
+  ASSERT_EQ(with_stopwords.size(), without.size());
+  for (size_t i = 0; i < without.size(); ++i) {
+    EXPECT_EQ(with_stopwords[i].doc, without[i].doc);
+  }
+}
+
+TEST(InvertedIndexTest, UnknownAndEmptyQueries) {
+  InvertedIndex index = SmallIndex();
+  EXPECT_TRUE(index.Search("zzyzzx").empty());
+  EXPECT_TRUE(index.Search("").empty());
+  EXPECT_TRUE(index.Search("the of and").empty());
+}
+
+TEST(InvertedIndexTest, TopKCapsResults) {
+  InvertedIndex index = SmallIndex();
+  EXPECT_EQ(index.Search("guitar", 2).size(), 2u);
+  EXPECT_TRUE(index.Search("guitar", 0).empty());
+}
+
+TEST(InvertedIndexTest, DocFreq) {
+  InvertedIndex index = SmallIndex();
+  EXPECT_EQ(index.DocFreq("guitar"), 3);
+  EXPECT_EQ(index.DocFreq("walnut"), 2);
+  EXPECT_EQ(index.DocFreq("zzzz"), 0);
+  EXPECT_EQ(index.num_documents(), 5);
+  EXPECT_GT(index.num_terms(), 5);
+}
+
+TEST(InvertedIndexTest, RareTermsOutweighCommonOnes) {
+  InvertedIndex index;
+  for (int i = 0; i < 20; ++i) index.Add("common filler item listing");
+  index.Add("common rareword item");  // doc 20
+  index.Finalize();
+  auto hits = index.Search("common rareword");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc, 20);
+}
+
+TEST(InvertedIndexTest, SearchBeforeFinalizeReturnsNothing) {
+  InvertedIndex index;
+  index.Add("guitar");
+  EXPECT_TRUE(index.Search("guitar").empty());
+  index.Finalize();
+  EXPECT_EQ(index.Search("guitar").size(), 1u);
+}
+
+}  // namespace
+}  // namespace thor::search

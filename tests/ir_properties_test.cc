@@ -1,0 +1,145 @@
+// Property-style tests over the vector-space substrate and the text
+// analyzers: algebraic invariants sampled with seeded generators.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/ir/similarity.h"
+#include "src/ir/sparse_vector.h"
+#include "src/ir/tfidf.h"
+#include "src/text/porter_stemmer.h"
+#include "src/text/word_lists.h"
+#include "src/util/rng.h"
+
+namespace thor {
+namespace {
+
+ir::SparseVector RandomVector(Rng* rng, int dims = 16,
+                              double density = 0.5) {
+  std::vector<ir::VectorEntry> entries;
+  for (int d = 0; d < dims; ++d) {
+    if (rng->Bernoulli(density)) {
+      entries.push_back({d, 0.1 + rng->UniformDouble() * 9.9});
+    }
+  }
+  return ir::SparseVector::FromPairs(std::move(entries));
+}
+
+class VectorProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VectorProperties, DotIsSymmetricAndCauchySchwarzHolds) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    ir::SparseVector a = RandomVector(&rng);
+    ir::SparseVector b = RandomVector(&rng);
+    double ab = ir::SparseVector::Dot(a, b);
+    double ba = ir::SparseVector::Dot(b, a);
+    EXPECT_NEAR(ab, ba, 1e-12);
+    EXPECT_LE(std::abs(ab), a.Norm() * b.Norm() + 1e-9);
+  }
+}
+
+TEST_P(VectorProperties, NormalizeIsIdempotentAndDirectionPreserving) {
+  Rng rng(GetParam() + 17);
+  for (int iter = 0; iter < 100; ++iter) {
+    ir::SparseVector v = RandomVector(&rng);
+    if (v.empty()) continue;
+    ir::SparseVector once = v;
+    once.Normalize();
+    ir::SparseVector twice = once;
+    twice.Normalize();
+    EXPECT_NEAR(once.Norm(), 1.0, 1e-12);
+    for (size_t e = 0; e < once.entries().size(); ++e) {
+      EXPECT_NEAR(once.entries()[e].weight, twice.entries()[e].weight,
+                  1e-12);
+    }
+    // Cosine to the original is 1 (same direction).
+    EXPECT_NEAR(ir::CosineSimilarity(v, once), 1.0, 1e-9);
+  }
+}
+
+TEST_P(VectorProperties, CosineIsInvariantToUniformScaling) {
+  Rng rng(GetParam() + 31);
+  for (int iter = 0; iter < 50; ++iter) {
+    ir::SparseVector a = RandomVector(&rng);
+    ir::SparseVector b = RandomVector(&rng);
+    ir::SparseVector scaled = a;
+    scaled.Scale(1.0 + rng.UniformDouble() * 10.0);
+    EXPECT_NEAR(ir::CosineSimilarity(a, b),
+                ir::CosineSimilarity(scaled, b), 1e-9);
+  }
+}
+
+TEST_P(VectorProperties, EuclideanIsAMetricOnSamples) {
+  Rng rng(GetParam() + 47);
+  for (int iter = 0; iter < 50; ++iter) {
+    ir::SparseVector a = RandomVector(&rng);
+    ir::SparseVector b = RandomVector(&rng);
+    ir::SparseVector c = RandomVector(&rng);
+    double ab = ir::EuclideanDistance(a, b);
+    double ba = ir::EuclideanDistance(b, a);
+    EXPECT_NEAR(ab, ba, 1e-12);
+    EXPECT_NEAR(ir::EuclideanDistance(a, a), 0.0, 1e-12);
+    EXPECT_LE(ab, ir::EuclideanDistance(a, c) +
+                      ir::EuclideanDistance(c, b) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorProperties,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(TfidfProperties, WeightMonotoneInTfAntitoneInDf) {
+  std::vector<ir::SparseVector> docs;
+  for (int i = 0; i < 10; ++i) {
+    docs.push_back(ir::SparseVector::FromPairs({{0, 1.0}}));
+  }
+  ir::TfidfModel model = ir::TfidfModel::Fit(docs);
+  for (int df = 1; df < 10; ++df) {
+    EXPECT_GT(model.Weight(5.0, df), model.Weight(2.0, df));
+    EXPECT_GT(model.Weight(2.0, df), model.Weight(2.0, df + 1));
+    EXPECT_GT(model.Weight(1.0, df), 0.0);
+  }
+}
+
+TEST(TfidfProperties, NormalizedOutputAlwaysUnitOrEmpty) {
+  Rng rng(9);
+  std::vector<ir::SparseVector> docs;
+  for (int i = 0; i < 20; ++i) docs.push_back(RandomVector(&rng));
+  ir::TfidfModel model = ir::TfidfModel::Fit(docs);
+  for (const auto& doc : docs) {
+    ir::SparseVector weighted = model.Weigh(doc, ir::Weighting::kTfidf);
+    if (!weighted.empty()) {
+      EXPECT_NEAR(weighted.Norm(), 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(PorterProperties, StemsNeverGrowOverTheLexicon) {
+  for (const std::string& word : text::EnglishLexicon()) {
+    std::string stem = text::PorterStem(word);
+    EXPECT_LE(stem.size(), word.size() + 1) << word;
+    EXPECT_FALSE(stem.empty());
+    // Stems of lexicon words stay lowercase alpha.
+    for (char c : stem) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(PorterProperties, StemmingIsIdempotentOverTheLexicon) {
+  int violations = 0;
+  for (const std::string& word : text::EnglishLexicon()) {
+    std::string once = text::PorterStem(word);
+    if (text::PorterStem(once) != once) ++violations;
+  }
+  // Porter is not formally idempotent, but violations are rare; pin the
+  // observed bound so regressions surface.
+  EXPECT_LE(violations, static_cast<int>(
+                            text::EnglishLexicon().size() / 50));
+}
+
+}  // namespace
+}  // namespace thor

@@ -1,0 +1,103 @@
+#include "src/util/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/json.h"
+
+namespace thor {
+namespace {
+
+TEST(JsonReaderTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->IsNull());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("3.25")->AsDouble(), 3.25);
+  EXPECT_EQ(JsonValue::Parse("-17")->AsInt(), -17);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3")->AsDouble(), 1000.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonReaderTest, WhitespaceTolerated) {
+  auto value = JsonValue::Parse("  { \"a\" : [ 1 , 2 ] }  ");
+  ASSERT_TRUE(value.ok());
+  ASSERT_TRUE(value->IsObject());
+  const JsonValue* a = value->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 2u);
+  EXPECT_EQ(a->items()[1].AsInt(), 2);
+}
+
+TEST(JsonReaderTest, NestedStructures) {
+  auto value = JsonValue::Parse(
+      R"({"templates":[{"name":"t1","dims":[["table",3]]}],"n":1})");
+  ASSERT_TRUE(value.ok());
+  const JsonValue* templates = value->Find("templates");
+  ASSERT_NE(templates, nullptr);
+  ASSERT_EQ(templates->items().size(), 1u);
+  const JsonValue& first = templates->items()[0];
+  EXPECT_EQ(first.Find("name")->AsString(), "t1");
+  const JsonValue& dim = first.Find("dims")->items()[0];
+  EXPECT_EQ(dim.items()[0].AsString(), "table");
+  EXPECT_EQ(dim.items()[1].AsInt(), 3);
+}
+
+TEST(JsonReaderTest, StringEscapes) {
+  auto value = JsonValue::Parse(R"("a\"b\\c\nd\tA")");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsString(), "a\"b\\c\nd\tA");
+}
+
+TEST(JsonReaderTest, UnicodeEscapeToUtf8) {
+  auto value = JsonValue::Parse(R"("é€")");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsString(), "\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("tru").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("nan").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,}").ok());
+}
+
+TEST(JsonReaderTest, RejectsPathologicalNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonReaderTest, FindOnNonObject) {
+  auto value = JsonValue::Parse("[1]");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->Find("x"), nullptr);
+}
+
+TEST(JsonReaderTest, RoundTripsWriterOutput) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("name").String("path \"x\"\nline");
+  writer.Key("values").BeginArray();
+  writer.Int(1);
+  writer.Double(2.5);
+  writer.Bool(false);
+  writer.Null();
+  writer.EndArray();
+  writer.EndObject();
+  auto value = JsonValue::Parse(writer.str());
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->Find("name")->AsString(), "path \"x\"\nline");
+  const auto& items = value->Find("values")->items();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(items[1].AsDouble(), 2.5);
+  EXPECT_FALSE(items[2].AsBool());
+  EXPECT_TRUE(items[3].IsNull());
+}
+
+}  // namespace
+}  // namespace thor

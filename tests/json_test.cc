@@ -1,0 +1,87 @@
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace thor {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  {
+    JsonWriter json;
+    json.BeginObject().EndObject();
+    EXPECT_EQ(json.str(), "{}");
+  }
+  {
+    JsonWriter json;
+    json.BeginArray().EndArray();
+    EXPECT_EQ(json.str(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("thor");
+  json.Key("pages").Int(5500);
+  json.Key("precision").Double(0.97);
+  json.Key("robust").Bool(true);
+  json.Key("doi").Null();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"thor\",\"pages\":5500,\"precision\":0.97,"
+            "\"robust\":true,\"doi\":null}");
+}
+
+TEST(JsonWriterTest, ArraysWithCommas) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.String("three");
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[1,2,\"three\"]");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("objects").BeginArray();
+  json.BeginObject().Key("id").Int(1).EndObject();
+  json.BeginObject().Key("id").Int(2).EndObject();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"objects\":[{\"id\":1},{\"id\":2}]}");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak\ttab"),
+            "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonWriter::Escape("plain"), "plain");
+}
+
+TEST(JsonWriterTest, EscapedStringsInDocument) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("path").String("html/body/table[3]");
+  json.Key("text").String("say \"hi\"");
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"path\":\"html/body/table[3]\",\"text\":\"say \\\"hi\\\"\"}");
+}
+
+TEST(JsonWriterTest, Utf8PassesThrough) {
+  JsonWriter json;
+  json.BeginArray().String("\xC3\xA9t\xC3\xA9").EndArray();
+  EXPECT_EQ(json.str(), "[\"\xC3\xA9t\xC3\xA9\"]");
+}
+
+TEST(JsonWriterTest, DoubleFormatting) {
+  JsonWriter json;
+  json.BeginArray().Double(1.0).Double(0.5).Double(1e-9).EndArray();
+  EXPECT_EQ(json.str(), "[1,0.5,1e-09]");
+}
+
+}  // namespace
+}  // namespace thor

@@ -1,0 +1,182 @@
+#include "src/cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/quality.h"
+#include "src/util/rng.h"
+
+namespace thor::cluster {
+namespace {
+
+// Three well-separated groups in disjoint dimension blocks.
+struct Blobs {
+  std::vector<ir::SparseVector> vectors;
+  std::vector<int> labels;
+};
+
+Blobs MakeBlobs(int per_class, uint64_t seed) {
+  Blobs blobs;
+  Rng rng(seed);
+  for (int cls = 0; cls < 3; ++cls) {
+    for (int i = 0; i < per_class; ++i) {
+      std::vector<ir::VectorEntry> entries;
+      for (int d = 0; d < 4; ++d) {
+        entries.push_back(
+            {cls * 4 + d, 1.0 + rng.UniformDouble() * 0.2});
+      }
+      // A little shared noise dimension.
+      entries.push_back({100, 0.05 + rng.UniformDouble() * 0.01});
+      ir::SparseVector v = ir::SparseVector::FromPairs(std::move(entries));
+      v.Normalize();
+      blobs.vectors.push_back(std::move(v));
+      blobs.labels.push_back(cls);
+    }
+  }
+  return blobs;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Blobs blobs = MakeBlobs(20, 1);
+  KMeansOptions options;
+  options.k = 3;
+  options.restarts = 10;
+  auto result = KMeansCluster(blobs.vectors, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters(), 3);
+  EXPECT_NEAR(ClusteringEntropy(result->assignment, blobs.labels), 0.0,
+              1e-9);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Blobs blobs = MakeBlobs(15, 2);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 99;
+  auto a = KMeansCluster(blobs.vectors, options);
+  auto b = KMeansCluster(blobs.vectors, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_DOUBLE_EQ(a->internal_similarity, b->internal_similarity);
+}
+
+TEST(KMeansTest, AssignmentsAlwaysValid) {
+  Blobs blobs = MakeBlobs(10, 3);
+  for (int k : {1, 2, 3, 5, 10}) {
+    KMeansOptions options;
+    options.k = k;
+    auto result = KMeansCluster(blobs.vectors, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->assignment.size(), blobs.vectors.size());
+    for (int a : result->assignment) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(a, result->num_clusters());
+    }
+  }
+}
+
+TEST(KMeansTest, KClampedToItemCount) {
+  Blobs blobs = MakeBlobs(1, 4);  // 3 vectors
+  KMeansOptions options;
+  options.k = 10;
+  auto result = KMeansCluster(blobs.vectors, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->num_clusters(), 3);
+}
+
+TEST(KMeansTest, RejectsInvalidArguments) {
+  EXPECT_FALSE(KMeansCluster({}, KMeansOptions{}).ok());
+  Blobs blobs = MakeBlobs(2, 5);
+  KMeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(KMeansCluster(blobs.vectors, options).ok());
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorse) {
+  Blobs blobs = MakeBlobs(20, 6);
+  KMeansOptions one;
+  one.k = 3;
+  one.restarts = 1;
+  one.seed = 5;
+  KMeansOptions many = one;
+  many.restarts = 10;
+  auto r1 = KMeansCluster(blobs.vectors, one);
+  auto r10 = KMeansCluster(blobs.vectors, many);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r10.ok());
+  EXPECT_GE(r10->internal_similarity, r1->internal_similarity - 1e-12);
+}
+
+TEST(KMeansTest, MembersAndSizesConsistent) {
+  Blobs blobs = MakeBlobs(8, 7);
+  KMeansOptions options;
+  options.k = 3;
+  auto result = KMeansCluster(blobs.vectors, options);
+  ASSERT_TRUE(result.ok());
+  auto sizes = result->Sizes();
+  int total = 0;
+  for (int c = 0; c < result->num_clusters(); ++c) {
+    auto members = result->Members(c);
+    EXPECT_EQ(static_cast<int>(members.size()), sizes[static_cast<size_t>(c)]);
+    total += sizes[static_cast<size_t>(c)];
+    for (int m : members) {
+      EXPECT_EQ(result->assignment[static_cast<size_t>(m)], c);
+    }
+  }
+  EXPECT_EQ(total, static_cast<int>(blobs.vectors.size()));
+}
+
+TEST(KMeansTest, ComputeCentroidsIsMean) {
+  std::vector<ir::SparseVector> vectors = {
+      ir::SparseVector::FromPairs({{0, 2.0}}),
+      ir::SparseVector::FromPairs({{0, 4.0}, {1, 2.0}}),
+      ir::SparseVector::FromPairs({{1, 6.0}}),
+  };
+  std::vector<int> assignment = {0, 0, 1};
+  auto centroids = ComputeCentroids(vectors, assignment, 2);
+  ASSERT_EQ(centroids.size(), 2u);
+  EXPECT_DOUBLE_EQ(centroids[0].At(0), 3.0);
+  EXPECT_DOUBLE_EQ(centroids[0].At(1), 1.0);
+  EXPECT_DOUBLE_EQ(centroids[1].At(1), 6.0);
+}
+
+TEST(KMeansTest, InternalSimilarityHigherForTrueClustering) {
+  Blobs blobs = MakeBlobs(15, 8);
+  auto true_centroids = ComputeCentroids(blobs.vectors, blobs.labels, 3);
+  double true_sim =
+      InternalSimilarity(blobs.vectors, blobs.labels, true_centroids);
+  std::vector<int> shuffled = blobs.labels;
+  Rng rng(4);
+  rng.Shuffle(&shuffled);
+  auto bad_centroids = ComputeCentroids(blobs.vectors, shuffled, 3);
+  double bad_sim =
+      InternalSimilarity(blobs.vectors, shuffled, bad_centroids);
+  EXPECT_GT(true_sim, bad_sim);
+}
+
+TEST(KMeansTest, OneIterationRunsSingleCycle) {
+  Blobs blobs = MakeBlobs(10, 9);
+  auto result = KMeansOneIteration(blobs.vectors, 3, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations_run, 1);
+  EXPECT_EQ(result->assignment.size(), blobs.vectors.size());
+}
+
+class KMeansSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KMeansSeedSweep, AlwaysSeparatesBlobsWithRestarts) {
+  Blobs blobs = MakeBlobs(12, GetParam());
+  KMeansOptions options;
+  options.k = 3;
+  options.restarts = 10;
+  options.seed = GetParam() * 31 + 1;
+  auto result = KMeansCluster(blobs.vectors, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(ClusteringEntropy(result->assignment, blobs.labels), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansSeedSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace thor::cluster

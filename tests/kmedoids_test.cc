@@ -1,0 +1,123 @@
+#include "src/cluster/kmedoids.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/quality.h"
+#include "src/text/edit_distance.h"
+
+namespace thor::cluster {
+namespace {
+
+TEST(KMedoidsTest, SeparatesPointsOnALine) {
+  // Values near 0, near 100, near 200.
+  std::vector<double> values;
+  std::vector<int> labels;
+  for (int cls = 0; cls < 3; ++cls) {
+    for (int i = 0; i < 10; ++i) {
+      values.push_back(cls * 100.0 + i);
+      labels.push_back(cls);
+    }
+  }
+  auto distance = [&values](int i, int j) {
+    return std::abs(values[static_cast<size_t>(i)] -
+                    values[static_cast<size_t>(j)]);
+  };
+  KMedoidsOptions options;
+  options.k = 3;
+  auto result = KMedoidsCluster(static_cast<int>(values.size()), distance,
+                                options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(ClusteringEntropy(result->assignment, labels), 0.0, 1e-9);
+}
+
+TEST(KMedoidsTest, MedoidsAreMembersOfTheirClusters) {
+  std::vector<double> values = {0, 1, 2, 50, 51, 52, 100, 101};
+  auto distance = [&values](int i, int j) {
+    return std::abs(values[static_cast<size_t>(i)] -
+                    values[static_cast<size_t>(j)]);
+  };
+  KMedoidsOptions options;
+  options.k = 3;
+  auto result =
+      KMedoidsCluster(static_cast<int>(values.size()), distance, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t c = 0; c < result->medoids.size(); ++c) {
+    int medoid = result->medoids[c];
+    EXPECT_EQ(result->assignment[static_cast<size_t>(medoid)],
+              static_cast<int>(c));
+  }
+}
+
+TEST(KMedoidsTest, ClustersUrlsByEditDistance) {
+  std::vector<std::string> urls = {
+      "http://a.example/search?q=cat",  "http://a.example/search?q=dog",
+      "http://a.example/search?q=bird", "http://b.other/list/page/1",
+      "http://b.other/list/page/2",     "http://b.other/list/page/3",
+  };
+  std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  auto distance = [&urls](int i, int j) {
+    return text::NormalizedEditDistance(urls[static_cast<size_t>(i)],
+                                        urls[static_cast<size_t>(j)]);
+  };
+  KMedoidsOptions options;
+  options.k = 2;
+  auto result =
+      KMedoidsCluster(static_cast<int>(urls.size()), distance, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(ClusteringEntropy(result->assignment, labels), 0.0, 1e-9);
+}
+
+TEST(KMedoidsTest, DeterministicForSeed) {
+  std::vector<double> values = {1, 2, 3, 10, 11, 12, 30, 31};
+  auto distance = [&values](int i, int j) {
+    return std::abs(values[static_cast<size_t>(i)] -
+                    values[static_cast<size_t>(j)]);
+  };
+  KMedoidsOptions options;
+  options.k = 3;
+  options.seed = 17;
+  auto a = KMedoidsCluster(8, distance, options);
+  auto b = KMedoidsCluster(8, distance, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->medoids, b->medoids);
+}
+
+TEST(KMedoidsTest, TotalCostIsSumOfMemberDistances) {
+  std::vector<double> values = {0, 2, 10, 12};
+  auto distance = [&values](int i, int j) {
+    return std::abs(values[static_cast<size_t>(i)] -
+                    values[static_cast<size_t>(j)]);
+  };
+  KMedoidsOptions options;
+  options.k = 2;
+  auto result = KMedoidsCluster(4, distance, options);
+  ASSERT_TRUE(result.ok());
+  // Optimal: {0,2} and {10,12}; medoid either member, cost 2 per cluster.
+  EXPECT_NEAR(result->total_cost, 4.0, 1e-9);
+}
+
+TEST(KMedoidsTest, RejectsInvalidArguments) {
+  auto distance = [](int, int) { return 0.0; };
+  EXPECT_FALSE(KMedoidsCluster(0, distance, KMedoidsOptions{}).ok());
+  KMedoidsOptions options;
+  options.k = 0;
+  EXPECT_FALSE(KMedoidsCluster(5, distance, options).ok());
+}
+
+TEST(KMedoidsTest, KClampedToItems) {
+  auto distance = [](int i, int j) { return std::abs(i - j); };
+  KMedoidsOptions options;
+  options.k = 99;
+  auto result = KMedoidsCluster(3, distance, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->medoids.size(), 3u);
+}
+
+}  // namespace
+}  // namespace thor::cluster

@@ -1,0 +1,164 @@
+#include "src/core/page_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/quality.h"
+#include "src/core/evaluation.h"
+#include "src/core/signature_builder.h"
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site_generator.h"
+
+namespace thor::core {
+namespace {
+
+struct SiteFixture {
+  deepweb::SiteSample sample;
+  std::vector<Page> pages;
+  std::vector<int> labels;
+};
+
+SiteFixture MakeFixture(int site_id = 0) {
+  deepweb::FleetOptions fleet_options;
+  fleet_options.num_sites = site_id + 1;
+  auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+  deepweb::ProbeOptions probe;
+  probe.seed += static_cast<uint64_t>(site_id);
+  SiteFixture fixture;
+  fixture.sample = deepweb::BuildSiteSample(
+      fleet[static_cast<size_t>(site_id)], probe);
+  fixture.pages = ToPages(fixture.sample);
+  fixture.labels = fixture.sample.ClassLabels();
+  return fixture;
+}
+
+PageClusteringOptions MakeOptions(ClusteringApproach approach, int k = 4) {
+  PageClusteringOptions options;
+  options.approach = approach;
+  options.kmeans.k = k;
+  return options;
+}
+
+TEST(PageClusteringTest, TfidfTagsSeparatesPageClasses) {
+  SiteFixture fixture = MakeFixture();
+  auto result =
+      ClusterPages(fixture.pages, MakeOptions(ClusteringApproach::kTfidfTags));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(cluster::ClusteringEntropy(result->assignment, fixture.labels),
+            0.15);
+  EXPECT_EQ(result->vectors.size(), fixture.pages.size());
+  EXPECT_GT(result->internal_similarity, 0.0);
+}
+
+TEST(PageClusteringTest, TfidfTagsBeatsRandomByALot) {
+  SiteFixture fixture = MakeFixture();
+  auto tag = ClusterPages(fixture.pages,
+                          MakeOptions(ClusteringApproach::kTfidfTags));
+  auto random = ClusterPages(fixture.pages,
+                             MakeOptions(ClusteringApproach::kRandom));
+  ASSERT_TRUE(tag.ok());
+  ASSERT_TRUE(random.ok());
+  double tag_entropy =
+      cluster::ClusteringEntropy(tag->assignment, fixture.labels);
+  double random_entropy =
+      cluster::ClusteringEntropy(random->assignment, fixture.labels);
+  EXPECT_LT(tag_entropy, random_entropy - 0.3);
+}
+
+TEST(PageClusteringTest, AllApproachesProduceValidAssignments) {
+  SiteFixture fixture = MakeFixture();
+  for (int a = 0; a < kNumClusteringApproaches; ++a) {
+    auto approach = static_cast<ClusteringApproach>(a);
+    auto result = ClusterPages(fixture.pages, MakeOptions(approach));
+    ASSERT_TRUE(result.ok()) << ApproachLabel(approach);
+    EXPECT_EQ(result->assignment.size(), fixture.pages.size());
+    for (int c : result->assignment) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, result->k > 0 ? result->k : 4);
+    }
+  }
+}
+
+TEST(PageClusteringTest, UrlApproachCannotSeparateSameFormPages) {
+  // The paper's point: all pages come from the same search form, so URLs
+  // differ only in the query word and carry no class signal.
+  SiteFixture fixture = MakeFixture();
+  auto result =
+      ClusterPages(fixture.pages, MakeOptions(ClusteringApproach::kUrl));
+  ASSERT_TRUE(result.ok());
+  auto tag = ClusterPages(fixture.pages,
+                          MakeOptions(ClusteringApproach::kTfidfTags));
+  EXPECT_GT(cluster::ClusteringEntropy(result->assignment, fixture.labels),
+            cluster::ClusteringEntropy(tag->assignment, fixture.labels));
+}
+
+TEST(PageClusteringTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ClusterPages({}, PageClusteringOptions{}).ok());
+}
+
+TEST(PageClusteringTest, ApproachLabelsMatchFigure10) {
+  EXPECT_STREQ(ApproachLabel(ClusteringApproach::kTfidfTags), "TTag");
+  EXPECT_STREQ(ApproachLabel(ClusteringApproach::kRawTags), "RTag");
+  EXPECT_STREQ(ApproachLabel(ClusteringApproach::kTfidfContent), "TCon");
+  EXPECT_STREQ(ApproachLabel(ClusteringApproach::kRawContent), "RCon");
+  EXPECT_STREQ(ApproachLabel(ClusteringApproach::kUrl), "URLs");
+  EXPECT_STREQ(ApproachLabel(ClusteringApproach::kSize), "Size");
+  EXPECT_STREQ(ApproachLabel(ClusteringApproach::kRandom), "Rand");
+}
+
+TEST(PageClusteringTest, ClusterSignaturesMatchesClusterPagesOnTags) {
+  SiteFixture fixture = MakeFixture();
+  std::vector<ir::SparseVector> counts;
+  for (const Page& p : fixture.pages) {
+    counts.push_back(TagCountVector(p.tree));
+  }
+  cluster::KMeansOptions kmeans;
+  kmeans.k = 4;
+  auto by_signature =
+      ClusterSignatures(counts, ir::Weighting::kTfidf, kmeans);
+  auto by_pages = ClusterPages(fixture.pages,
+                               MakeOptions(ClusteringApproach::kTfidfTags));
+  ASSERT_TRUE(by_signature.ok());
+  ASSERT_TRUE(by_pages.ok());
+  EXPECT_EQ(by_signature->assignment, by_pages->assignment);
+}
+
+TEST(PageClusteringTest, ClusterSignaturesRejectsEmpty) {
+  cluster::KMeansOptions kmeans;
+  EXPECT_FALSE(
+      ClusterSignatures({}, ir::Weighting::kTfidf, kmeans).ok());
+}
+
+class ApproachEntropyOrder
+    : public ::testing::TestWithParam<ClusteringApproach> {};
+
+TEST_P(ApproachEntropyOrder, NoApproachBeatsTfidfTagsInAggregate) {
+  // The paper's Figure-4 claim is aggregate over sites, not per-site
+  // dominance; average over a few sites.
+  double best_entropy = 0.0;
+  double other_entropy = 0.0;
+  for (int site = 0; site < 3; ++site) {
+    SiteFixture fixture = MakeFixture(site);
+    auto best = ClusterPages(fixture.pages,
+                             MakeOptions(ClusteringApproach::kTfidfTags));
+    auto other = ClusterPages(fixture.pages, MakeOptions(GetParam()));
+    ASSERT_TRUE(best.ok());
+    ASSERT_TRUE(other.ok());
+    best_entropy +=
+        cluster::ClusteringEntropy(best->assignment, fixture.labels);
+    other_entropy +=
+        cluster::ClusteringEntropy(other->assignment, fixture.labels);
+  }
+  EXPECT_LE(best_entropy / 3, other_entropy / 3 + 0.05)
+      << ApproachLabel(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Alternatives, ApproachEntropyOrder,
+    ::testing::Values(ClusteringApproach::kRawTags,
+                      ClusteringApproach::kTfidfContent,
+                      ClusteringApproach::kRawContent,
+                      ClusteringApproach::kUrl, ClusteringApproach::kSize,
+                      ClusteringApproach::kRandom));
+
+}  // namespace
+}  // namespace thor::core

@@ -1,0 +1,139 @@
+#include "src/text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace thor::text {
+namespace {
+
+struct StemCase {
+  const char* input;
+  const char* expected;
+};
+
+// Canonical examples from Porter (1980) and the reference implementation's
+// vocabulary list.
+class PorterVectors : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterVectors, MatchesReference) {
+  const StemCase& c = GetParam();
+  EXPECT_EQ(PorterStem(c.input), c.expected) << c.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1a, PorterVectors,
+    ::testing::Values(StemCase{"caresses", "caress"},
+                      StemCase{"ponies", "poni"}, StemCase{"ties", "ti"},
+                      StemCase{"caress", "caress"}, StemCase{"cats", "cat"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1b, PorterVectors,
+    ::testing::Values(StemCase{"feed", "feed"}, StemCase{"agreed", "agre"},
+                      StemCase{"plastered", "plaster"},
+                      StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+                      StemCase{"sing", "sing"},
+                      StemCase{"conflated", "conflat"},
+                      StemCase{"troubled", "troubl"},
+                      StemCase{"sized", "size"}, StemCase{"hopping", "hop"},
+                      StemCase{"tanned", "tan"}, StemCase{"falling", "fall"},
+                      StemCase{"hissing", "hiss"}, StemCase{"fizzed", "fizz"},
+                      StemCase{"failing", "fail"},
+                      StemCase{"filing", "file"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1c, PorterVectors,
+    ::testing::Values(StemCase{"happy", "happi"}, StemCase{"sky", "sky"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step2, PorterVectors,
+    ::testing::Values(StemCase{"relational", "relat"},
+                      StemCase{"conditional", "condit"},
+                      StemCase{"rational", "ration"},
+                      StemCase{"valenci", "valenc"},
+                      StemCase{"hesitanci", "hesit"},
+                      StemCase{"digitizer", "digit"},
+                      StemCase{"conformabli", "conform"},
+                      StemCase{"radicalli", "radic"},
+                      StemCase{"differentli", "differ"},
+                      StemCase{"vileli", "vile"},
+                      StemCase{"analogousli", "analog"},
+                      StemCase{"vietnamization", "vietnam"},
+                      StemCase{"predication", "predic"},
+                      StemCase{"operator", "oper"},
+                      StemCase{"feudalism", "feudal"},
+                      StemCase{"decisiveness", "decis"},
+                      StemCase{"hopefulness", "hope"},
+                      StemCase{"callousness", "callous"},
+                      StemCase{"formaliti", "formal"},
+                      StemCase{"sensitiviti", "sensit"},
+                      StemCase{"sensibiliti", "sensibl"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step3, PorterVectors,
+    ::testing::Values(StemCase{"triplicate", "triplic"},
+                      StemCase{"formative", "form"},
+                      StemCase{"formalize", "formal"},
+                      StemCase{"electriciti", "electr"},
+                      StemCase{"electrical", "electr"},
+                      StemCase{"hopeful", "hope"},
+                      StemCase{"goodness", "good"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step4, PorterVectors,
+    ::testing::Values(StemCase{"revival", "reviv"},
+                      StemCase{"allowance", "allow"},
+                      StemCase{"inference", "infer"},
+                      StemCase{"airliner", "airlin"},
+                      StemCase{"gyroscopic", "gyroscop"},
+                      StemCase{"adjustable", "adjust"},
+                      StemCase{"defensible", "defens"},
+                      StemCase{"irritant", "irrit"},
+                      StemCase{"replacement", "replac"},
+                      StemCase{"adjustment", "adjust"},
+                      StemCase{"dependent", "depend"},
+                      StemCase{"adoption", "adopt"},
+                      StemCase{"homologou", "homolog"},
+                      StemCase{"communism", "commun"},
+                      StemCase{"activate", "activ"},
+                      StemCase{"angulariti", "angular"},
+                      StemCase{"homologous", "homolog"},
+                      StemCase{"effective", "effect"},
+                      StemCase{"bowdlerize", "bowdler"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step5, PorterVectors,
+    ::testing::Values(StemCase{"probate", "probat"},
+                      StemCase{"rate", "rate"}, StemCase{"cease", "ceas"},
+                      StemCase{"controll", "control"},
+                      StemCase{"roll", "roll"}));
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem("be"), "be");
+}
+
+TEST(PorterStemmerTest, NonLowercaseInputReturnedVerbatim) {
+  EXPECT_EQ(PorterStem("Running"), "Running");
+  EXPECT_EQ(PorterStem("123abc"), "123abc");
+  EXPECT_EQ(PorterStem("hy-phen"), "hy-phen");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemmerTest, StemmingIsIdempotentForCommonWords) {
+  for (const char* w :
+       {"running", "flies", "happily", "nationalization", "computers",
+        "generalizations", "arguments", "hoping"}) {
+    std::string once = PorterStem(w);
+    EXPECT_EQ(PorterStem(once), once) << w;
+  }
+}
+
+TEST(PorterStemmerTest, MergesInflectionalFamily) {
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connected"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connecting"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connection"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connections"));
+}
+
+}  // namespace
+}  // namespace thor::text

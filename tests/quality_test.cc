@@ -1,0 +1,93 @@
+#include "src/cluster/quality.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/random_clusterer.h"
+
+namespace thor::cluster {
+namespace {
+
+TEST(QualityTest, PerfectClusteringHasZeroEntropy) {
+  std::vector<int> assignment = {0, 0, 1, 1, 2, 2};
+  std::vector<int> labels = {5, 5, 7, 7, 9, 9};
+  EXPECT_DOUBLE_EQ(ClusteringEntropy(assignment, labels), 0.0);
+  EXPECT_DOUBLE_EQ(ClusteringPurity(assignment, labels), 1.0);
+  EXPECT_DOUBLE_EQ(PairwiseF1(assignment, labels), 1.0);
+}
+
+TEST(QualityTest, WorstCaseEntropyIsOne) {
+  // Two classes split evenly across both clusters.
+  std::vector<int> assignment = {0, 0, 1, 1};
+  std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_NEAR(ClusteringEntropy(assignment, labels), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ClusteringPurity(assignment, labels), 0.5);
+}
+
+TEST(QualityTest, EntropyWeightsByClusterSize) {
+  // Cluster 0 pure with 8 items, cluster 1 mixed 1/1.
+  std::vector<int> assignment = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1};
+  std::vector<int> labels = {0, 0, 0, 0, 0, 0, 0, 0, 0, 1};
+  // Cluster 1 entropy = 1 (normalized, 2 classes); weight 2/10.
+  EXPECT_NEAR(ClusteringEntropy(assignment, labels), 0.2, 1e-12);
+}
+
+TEST(QualityTest, SingleClassIsZeroEntropyByConvention) {
+  std::vector<int> assignment = {0, 1, 0, 1};
+  std::vector<int> labels = {3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(ClusteringEntropy(assignment, labels), 0.0);
+  EXPECT_DOUBLE_EQ(ClusteringPurity(assignment, labels), 1.0);
+}
+
+TEST(QualityTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(ClusteringEntropy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ClusteringPurity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(PairwiseF1({}, {}), 0.0);
+}
+
+TEST(QualityTest, PurityMajorityRule) {
+  std::vector<int> assignment = {0, 0, 0, 1, 1, 1};
+  std::vector<int> labels = {0, 0, 1, 1, 1, 0};
+  EXPECT_NEAR(ClusteringPurity(assignment, labels), 4.0 / 6.0, 1e-12);
+}
+
+TEST(QualityTest, PairwiseF1PenalizesSplitsAndMerges) {
+  std::vector<int> labels = {0, 0, 0, 0};
+  // Splitting one class into two clusters: perfect precision, low recall.
+  std::vector<int> split = {0, 0, 1, 1};
+  double f1_split = PairwiseF1(split, labels);
+  EXPECT_LT(f1_split, 1.0);
+  EXPECT_GT(f1_split, 0.0);
+  // Merging two classes: low precision.
+  std::vector<int> merged_assignment = {0, 0, 0, 0};
+  std::vector<int> two_labels = {0, 0, 1, 1};
+  double f1_merged = PairwiseF1(merged_assignment, two_labels);
+  EXPECT_LT(f1_merged, 1.0);
+}
+
+TEST(QualityTest, EntropyOfRandomAssignmentIsHigh) {
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) labels.push_back(i % 3);
+  std::vector<int> assignment = RandomAssignment(300, 3, 42);
+  EXPECT_GT(ClusteringEntropy(assignment, labels), 0.9);
+}
+
+TEST(RandomClustererTest, BoundsAndDeterminism) {
+  auto a = RandomAssignment(100, 4, 7);
+  auto b = RandomAssignment(100, 4, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 100u);
+  for (int v : a) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 4);
+  }
+  EXPECT_NE(RandomAssignment(100, 4, 8), a);
+}
+
+TEST(QualityTest, MismatchedLengthsUseCommonPrefix) {
+  std::vector<int> assignment = {0, 0, 1};
+  std::vector<int> labels = {0, 0};
+  EXPECT_DOUBLE_EQ(ClusteringEntropy(assignment, labels), 0.0);
+}
+
+}  // namespace
+}  // namespace thor::cluster

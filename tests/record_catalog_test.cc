@@ -1,0 +1,121 @@
+#include "src/deepweb/record_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/strings.h"
+
+namespace thor::deepweb {
+namespace {
+
+TEST(RecordCatalogTest, GeneratesRequestedCount) {
+  Rng rng(1);
+  auto catalog = RecordCatalog::Generate(Domain::kEcommerce, 200, &rng);
+  EXPECT_EQ(catalog.size(), 200);
+  EXPECT_EQ(catalog.domain(), Domain::kEcommerce);
+}
+
+TEST(RecordCatalogTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  auto ca = RecordCatalog::Generate(Domain::kMusic, 50, &a);
+  auto cb = RecordCatalog::Generate(Domain::kMusic, 50, &b);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (int i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca.record(i).title, cb.record(i).title);
+    EXPECT_EQ(ca.record(i).creator, cb.record(i).creator);
+    EXPECT_DOUBLE_EQ(ca.record(i).price, cb.record(i).price);
+  }
+}
+
+TEST(RecordCatalogTest, FieldsArePlausible) {
+  Rng rng(7);
+  auto catalog = RecordCatalog::Generate(Domain::kBooks, 100, &rng);
+  for (const Record& r : catalog.records()) {
+    EXPECT_FALSE(r.title.empty());
+    EXPECT_FALSE(r.creator.empty());
+    EXPECT_FALSE(r.category.empty());
+    EXPECT_FALSE(r.description.empty());
+    EXPECT_GT(r.price, 0.0);
+    EXPECT_GE(r.year, 1975);
+    EXPECT_LE(r.year, 2003);
+    EXPECT_GE(r.rating, 1.0);
+    EXPECT_LE(r.rating, 5.0);
+  }
+}
+
+TEST(RecordCatalogTest, SearchFindsTitleWords) {
+  Rng rng(7);
+  auto catalog = RecordCatalog::Generate(Domain::kEcommerce, 300, &rng);
+  const Record& first = catalog.record(0);
+  // Any word of the title must find record 0.
+  std::string lower = AsciiLower(first.title);
+  auto words = Split(lower, ' ');
+  ASSERT_FALSE(words.empty());
+  auto hits = catalog.Search(words[0]);
+  bool found = false;
+  for (int id : hits) found |= (id == 0);
+  EXPECT_TRUE(found);
+}
+
+TEST(RecordCatalogTest, SearchIsCaseInsensitive) {
+  Rng rng(9);
+  auto catalog = RecordCatalog::Generate(Domain::kEcommerce, 300, &rng);
+  std::string word = AsciiLower(Split(catalog.record(0).title, ' ')[0]);
+  std::string upper = word;
+  for (char& c : upper) c = static_cast<char>(c - 'a' + 'A');
+  EXPECT_EQ(catalog.Search(word), catalog.Search(upper));
+}
+
+TEST(RecordCatalogTest, SearchMissReturnsEmpty) {
+  Rng rng(5);
+  auto catalog = RecordCatalog::Generate(Domain::kMusic, 100, &rng);
+  EXPECT_TRUE(catalog.Search("xqzzyvblargh").empty());
+  EXPECT_TRUE(catalog.Search("").empty());
+}
+
+TEST(RecordCatalogTest, DescriptionsAreNotIndexed) {
+  // The index covers title/creator/category only, so class mixes stay
+  // realistic. Find a word that appears only in some description.
+  Rng rng(11);
+  auto catalog = RecordCatalog::Generate(Domain::kEcommerce, 30, &rng);
+  int checked = 0;
+  for (const Record& r : catalog.records()) {
+    for (const std::string& w : Split(AsciiLower(r.description), ' ')) {
+      auto hits = catalog.Search(w);
+      // Every hit must have the word in indexed fields, not just the
+      // description.
+      for (int id : hits) {
+        const Record& hit = catalog.record(id);
+        std::string indexed = AsciiLower(hit.title + " " + hit.creator +
+                                         " " + hit.category);
+        EXPECT_NE(indexed.find(w), std::string::npos)
+            << "'" << w << "' matched record " << id
+            << " only via description";
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(RecordCatalogTest, DomainsUseDistinctCreatorPools) {
+  Rng r1(3);
+  Rng r2(3);
+  auto ecommerce = RecordCatalog::Generate(Domain::kEcommerce, 50, &r1);
+  auto music = RecordCatalog::Generate(Domain::kMusic, 50, &r2);
+  // No creator string overlap between the pools.
+  for (const Record& a : ecommerce.records()) {
+    for (const Record& b : music.records()) {
+      EXPECT_NE(a.creator, b.creator);
+    }
+  }
+}
+
+TEST(RecordCatalogTest, DomainNames) {
+  EXPECT_STREQ(DomainName(Domain::kEcommerce), "ecommerce");
+  EXPECT_STREQ(DomainName(Domain::kMusic), "music");
+  EXPECT_STREQ(DomainName(Domain::kBooks), "books");
+}
+
+}  // namespace
+}  // namespace thor::deepweb

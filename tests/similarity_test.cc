@@ -1,0 +1,101 @@
+#include "src/ir/similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace thor::ir {
+namespace {
+
+SparseVector Make(std::vector<VectorEntry> e) {
+  return SparseVector::FromPairs(std::move(e));
+}
+
+TEST(SimilarityTest, CosineIdenticalIsOne) {
+  SparseVector v = Make({{0, 1.0}, {3, 2.0}});
+  EXPECT_NEAR(CosineSimilarity(v, v), 1.0, 1e-12);
+}
+
+TEST(SimilarityTest, CosineOrthogonalIsZero) {
+  EXPECT_DOUBLE_EQ(
+      CosineSimilarity(Make({{0, 1.0}}), Make({{1, 1.0}})), 0.0);
+}
+
+TEST(SimilarityTest, CosineZeroVectorIsZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity(SparseVector(), Make({{0, 1.0}})), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(SparseVector(), SparseVector()), 0.0);
+}
+
+TEST(SimilarityTest, CosineScaleInvariant) {
+  SparseVector a = Make({{0, 1.0}, {1, 2.0}});
+  SparseVector b = Make({{0, 3.0}, {1, 6.0}});
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0, 1e-12);
+}
+
+TEST(SimilarityTest, CosineKnownValue) {
+  SparseVector a = Make({{0, 1.0}, {1, 1.0}});
+  SparseVector b = Make({{0, 1.0}});
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(SimilarityTest, CosineNormalizedEqualsDotForUnitVectors) {
+  SparseVector a = Make({{0, 3.0}, {1, 4.0}});
+  SparseVector b = Make({{1, 1.0}, {2, 1.0}});
+  a.Normalize();
+  b.Normalize();
+  EXPECT_NEAR(CosineNormalized(a, b), CosineSimilarity(a, b), 1e-12);
+}
+
+TEST(SimilarityTest, EuclideanKnown) {
+  SparseVector a = Make({{0, 1.0}, {1, 2.0}});
+  SparseVector b = Make({{0, 4.0}, {2, 4.0}});
+  // sqrt(9 + 4 + 16)
+  EXPECT_NEAR(EuclideanDistance(a, b), std::sqrt(29.0), 1e-12);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(SimilarityTest, MinkowskiP2EqualsEuclidean) {
+  Rng rng(3);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<VectorEntry> ea;
+    std::vector<VectorEntry> eb;
+    for (int i = 0; i < 8; ++i) {
+      if (rng.Bernoulli(0.6)) {
+        ea.push_back({i, rng.UniformDouble() * 10});
+      }
+      if (rng.Bernoulli(0.6)) {
+        eb.push_back({i, rng.UniformDouble() * 10});
+      }
+    }
+    SparseVector a = Make(std::move(ea));
+    SparseVector b = Make(std::move(eb));
+    EXPECT_NEAR(MinkowskiDistance(a, b, 2.0), EuclideanDistance(a, b),
+                1e-9);
+  }
+}
+
+TEST(SimilarityTest, MinkowskiP1IsManhattan) {
+  SparseVector a = Make({{0, 1.0}, {1, 2.0}});
+  SparseVector b = Make({{0, 4.0}});
+  EXPECT_NEAR(MinkowskiDistance(a, b, 1.0), 5.0, 1e-12);
+}
+
+TEST(SimilarityTest, CosineBoundsForNonNegativeVectors) {
+  Rng rng(9);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<VectorEntry> ea;
+    std::vector<VectorEntry> eb;
+    for (int i = 0; i < 10; ++i) {
+      if (rng.Bernoulli(0.5)) ea.push_back({i, rng.UniformDouble()});
+      if (rng.Bernoulli(0.5)) eb.push_back({i, rng.UniformDouble()});
+    }
+    double sim = CosineSimilarity(Make(std::move(ea)), Make(std::move(eb)));
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace thor::ir

@@ -1,0 +1,94 @@
+#include "src/ir/sparse_vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/ir/vocabulary.h"
+
+namespace thor::ir {
+namespace {
+
+TEST(SparseVectorTest, FromPairsSortsAndDeduplicates) {
+  SparseVector v = SparseVector::FromPairs({{5, 1.0}, {2, 2.0}, {5, 3.0}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0].id, 2);
+  EXPECT_DOUBLE_EQ(v.entries()[0].weight, 2.0);
+  EXPECT_EQ(v.entries()[1].id, 5);
+  EXPECT_DOUBLE_EQ(v.entries()[1].weight, 4.0);
+}
+
+TEST(SparseVectorTest, FromPairsDropsZeros) {
+  SparseVector v = SparseVector::FromPairs({{1, 0.0}, {2, 1.0}, {3, -1.0},
+                                            {3, 1.0}});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.entries()[0].id, 2);
+}
+
+TEST(SparseVectorTest, FromCounts) {
+  std::unordered_map<int32_t, int> counts = {{7, 3}, {1, 1}};
+  SparseVector v = SparseVector::FromCounts(counts);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0].id, 1);
+  EXPECT_DOUBLE_EQ(v.At(7), 3.0);
+  EXPECT_DOUBLE_EQ(v.At(1), 1.0);
+  EXPECT_DOUBLE_EQ(v.At(99), 0.0);
+}
+
+TEST(SparseVectorTest, NormAndSum) {
+  SparseVector v = SparseVector::FromPairs({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(SparseVector().Norm(), 0.0);
+}
+
+TEST(SparseVectorTest, ScaleAndNormalize) {
+  SparseVector v = SparseVector::FromPairs({{0, 3.0}, {1, 4.0}});
+  v.Scale(2.0);
+  EXPECT_DOUBLE_EQ(v.At(0), 6.0);
+  v.Normalize();
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(v.At(0), 0.6, 1e-12);
+  SparseVector zero;
+  zero.Normalize();  // must not crash
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(SparseVectorTest, DotDisjointOverlappingIdentical) {
+  SparseVector a = SparseVector::FromPairs({{0, 1.0}, {2, 2.0}});
+  SparseVector b = SparseVector::FromPairs({{1, 5.0}, {3, 5.0}});
+  EXPECT_DOUBLE_EQ(SparseVector::Dot(a, b), 0.0);
+  SparseVector c = SparseVector::FromPairs({{2, 3.0}, {4, 1.0}});
+  EXPECT_DOUBLE_EQ(SparseVector::Dot(a, c), 6.0);
+  EXPECT_DOUBLE_EQ(SparseVector::Dot(a, a), 5.0);
+}
+
+TEST(SparseVectorTest, AccumulateInto) {
+  SparseVector a = SparseVector::FromPairs({{0, 1.0}, {2, 2.0}});
+  SparseVector b = SparseVector::FromPairs({{2, 3.0}});
+  std::unordered_map<int32_t, double> acc;
+  a.AccumulateInto(&acc);
+  b.AccumulateInto(&acc, 2.0);
+  EXPECT_DOUBLE_EQ(acc[0], 1.0);
+  EXPECT_DOUBLE_EQ(acc[2], 8.0);
+}
+
+TEST(VocabularyTest, InternAssignsSequentialIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Intern("alpha"), 0);
+  EXPECT_EQ(vocab.Intern("beta"), 1);
+  EXPECT_EQ(vocab.Intern("alpha"), 0);
+  EXPECT_EQ(vocab.size(), 2);
+  EXPECT_EQ(vocab.Term(1), "beta");
+}
+
+TEST(VocabularyTest, FindWithoutIntern) {
+  Vocabulary vocab;
+  vocab.Intern("x");
+  EXPECT_EQ(vocab.Find("x"), 0);
+  EXPECT_EQ(vocab.Find("y"), -1);
+  EXPECT_EQ(vocab.size(), 1);
+}
+
+}  // namespace
+}  // namespace thor::ir

@@ -1,0 +1,90 @@
+#include "src/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace thor {
+namespace {
+
+TEST(StringsTest, AsciiClassification) {
+  EXPECT_TRUE(IsAsciiAlpha('a'));
+  EXPECT_TRUE(IsAsciiAlpha('Z'));
+  EXPECT_FALSE(IsAsciiAlpha('1'));
+  EXPECT_FALSE(IsAsciiAlpha(' '));
+  EXPECT_TRUE(IsAsciiDigit('0'));
+  EXPECT_TRUE(IsAsciiDigit('9'));
+  EXPECT_FALSE(IsAsciiDigit('a'));
+  EXPECT_TRUE(IsAsciiAlnum('x'));
+  EXPECT_TRUE(IsAsciiAlnum('5'));
+  EXPECT_FALSE(IsAsciiAlnum('-'));
+  EXPECT_TRUE(IsAsciiSpace(' '));
+  EXPECT_TRUE(IsAsciiSpace('\t'));
+  EXPECT_TRUE(IsAsciiSpace('\n'));
+  EXPECT_TRUE(IsAsciiSpace('\r'));
+  EXPECT_FALSE(IsAsciiSpace('x'));
+}
+
+TEST(StringsTest, AsciiToLowerLeavesNonLettersAlone) {
+  EXPECT_EQ(AsciiToLower('A'), 'a');
+  EXPECT_EQ(AsciiToLower('z'), 'z');
+  EXPECT_EQ(AsciiToLower('5'), '5');
+  EXPECT_EQ(AsciiToLower('['), '[');
+}
+
+TEST(StringsTest, AsciiLowerString) {
+  EXPECT_EQ(AsciiLower("Hello World 123"), "hello world 123");
+  EXPECT_EQ(AsciiLower(""), "");
+  // Non-ASCII bytes pass through untouched.
+  EXPECT_EQ(AsciiLower("\xC3\x89Tag"), "\xC3\x89tag");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a/b/c", '/'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a//c", '/'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", '/'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("/x", '/'), (std::vector<std::string>{"", "x"}));
+  EXPECT_EQ(Split("x/", '/'), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"html", "body", "table"};
+  EXPECT_EQ(Join(parts, "/"), "html/body/table");
+  EXPECT_EQ(Split(Join(parts, "/"), '/'), parts);
+  EXPECT_EQ(Join({}, "/"), "");
+  EXPECT_EQ(Join({"one"}, ", "), "one");
+}
+
+TEST(StringsTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("\t\nhi"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("hi"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StringsTest, CollapseWhitespace) {
+  EXPECT_EQ(CollapseWhitespace("a  b\t\nc"), "a b c");
+  EXPECT_EQ(CollapseWhitespace("  lead and trail  "), "lead and trail");
+  EXPECT_EQ(CollapseWhitespace("\n\t "), "");
+  EXPECT_EQ(CollapseWhitespace("solo"), "solo");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("html/body", "html"));
+  EXPECT_FALSE(StartsWith("html", "html/body"));
+  EXPECT_TRUE(EndsWith("index.html", ".html"));
+  EXPECT_FALSE(EndsWith(".html", "index.html"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringsTest, EqualsIgnoreAsciiCase) {
+  EXPECT_TRUE(EqualsIgnoreAsciiCase("TABLE", "table"));
+  EXPECT_TRUE(EqualsIgnoreAsciiCase("TaBlE", "tAbLe"));
+  EXPECT_FALSE(EqualsIgnoreAsciiCase("table", "tables"));
+  EXPECT_FALSE(EqualsIgnoreAsciiCase("a", "b"));
+  EXPECT_TRUE(EqualsIgnoreAsciiCase("", ""));
+}
+
+}  // namespace
+}  // namespace thor

@@ -1,0 +1,112 @@
+#include "src/deepweb/synthetic_corpus.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/deepweb/site_generator.h"
+
+namespace thor::deepweb {
+namespace {
+
+SiteSample MakeSample() {
+  FleetOptions fleet_options;
+  fleet_options.num_sites = 1;
+  auto fleet = GenerateSiteFleet(fleet_options);
+  ProbeOptions probe;
+  return BuildSiteSample(fleet[0], probe);
+}
+
+TEST(SyntheticCorpusTest, GeneratesRequestedCount) {
+  SyntheticCorpusModel model = SyntheticCorpusModel::Fit(MakeSample());
+  Rng rng(3);
+  auto pages = model.Generate(500, &rng);
+  EXPECT_EQ(pages.size(), 500u);
+}
+
+TEST(SyntheticCorpusTest, EmptySampleYieldsNothing) {
+  SiteSample empty;
+  SyntheticCorpusModel model = SyntheticCorpusModel::Fit(empty);
+  Rng rng(3);
+  EXPECT_TRUE(model.Generate(10, &rng).empty());
+  EXPECT_EQ(model.num_classes(), 0);
+}
+
+TEST(SyntheticCorpusTest, ClassProportionsApproximatelyPreserved) {
+  SiteSample sample = MakeSample();
+  std::map<int, int> real_counts;
+  for (const auto& page : sample.pages) {
+    ++real_counts[static_cast<int>(page.true_class)];
+  }
+  SyntheticCorpusModel model = SyntheticCorpusModel::Fit(sample);
+  Rng rng(7);
+  auto pages = model.Generate(5000, &rng);
+  std::map<int, int> synth_counts;
+  for (const auto& page : pages) ++synth_counts[page.class_label];
+  for (const auto& [label, count] : real_counts) {
+    double real_fraction =
+        static_cast<double>(count) / sample.pages.size();
+    double synth_fraction =
+        static_cast<double>(synth_counts[label]) / pages.size();
+    EXPECT_NEAR(synth_fraction, real_fraction, 0.05)
+        << "class " << label;
+  }
+}
+
+TEST(SyntheticCorpusTest, SignaturesAreNonEmptyAndPositive) {
+  SyntheticCorpusModel model = SyntheticCorpusModel::Fit(MakeSample());
+  Rng rng(11);
+  for (const auto& page : model.Generate(200, &rng)) {
+    EXPECT_FALSE(page.tag_counts.empty());
+    for (const auto& e : page.tag_counts.entries()) {
+      EXPECT_GE(e.weight, 1.0);
+    }
+    EXPECT_GT(page.size_bytes, 0);
+    EXPECT_FALSE(page.url.empty());
+  }
+}
+
+TEST(SyntheticCorpusTest, DeterministicForSeed) {
+  SiteSample sample = MakeSample();
+  SyntheticCorpusModel model = SyntheticCorpusModel::Fit(sample);
+  Rng a(5);
+  Rng b(5);
+  auto pa = model.Generate(50, &a);
+  auto pb = model.Generate(50, &b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].class_label, pb[i].class_label);
+    EXPECT_EQ(pa[i].tag_counts.entries(), pb[i].tag_counts.entries());
+  }
+}
+
+TEST(SyntheticCorpusTest, ClassSignaturesResembleFittedClass) {
+  // Synthetic pages of a class must look more like that class's real tag
+  // distribution than like other classes'. Compare mean total tag counts.
+  SiteSample sample = MakeSample();
+  std::map<int, double> real_mean_size;
+  std::map<int, int> real_n;
+  for (const auto& page : sample.pages) {
+    real_mean_size[static_cast<int>(page.true_class)] += page.size_bytes;
+    ++real_n[static_cast<int>(page.true_class)];
+  }
+  for (auto& [label, sum] : real_mean_size) sum /= real_n[label];
+  SyntheticCorpusModel model = SyntheticCorpusModel::Fit(sample);
+  Rng rng(13);
+  auto pages = model.Generate(2000, &rng);
+  std::map<int, double> synth_mean_size;
+  std::map<int, int> synth_n;
+  for (const auto& page : pages) {
+    synth_mean_size[page.class_label] += page.size_bytes;
+    ++synth_n[page.class_label];
+  }
+  for (auto& [label, sum] : synth_mean_size) {
+    if (synth_n[label] < 30) continue;  // too few to compare
+    sum /= synth_n[label];
+    EXPECT_NEAR(sum, real_mean_size[label], real_mean_size[label] * 0.25)
+        << "class " << label;
+  }
+}
+
+}  // namespace
+}  // namespace thor::deepweb

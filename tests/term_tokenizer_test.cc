@@ -1,0 +1,93 @@
+#include "src/text/term_tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace thor::text {
+namespace {
+
+TEST(TermTokenizerTest, BasicSplitLowercaseStem) {
+  auto terms = ExtractTerms("Running Dogs barked");
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], "run");
+  EXPECT_EQ(terms[1], "dog");
+  EXPECT_EQ(terms[2], "bark");
+}
+
+TEST(TermTokenizerTest, StopwordsRemoved) {
+  auto terms = ExtractTerms("the cat and the hat");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "cat");
+  EXPECT_EQ(terms[1], "hat");
+}
+
+TEST(TermTokenizerTest, StopwordsKeptWhenDisabled) {
+  TermOptions options;
+  options.remove_stopwords = false;
+  options.stem = false;
+  auto terms = ExtractTerms("the cat", options);
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "the");
+  EXPECT_EQ(terms[1], "cat");
+}
+
+TEST(TermTokenizerTest, NumbersKeptByDefault) {
+  auto terms = ExtractTerms("price 1299 dollars");
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[1], "1299");
+}
+
+TEST(TermTokenizerTest, NumbersDroppedWhenDisabled) {
+  TermOptions options;
+  options.keep_numbers = false;
+  auto terms = ExtractTerms("price 1299 dollars", options);
+  ASSERT_EQ(terms.size(), 2u);
+}
+
+TEST(TermTokenizerTest, MixedAlnumTokensKept) {
+  auto terms = ExtractTerms("model x300b works");
+  EXPECT_EQ(terms[1], "x300b");
+}
+
+TEST(TermTokenizerTest, PunctuationSeparates) {
+  auto terms = ExtractTerms("red,green;blue");
+  ASSERT_EQ(terms.size(), 3u);
+}
+
+TEST(TermTokenizerTest, MinLengthFilters) {
+  TermOptions options;
+  options.min_length = 4;
+  options.stem = false;
+  auto terms = ExtractTerms("cat hippopotamus ox", options);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0], "hippopotamus");
+}
+
+TEST(TermTokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(ExtractTerms("").empty());
+  EXPECT_TRUE(ExtractTerms("!!! --- ???").empty());
+}
+
+TEST(TermTokenizerTest, IsStopword) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("of"));
+  EXPECT_FALSE(IsStopword("table"));
+  EXPECT_FALSE(IsStopword(""));
+}
+
+TEST(TermTokenizerTest, CountDistinctTerms) {
+  EXPECT_EQ(CountDistinctTerms("cat dog cat bird dog cat"), 3);
+  EXPECT_EQ(CountDistinctTerms(""), 0);
+  // Stemming merges: "connect", "connected", "connection" -> 1.
+  EXPECT_EQ(CountDistinctTerms("connect connected connection"), 1);
+}
+
+TEST(TermTokenizerTest, StemmingMergesVariantsInStream) {
+  auto terms = ExtractTerms("searching searched searches");
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], terms[1]);
+  EXPECT_EQ(terms[1], terms[2]);
+}
+
+}  // namespace
+}  // namespace thor::text

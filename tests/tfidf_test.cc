@@ -1,0 +1,101 @@
+#include "src/ir/tfidf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace thor::ir {
+namespace {
+
+std::vector<SparseVector> ThreeDocs() {
+  // term 0 in all docs; term 1 in one doc; term 2 in two docs.
+  return {
+      SparseVector::FromPairs({{0, 2.0}, {2, 1.0}}),
+      SparseVector::FromPairs({{0, 1.0}, {1, 4.0}}),
+      SparseVector::FromPairs({{0, 3.0}, {2, 2.0}}),
+  };
+}
+
+TEST(TfidfTest, FitCountsDocumentFrequencies) {
+  TfidfModel model = TfidfModel::Fit(ThreeDocs());
+  EXPECT_EQ(model.num_docs(), 3);
+  EXPECT_EQ(model.DocFreq(0), 3);
+  EXPECT_EQ(model.DocFreq(1), 1);
+  EXPECT_EQ(model.DocFreq(2), 2);
+  EXPECT_EQ(model.DocFreq(9), 0);
+}
+
+TEST(TfidfTest, WeightMatchesPaperFormula) {
+  TfidfModel model = TfidfModel::Fit(ThreeDocs());
+  // w = log(tf + 1) * log((n + 1) / n_k) with n = 3.
+  EXPECT_NEAR(model.Weight(2.0, 3), std::log(3.0) * std::log(4.0 / 3.0),
+              1e-12);
+  EXPECT_NEAR(model.Weight(4.0, 1), std::log(5.0) * std::log(4.0), 1e-12);
+}
+
+TEST(TfidfTest, UbiquitousTermKeepsNonZeroWeight) {
+  // The paper's variant: a tag in every page still has nonzero impact.
+  TfidfModel model = TfidfModel::Fit(ThreeDocs());
+  EXPECT_GT(model.Weight(1.0, 3), 0.0);
+}
+
+TEST(TfidfTest, RareTermOutweighsCommonTermAtSameTf) {
+  TfidfModel model = TfidfModel::Fit(ThreeDocs());
+  EXPECT_GT(model.Weight(2.0, 1), model.Weight(2.0, 3));
+}
+
+TEST(TfidfTest, WeighNormalizesByDefault) {
+  auto docs = ThreeDocs();
+  TfidfModel model = TfidfModel::Fit(docs);
+  SparseVector weighted = model.Weigh(docs[0], Weighting::kTfidf);
+  EXPECT_NEAR(weighted.Norm(), 1.0, 1e-12);
+  SparseVector raw_unnormalized =
+      model.Weigh(docs[0], Weighting::kRawFrequency, /*normalize=*/false);
+  EXPECT_DOUBLE_EQ(raw_unnormalized.At(0), 2.0);
+}
+
+TEST(TfidfTest, RawWeightingPreservesRelativeCounts) {
+  auto docs = ThreeDocs();
+  TfidfModel model = TfidfModel::Fit(docs);
+  SparseVector raw = model.Weigh(docs[2], Weighting::kRawFrequency);
+  // 3:2 ratio preserved after normalization.
+  EXPECT_NEAR(raw.At(0) / raw.At(2), 1.5, 1e-12);
+}
+
+TEST(TfidfTest, WeighAllMatchesIndividualWeigh) {
+  auto docs = ThreeDocs();
+  TfidfModel model = TfidfModel::Fit(docs);
+  auto all = model.WeighAll(docs, Weighting::kTfidf);
+  ASSERT_EQ(all.size(), docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    SparseVector single = model.Weigh(docs[i], Weighting::kTfidf);
+    ASSERT_EQ(all[i].size(), single.size());
+    for (size_t e = 0; e < single.entries().size(); ++e) {
+      EXPECT_DOUBLE_EQ(all[i].entries()[e].weight,
+                       single.entries()[e].weight);
+    }
+  }
+}
+
+TEST(TfidfTest, UnseenDocFreqTreatedAsOne) {
+  TfidfModel model = TfidfModel::Fit(ThreeDocs());
+  EXPECT_DOUBLE_EQ(model.Weight(1.0, 0), model.Weight(1.0, 1));
+}
+
+TEST(TfidfTest, DiscriminativePowerExample) {
+  // The paper's <b>-tag motivation: two pages identical except one extra
+  // rare tag must not end up with near-identical TFIDF vectors.
+  std::vector<SparseVector> docs;
+  for (int i = 0; i < 9; ++i) {
+    docs.push_back(SparseVector::FromPairs({{0, 10.0}, {1, 5.0}}));
+  }
+  docs.push_back(SparseVector::FromPairs({{0, 10.0}, {1, 5.0}, {2, 1.0}}));
+  TfidfModel model = TfidfModel::Fit(docs);
+  SparseVector common = model.Weigh(docs[0], Weighting::kTfidf);
+  SparseVector special = model.Weigh(docs[9], Weighting::kTfidf);
+  // The rare tag receives substantial relative weight in the special page.
+  EXPECT_GT(special.At(2), 0.5 * special.At(0));
+}
+
+}  // namespace
+}  // namespace thor::ir

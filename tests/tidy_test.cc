@@ -1,0 +1,120 @@
+#include "src/html/tidy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/html/parser.h"
+
+namespace thor::html {
+namespace {
+
+TEST(TidyTest, MergesAdjacentText) {
+  TagTree tree;
+  NodeId body = tree.AddTag(tree.root(), Tag::kBody);
+  tree.AddContent(body, "one");
+  tree.AddContent(body, "two");
+  tree.AddContent(body, "three");
+  tree.FinalizeDerived();
+  TagTree out = Tidy(tree);
+  NodeId out_body = out.node(out.root()).children[0];
+  ASSERT_EQ(out.node(out_body).children.size(), 1u);
+  EXPECT_EQ(out.node(out.node(out_body).children[0]).text, "one two three");
+}
+
+TEST(TidyTest, TextMergeStopsAtElements) {
+  TagTree tree;
+  NodeId body = tree.AddTag(tree.root(), Tag::kBody);
+  tree.AddContent(body, "a");
+  NodeId b = tree.AddTag(body, Tag::kB);
+  tree.AddContent(b, "bold");
+  tree.AddContent(body, "c");
+  tree.FinalizeDerived();
+  TagTree out = Tidy(tree);
+  NodeId out_body = out.node(out.root()).children[0];
+  ASSERT_EQ(out.node(out_body).children.size(), 3u);
+}
+
+TEST(TidyTest, DropsEmptyInlineElements) {
+  TagTree tree = ParseHtml("<div><b></b><span> </span>text</div>");
+  TagTree out = Tidy(tree);
+  int inline_count = 0;
+  for (NodeId id : out.Preorder()) {
+    const Node& n = out.node(id);
+    if (n.kind == NodeKind::kTag && IsInlineTag(n.tag)) ++inline_count;
+  }
+  EXPECT_EQ(inline_count, 0);
+  EXPECT_EQ(out.SubtreeText(out.root()), "text");
+}
+
+TEST(TidyTest, KeepsEmptyBlockElements) {
+  TagTree tree = ParseHtml("<div></div><p>x</p>");
+  TagTree out = Tidy(tree);
+  int divs = 0;
+  for (NodeId id : out.Preorder()) {
+    if (out.node(id).kind == NodeKind::kTag && out.node(id).tag == Tag::kDiv) {
+      ++divs;
+    }
+  }
+  EXPECT_EQ(divs, 1);
+}
+
+TEST(TidyTest, UnwrapsDuplicateInlineNesting) {
+  TagTree tree = ParseHtml("<p><b><b>deep</b></b></p>");
+  TagTree out = Tidy(tree);
+  int b_count = 0;
+  for (NodeId id : out.Preorder()) {
+    if (out.node(id).kind == NodeKind::kTag && out.node(id).tag == Tag::kB) {
+      ++b_count;
+    }
+  }
+  EXPECT_EQ(b_count, 1);
+  EXPECT_EQ(out.SubtreeText(out.root()), "deep");
+}
+
+TEST(TidyTest, OptionsCanDisableEachPass) {
+  TagTree tree = ParseHtml("<p><b></b>x</p>");
+  TidyOptions options;
+  options.drop_empty_inline = false;
+  TagTree out = Tidy(tree, options);
+  int b_count = 0;
+  for (NodeId id : out.Preorder()) {
+    if (out.node(id).kind == NodeKind::kTag && out.node(id).tag == Tag::kB) {
+      ++b_count;
+    }
+  }
+  EXPECT_EQ(b_count, 1);
+}
+
+TEST(TidyTest, DerivedFieldsConsistentAfterTidy) {
+  TagTree tree = ParseHtml(
+      "<div><b></b>a<span>b</span>c</div><table><tr><td>z</td></tr></table>");
+  TagTree out = Tidy(tree);
+  // Recompute by hand: every reachable node's subtree_size equals the count
+  // of its SubtreeNodes.
+  for (NodeId id : out.Preorder()) {
+    EXPECT_EQ(out.SubtreeSize(id),
+              static_cast<int>(out.SubtreeNodes(id).size()));
+  }
+  EXPECT_EQ(out.SubtreeText(out.root()), "a b c z");
+}
+
+TEST(TidyTest, PreservesAttributes) {
+  TagTree tree = ParseHtml("<div class=\"main\"><p id=\"p1\">x</p></div>");
+  TagTree out = Tidy(tree);
+  bool found = false;
+  for (NodeId id : out.Preorder()) {
+    if (out.AttributeValue(id, "class") == "main") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TidyTest, IdempotentOnCleanTree) {
+  TagTree tree = ParseHtml("<div><p>a</p><p>b</p></div>");
+  TagTree once = Tidy(tree);
+  TagTree twice = Tidy(once);
+  EXPECT_EQ(once.SubtreeText(once.root()), twice.SubtreeText(twice.root()));
+  // Same reachable structure size.
+  EXPECT_EQ(once.SubtreeSize(once.root()), twice.SubtreeSize(twice.root()));
+}
+
+}  // namespace
+}  // namespace thor::html

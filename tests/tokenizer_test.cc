@@ -1,0 +1,196 @@
+#include "src/html/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace thor::html {
+namespace {
+
+std::vector<Token> Lex(std::string_view html) {
+  return Tokenizer::TokenizeAll(html);
+}
+
+TEST(TokenizerTest, SimpleStartEndText) {
+  auto tokens = Lex("<p>hello</p>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[0].name, "p");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].text, "hello");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+  EXPECT_EQ(tokens[2].name, "p");
+}
+
+TEST(TokenizerTest, TagNamesAreLowercased) {
+  auto tokens = Lex("<TABLE><TR></TR></TABLE>");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].name, "table");
+  EXPECT_EQ(tokens[1].name, "tr");
+  EXPECT_EQ(tokens[2].name, "tr");
+  EXPECT_EQ(tokens[3].name, "table");
+}
+
+TEST(TokenizerTest, QuotedAttributes) {
+  auto tokens = Lex(R"(<a href="/x" title='hi there'>)");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].attributes.size(), 2u);
+  EXPECT_EQ(tokens[0].attributes[0].name, "href");
+  EXPECT_EQ(tokens[0].attributes[0].value, "/x");
+  EXPECT_EQ(tokens[0].attributes[1].name, "title");
+  EXPECT_EQ(tokens[0].attributes[1].value, "hi there");
+}
+
+TEST(TokenizerTest, UnquotedAndValuelessAttributes) {
+  auto tokens = Lex("<input type=text disabled>");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].attributes.size(), 2u);
+  EXPECT_EQ(tokens[0].attributes[0].name, "type");
+  EXPECT_EQ(tokens[0].attributes[0].value, "text");
+  EXPECT_EQ(tokens[0].attributes[1].name, "disabled");
+  EXPECT_EQ(tokens[0].attributes[1].value, "");
+}
+
+TEST(TokenizerTest, AttributeNamesLowercasedValuesDecoded) {
+  auto tokens = Lex(R"(<a HREF="/s?a=1&amp;b=2">)");
+  ASSERT_EQ(tokens[0].attributes.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].name, "href");
+  EXPECT_EQ(tokens[0].attributes[0].value, "/s?a=1&b=2");
+}
+
+TEST(TokenizerTest, SelfClosingTag) {
+  auto tokens = Lex("<br/><img src='x'/>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].self_closing);
+  EXPECT_TRUE(tokens[1].self_closing);
+  EXPECT_EQ(tokens[1].attributes[0].value, "x");
+}
+
+TEST(TokenizerTest, TextEntitiesDecoded) {
+  auto tokens = Lex("<b>Tom &amp; Jerry</b>");
+  EXPECT_EQ(tokens[1].text, "Tom & Jerry");
+}
+
+TEST(TokenizerTest, Comments) {
+  auto tokens = Lex("a<!-- hidden <b> -->b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[1].text, " hidden <b> ");
+  EXPECT_EQ(tokens[2].text, "b");
+}
+
+TEST(TokenizerTest, UnterminatedCommentConsumesRest) {
+  auto tokens = Lex("x<!-- never closed");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+}
+
+TEST(TokenizerTest, Doctype) {
+  auto tokens = Lex("<!DOCTYPE html><html>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDoctype);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kStartTag);
+}
+
+TEST(TokenizerTest, BogusConstructsBecomeComments) {
+  auto tokens = Lex("<?xml version='1.0'?><!foo>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+}
+
+TEST(TokenizerTest, LiteralLessThanIsText) {
+  auto tokens = Lex("if a < b then");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[0].text, "if a < b then");
+}
+
+TEST(TokenizerTest, ScriptContentIsRawText) {
+  auto tokens = Lex("<script>if (a<b && c>d) {}</script>after");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[0].name, "script");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].text, "if (a<b && c>d) {}");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+  EXPECT_EQ(tokens[2].name, "script");
+  EXPECT_EQ(tokens[3].text, "after");
+}
+
+TEST(TokenizerTest, RawTextEndTagIsCaseInsensitive) {
+  auto tokens = Lex("<STYLE>b { }</StYlE>x");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].text, "b { }");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+}
+
+TEST(TokenizerTest, UnterminatedRawTextConsumesRest) {
+  auto tokens = Lex("<script>var x = 1;");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].text, "var x = 1;");
+}
+
+TEST(TokenizerTest, RawTextDoesNotStopAtPrefixCollision) {
+  // "</scriptx>" must not close <script>.
+  auto tokens = Lex("<script>a</scriptx>b</script>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "a</scriptx>b");
+}
+
+TEST(TokenizerTest, TitleIsRawText) {
+  auto tokens = Lex("<title>a <b> c</title>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "a <b> c");
+}
+
+TEST(TokenizerTest, EndTagAttributesIgnored) {
+  auto tokens = Lex("</p class='x'>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEndTag);
+  EXPECT_EQ(tokens[0].name, "p");
+  EXPECT_TRUE(tokens[0].attributes.empty());
+}
+
+TEST(TokenizerTest, UnterminatedTagAtEof) {
+  auto tokens = Lex("<a href=");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+}
+
+TEST(TokenizerTest, OffsetsTrackInput) {
+  Tokenizer tokenizer("ab<p>c</p>");
+  Token token;
+  ASSERT_TRUE(tokenizer.Next(&token));
+  EXPECT_EQ(token.offset, 0u);
+  ASSERT_TRUE(tokenizer.Next(&token));
+  EXPECT_EQ(token.offset, 2u);
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  auto tokens = Lex("");
+  EXPECT_TRUE(tokens.empty());
+}
+
+// Garbage bytes must never crash or loop; they degrade into tokens.
+class TokenizerFuzzLite : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerFuzzLite, ArbitraryBytesAlwaysTerminate) {
+  uint64_t state = GetParam();
+  std::string junk;
+  for (int i = 0; i < 2048; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    char c = static_cast<char>((state >> 33) & 0xFF);
+    junk.push_back(c);
+  }
+  auto tokens = Lex(junk);
+  // Consumed everything: sum of text lengths cannot exceed the input and
+  // the token list is finite (checked implicitly by returning).
+  EXPECT_LE(tokens.size(), junk.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFuzzLite,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 12345));
+
+}  // namespace
+}  // namespace thor::html

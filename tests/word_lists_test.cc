@@ -1,0 +1,78 @@
+#include "src/text/word_lists.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace thor::text {
+namespace {
+
+TEST(WordListsTest, LexiconIsLargeSortedUnique) {
+  const auto& lexicon = EnglishLexicon();
+  EXPECT_GT(lexicon.size(), 800u);
+  EXPECT_TRUE(std::is_sorted(lexicon.begin(), lexicon.end()));
+  EXPECT_EQ(std::adjacent_find(lexicon.begin(), lexicon.end()),
+            lexicon.end());
+}
+
+TEST(WordListsTest, LexiconWordsAreLowercaseAlpha) {
+  for (const std::string& w : EnglishLexicon()) {
+    EXPECT_FALSE(w.empty());
+    for (char c : w) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(WordListsTest, RandomWordComesFromLexicon) {
+  Rng rng(5);
+  const auto& lexicon = EnglishLexicon();
+  for (int i = 0; i < 100; ++i) {
+    const std::string& w = RandomWord(&rng);
+    EXPECT_TRUE(std::binary_search(lexicon.begin(), lexicon.end(), w));
+  }
+}
+
+TEST(WordListsTest, SampleDictionaryWordsDistinct) {
+  Rng rng(7);
+  auto words = SampleDictionaryWords(&rng, 100);
+  EXPECT_EQ(words.size(), 100u);
+  std::set<std::string> unique(words.begin(), words.end());
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(WordListsTest, SampleCappedAtLexiconSize) {
+  Rng rng(7);
+  auto words = SampleDictionaryWords(&rng, 1 << 20);
+  EXPECT_EQ(words.size(), EnglishLexicon().size());
+}
+
+TEST(WordListsTest, SamplingIsDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(SampleDictionaryWords(&a, 50), SampleDictionaryWords(&b, 50));
+}
+
+TEST(WordListsTest, NonsenseWordsNeverCollideWithLexicon) {
+  Rng rng(13);
+  const auto& lexicon = EnglishLexicon();
+  for (int i = 0; i < 2000; ++i) {
+    std::string w = MakeNonsenseWord(&rng);
+    EXPECT_FALSE(std::binary_search(lexicon.begin(), lexicon.end(), w))
+        << w;
+    EXPECT_GE(w.size(), 5u);
+  }
+}
+
+TEST(WordListsTest, NonsenseWordsAreDiverse) {
+  Rng rng(13);
+  std::unordered_set<std::string> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(MakeNonsenseWord(&rng));
+  EXPECT_GT(seen.size(), 400u);
+}
+
+}  // namespace
+}  // namespace thor::text

@@ -1,0 +1,405 @@
+// thorcli — command-line front end for the THOR library.
+//
+//   thorcli probe   --sites N --out DIR     probe simulated sites, cache
+//                                           their answer pages as .html
+//   thorcli extract DIR [--json]            run two-phase extraction over
+//                                           a directory of cached pages
+//   thorcli eval    --sites N               probe + extract + score against
+//                                           the simulator's ground truth
+//
+// `extract` works on any directory of HTML files that came from one search
+// form (they must share templates, as THOR assumes); the files cached by
+// `probe` are just the built-in way to get such a directory.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/evaluation.h"
+#include "src/core/object_fields.h"
+#include "src/core/template_registry.h"
+#include "src/core/thor.h"
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site_generator.h"
+#include "src/search/deep_web_search.h"
+#include "src/util/json.h"
+#include "src/util/json_reader.h"
+
+namespace thor {
+namespace {
+
+namespace fs = std::filesystem;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  thorcli probe --sites N --out DIR [--queries N]\n"
+               "  thorcli extract DIR [--json]\n"
+               "  thorcli analyze DIR --templates FILE\n"
+               "  thorcli apply FILE.html... --templates FILE [--json]\n"
+               "  thorcli search DIR... --query WORDS [--by-site]\n"
+               "  thorcli eval [--sites N]\n");
+  return 2;
+}
+
+// Loads every .html file of `dir` (sorted), applying manifest.tsv stage-1
+// flags when present. Returns false on I/O failure.
+bool LoadPagesFromDir(const std::string& dir, std::vector<core::Page>* pages,
+                      std::vector<std::string>* names) {
+  std::error_code ec;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".html") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  std::sort(files.begin(), files.end());
+  std::map<std::string, bool> nonsense_by_name;
+  {
+    std::ifstream manifest(fs::path(dir) / "manifest.tsv");
+    std::string line;
+    while (std::getline(manifest, line)) {
+      size_t tab1 = line.find('\t');
+      if (tab1 == std::string::npos) continue;
+      nonsense_by_name[line.substr(0, tab1)] = line[tab1 + 1] == '1';
+    }
+  }
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    std::string html((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    pages->push_back(
+        core::Page::Parse(file.filename().string(), std::move(html)));
+    auto it = nonsense_by_name.find(file.filename().string());
+    if (it != nonsense_by_name.end()) {
+      pages->back().from_nonsense_probe = it->second;
+    }
+    names->push_back(file.filename().string());
+  }
+  return true;
+}
+
+// JSON rendering of one extraction (pagelet + objects + fields).
+void WriteExtractionJson(const html::TagTree& tree, const std::string& name,
+                         html::NodeId pagelet,
+                         const std::vector<core::ObjectSpan>& objects,
+                         JsonWriter* json) {
+  json->BeginObject();
+  json->Key("file").String(name);
+  json->Key("pagelet_path").String(tree.PathString(pagelet));
+  json->Key("objects").BeginArray();
+  auto all_fields = core::PartitionAllFields(tree, objects);
+  for (size_t o = 0; o < objects.size(); ++o) {
+    json->BeginObject();
+    json->Key("text").String(core::ObjectTexts(tree, {objects[o]})[0]);
+    json->Key("fields").BeginArray();
+    for (const core::QaField& field : all_fields[o]) {
+      json->BeginObject();
+      json->Key("type").String(core::FieldTypeName(field.type));
+      if (!field.label.empty()) json->Key("label").String(field.label);
+      json->Key("value").String(field.value);
+      if (field.number != 0.0) json->Key("number").Double(field.number);
+      json->EndObject();
+    }
+    json->EndArray();
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+// --- analyze: full THOR run -> persisted templates -----------------------
+
+int RunAnalyze(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string dir = argv[0];
+  std::string templates_file = "templates.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--templates") && i + 1 < argc) {
+      templates_file = argv[++i];
+    }
+  }
+  std::vector<core::Page> pages;
+  std::vector<std::string> names;
+  if (!LoadPagesFromDir(dir, &pages, &names)) return 1;
+  if (pages.empty()) {
+    std::fprintf(stderr, "no .html files in %s\n", dir.c_str());
+    return 1;
+  }
+  auto result = core::RunThor(pages, core::ThorOptions{});
+  if (!result.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  core::TemplateRegistry registry =
+      core::TemplateRegistry::Learn(pages, *result);
+  std::ofstream out(templates_file);
+  out << registry.ToJson() << "\n";
+  std::printf("learned %zu template(s) from %zu pages -> %s\n",
+              registry.templates().size(), pages.size(),
+              templates_file.c_str());
+  return 0;
+}
+
+// --- apply: persisted templates -> extraction on single pages ------------
+
+int RunApply(int argc, char** argv) {
+  std::string templates_file = "templates.json";
+  bool as_json = false;
+  std::vector<std::string> inputs;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--templates") && i + 1 < argc) {
+      templates_file = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json")) {
+      as_json = true;
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) return Usage();
+  std::ifstream in(templates_file);
+  std::string json_text((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  auto registry = core::TemplateRegistry::FromJson(json_text);
+  if (!registry.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", templates_file.c_str(),
+                 registry.status().ToString().c_str());
+    return 1;
+  }
+  JsonWriter json;
+  if (as_json) json.BeginObject(), json.Key("pages").BeginArray();
+  for (const std::string& input : inputs) {
+    std::ifstream page_in(input);
+    std::string html((std::istreambuf_iterator<char>(page_in)),
+                     std::istreambuf_iterator<char>());
+    core::Page page = core::Page::Parse(input, std::move(html));
+    auto extraction = registry->Extract(page.tree);
+    if (extraction.pagelet == html::kInvalidNode) {
+      if (!as_json) std::printf("%-24s no QA-Pagelet\n", input.c_str());
+      continue;
+    }
+    if (as_json) {
+      WriteExtractionJson(page.tree, input, extraction.pagelet,
+                          extraction.objects, &json);
+    } else {
+      std::printf("%-24s pagelet=%-28s objects=%zu\n", input.c_str(),
+                  page.tree.PathString(extraction.pagelet).c_str(),
+                  extraction.objects.size());
+    }
+  }
+  if (as_json) {
+    json.EndArray(), json.EndObject();
+    std::printf("%s\n", json.str().c_str());
+  }
+  return 0;
+}
+
+// --- probe -------------------------------------------------------------
+
+int RunProbe(int argc, char** argv) {
+  int num_sites = 3;
+  int num_queries = 100;
+  std::string out_dir = "probed_pages";
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--sites") && i + 1 < argc) {
+      num_sites = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--queries") && i + 1 < argc) {
+      num_queries = std::atoi(argv[++i]);
+    }
+  }
+  deepweb::FleetOptions fleet_options;
+  fleet_options.num_sites = num_sites;
+  auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+  deepweb::ProbeOptions probe;
+  probe.num_dictionary_words = num_queries;
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  int written = 0;
+  for (const auto& site : fleet) {
+    fs::path site_dir =
+        fs::path(out_dir) / ("site" + std::to_string(site.config().site_id));
+    fs::create_directories(site_dir);
+    deepweb::ProbeOptions per_site = probe;
+    per_site.seed += static_cast<uint64_t>(site.config().site_id);
+    int page = 0;
+    // The manifest preserves stage-1 knowledge (which probes were
+    // nonsense words) so `extract` can veto the no-match cluster exactly
+    // as the in-process pipeline does.
+    std::ofstream manifest(site_dir / "manifest.tsv");
+    for (const auto& response : deepweb::ProbeSite(site, per_site)) {
+      std::string name = "page" + std::to_string(page++) + ".html";
+      std::ofstream out(site_dir / name);
+      out << "<!-- url: " << response.url << " -->\n" << response.html;
+      manifest << name << '\t' << (response.from_nonsense_probe ? 1 : 0)
+               << '\t' << response.url << '\t' << response.query << '\n';
+      ++written;
+    }
+  }
+  std::printf("wrote %d pages under %s (%d sites)\n", written,
+              out_dir.c_str(), num_sites);
+  std::printf("next: thorcli extract %s/site0\n", out_dir.c_str());
+  return 0;
+}
+
+// --- extract -------------------------------------------------------------
+
+int RunExtract(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string dir = argv[0];
+  bool as_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json")) as_json = true;
+  }
+  std::vector<core::Page> pages;
+  std::vector<std::string> names;
+  if (!LoadPagesFromDir(dir, &pages, &names)) return 1;
+  if (pages.empty()) {
+    std::fprintf(stderr, "no .html files in %s\n", dir.c_str());
+    return 1;
+  }
+  auto result = core::RunThor(pages, core::ThorOptions{});
+  if (!result.ok()) {
+    std::fprintf(stderr, "extraction failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  if (as_json) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("pages").BeginArray();
+    for (const auto& page_result : result->pages) {
+      const core::Page& page =
+          pages[static_cast<size_t>(page_result.page_index)];
+      WriteExtractionJson(
+          page.tree, names[static_cast<size_t>(page_result.page_index)],
+          page_result.pagelet, page_result.objects, &json);
+    }
+    json.EndArray();
+    json.EndObject();
+    std::printf("%s\n", json.str().c_str());
+  } else {
+    std::printf("%zu pages, %d clusters, %zu extractions\n", pages.size(),
+                result->clustering.k, result->pages.size());
+    for (const auto& page_result : result->pages) {
+      const core::Page& page =
+          pages[static_cast<size_t>(page_result.page_index)];
+      std::printf("%-16s pagelet=%-28s objects=%zu\n",
+                  names[static_cast<size_t>(page_result.page_index)].c_str(),
+                  page.tree.PathString(page_result.pagelet).c_str(),
+                  page_result.objects.size());
+    }
+  }
+  return 0;
+}
+
+// --- search: cross-site retrieval over extracted QA-Objects --------------
+
+int RunSearch(int argc, char** argv) {
+  std::vector<std::string> dirs;
+  std::string query;
+  bool by_site = false;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--query")) {
+      while (i + 1 < argc && argv[i + 1][0] != '-') {
+        if (!query.empty()) query += ' ';
+        query += argv[++i];
+      }
+    } else if (!std::strcmp(argv[i], "--by-site")) {
+      by_site = true;
+    } else {
+      dirs.push_back(argv[i]);
+    }
+  }
+  if (dirs.empty() || query.empty()) return Usage();
+  search::DeepWebSearchEngine engine;
+  int site_id = 0;
+  for (const std::string& dir : dirs) {
+    std::vector<core::Page> pages;
+    std::vector<std::string> names;
+    if (!LoadPagesFromDir(dir, &pages, &names)) return 1;
+    if (pages.empty()) continue;
+    auto result = core::RunThor(pages, core::ThorOptions{});
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dir.c_str(),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    int docs = engine.AddSite(site_id++, dir, pages, *result);
+    std::fprintf(stderr, "%s: %d objects indexed\n", dir.c_str(), docs);
+  }
+  engine.Finalize();
+  if (by_site) {
+    for (const auto& site : engine.SearchBySite(query)) {
+      std::printf("%8.2f  %-30s (%d matching objects)\n", site.score,
+                  site.site_name.c_str(), site.matching_documents);
+    }
+  } else {
+    for (const auto& result : engine.Search(query, 10)) {
+      std::printf("%6.2f  [%s]  %.70s\n", result.score,
+                  result.document->site_name.c_str(),
+                  result.document->text.c_str());
+    }
+  }
+  return 0;
+}
+
+// --- eval ----------------------------------------------------------------
+
+int RunEval(int argc, char** argv) {
+  int num_sites = 10;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--sites") && i + 1 < argc) {
+      num_sites = std::atoi(argv[++i]);
+    }
+  }
+  deepweb::FleetOptions fleet_options;
+  fleet_options.num_sites = num_sites;
+  auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+  auto corpus = deepweb::BuildCorpus(fleet, deepweb::ProbeOptions{});
+  core::PrecisionRecall total;
+  for (const auto& sample : corpus) {
+    auto pages = core::ToPages(sample);
+    auto result = core::RunThor(pages, core::ThorOptions{});
+    if (!result.ok()) continue;
+    auto pr = core::EvaluatePagelets(sample, *result);
+    std::printf("site %-3d P=%.3f R=%.3f (%d/%d)\n", sample.site_id,
+                pr.Precision(), pr.Recall(), pr.correct, pr.truth);
+    total.Add(pr);
+  }
+  std::printf("TOTAL  P=%.3f R=%.3f over %d sites\n", total.Precision(),
+              total.Recall(), num_sites);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "probe") return RunProbe(argc - 2, argv + 2);
+  if (command == "extract") return RunExtract(argc - 2, argv + 2);
+  if (command == "analyze") return RunAnalyze(argc - 2, argv + 2);
+  if (command == "apply") return RunApply(argc - 2, argv + 2);
+  if (command == "search") return RunSearch(argc - 2, argv + 2);
+  if (command == "eval") return RunEval(argc - 2, argv + 2);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace thor
+
+int main(int argc, char** argv) { return thor::Main(argc, argv); }
