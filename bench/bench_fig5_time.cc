@@ -28,6 +28,9 @@ struct SiteVectors {
 
 int Main(int argc, char** argv) {
   int num_sites = argc > 1 ? std::atoi(argv[1]) : 50;
+  // Threads for the timed K-Means iteration (1 = the paper's serial
+  // setting; results are identical at every count).
+  int threads = argc > 2 ? std::atoi(argv[2]) : 1;
   auto corpus = bench::BuildPaperCorpus(num_sites);
   std::vector<SiteVectors> sites;
   for (const auto& sample : corpus) {
@@ -44,17 +47,18 @@ int Main(int argc, char** argv) {
   bench::PrintHeader("Figure 5: avg time (ms) of one clustering iteration");
   bench::PrintRow("", {"pages", "RTag", "TTag", "RCon", "TCon", "URLs"});
 
-  auto time_vector_iteration = [](const std::vector<ir::SparseVector>& counts,
-                                  int n, ir::Weighting weighting) {
-    std::vector<ir::SparseVector> subset(counts.begin(),
-                                         counts.begin() + n);
-    return bench::TimeSeconds([&] {
-      ir::TfidfModel model = ir::TfidfModel::Fit(subset);
-      auto weighted = model.WeighAll(subset, weighting);
-      auto result = cluster::KMeansOneIteration(weighted, 3, 17);
-      (void)result;
-    });
-  };
+  auto time_vector_iteration =
+      [threads](const std::vector<ir::SparseVector>& counts, int n,
+                ir::Weighting weighting) {
+        std::vector<ir::SparseVector> subset(counts.begin(),
+                                             counts.begin() + n);
+        return bench::TimeSeconds([&] {
+          ir::TfidfModel model = ir::TfidfModel::Fit(subset);
+          auto weighted = model.WeighAll(subset, weighting);
+          auto result = cluster::KMeansOneIteration(weighted, 3, 17, threads);
+          (void)result;
+        });
+      };
 
   for (int n : kPageCounts) {
     double raw_tag = 0.0;

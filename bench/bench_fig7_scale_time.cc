@@ -15,6 +15,9 @@ namespace {
 int Main(int argc, char** argv) {
   int num_sites = argc > 1 ? std::atoi(argv[1]) : 10;
   int max_scale = argc > 2 ? std::atoi(argv[2]) : 11000;
+  // Threads for the timed K-Means iteration (1 = serial baseline;
+  // results are identical at every count).
+  int threads = argc > 3 ? std::atoi(argv[3]) : 1;
   auto corpus = bench::BuildPaperCorpus(num_sites);
   std::vector<deepweb::SyntheticCorpusModel> models;
   for (const auto& sample : corpus) {
@@ -45,11 +48,13 @@ int Main(int argc, char** argv) {
       auto weighted_terms =
           term_model.WeighAll(terms, ir::Weighting::kTfidf);
       tag_time += bench::TimeSeconds([&] {
-        auto result = cluster::KMeansOneIteration(weighted_tags, 3, 5);
+        auto result =
+            cluster::KMeansOneIteration(weighted_tags, 3, 5, threads);
         (void)result;
       });
       content_time += bench::TimeSeconds([&] {
-        auto result = cluster::KMeansOneIteration(weighted_terms, 3, 5);
+        auto result =
+            cluster::KMeansOneIteration(weighted_terms, 3, 5, threads);
         (void)result;
       });
     }

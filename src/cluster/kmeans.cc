@@ -1,9 +1,11 @@
 #include "src/cluster/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include "src/ir/similarity.h"
+#include "src/util/parallel.h"
 
 namespace thor::cluster {
 
@@ -24,27 +26,31 @@ std::vector<ir::SparseVector> InitialCentroids(
 }
 
 // Assigns each vector to the most-similar centroid. Returns true if any
-// assignment changed.
+// assignment changed. Items are independent (each writes only its own
+// slot), so the scan parallelizes without changing the result.
 bool AssignAll(const std::vector<ir::SparseVector>& vectors,
                const std::vector<ir::SparseVector>& centroids,
-               std::vector<int>* assignment) {
-  bool changed = false;
-  for (size_t i = 0; i < vectors.size(); ++i) {
-    int best = 0;
-    double best_sim = -1.0;
-    for (size_t c = 0; c < centroids.size(); ++c) {
-      double sim = ir::CosineSimilarity(vectors[i], centroids[c]);
-      if (sim > best_sim) {
-        best_sim = sim;
-        best = static_cast<int>(c);
-      }
-    }
-    if ((*assignment)[i] != best) {
-      (*assignment)[i] = best;
-      changed = true;
-    }
-  }
-  return changed;
+               std::vector<int>* assignment, int threads) {
+  std::atomic<bool> changed{false};
+  ParallelFor(
+      vectors.size(),
+      [&](size_t i) {
+        int best = 0;
+        double best_sim = -1.0;
+        for (size_t c = 0; c < centroids.size(); ++c) {
+          double sim = ir::CosineSimilarity(vectors[i], centroids[c]);
+          if (sim > best_sim) {
+            best_sim = sim;
+            best = static_cast<int>(c);
+          }
+        }
+        if ((*assignment)[i] != best) {
+          (*assignment)[i] = best;
+          changed.store(true, std::memory_order_relaxed);
+        }
+      },
+      threads);
+  return changed.load(std::memory_order_relaxed);
 }
 
 // Re-seeds empty clusters with a random member of the largest cluster.
@@ -74,20 +80,22 @@ void RepairEmptyClusters(std::vector<int>* assignment, int k, Rng* rng) {
 }
 
 Clustering RunOneRestart(const std::vector<ir::SparseVector>& vectors, int k,
-                         int max_iterations, Rng* rng) {
+                         int max_iterations, Rng* rng, int threads) {
   Clustering result;
   result.assignment.assign(vectors.size(), -1);
   result.centroids = InitialCentroids(vectors, k, rng);
   int iter = 0;
   for (; iter < max_iterations; ++iter) {
-    bool changed = AssignAll(vectors, result.centroids, &result.assignment);
+    bool changed =
+        AssignAll(vectors, result.centroids, &result.assignment, threads);
     RepairEmptyClusters(&result.assignment, k, rng);
     result.centroids = ComputeCentroids(vectors, result.assignment, k);
     if (!changed && iter > 0) break;
   }
   result.iterations_run = iter;
   result.internal_similarity =
-      InternalSimilarity(vectors, result.assignment, result.centroids);
+      InternalSimilarity(vectors, result.assignment, result.centroids,
+                         threads);
   return result;
 }
 
@@ -141,19 +149,33 @@ std::vector<ir::SparseVector> ComputeCentroids(
 
 double InternalSimilarity(const std::vector<ir::SparseVector>& vectors,
                           const std::vector<int>& assignment,
-                          const std::vector<ir::SparseVector>& centroids) {
+                          const std::vector<ir::SparseVector>& centroids,
+                          int threads) {
   // Sum over all items of cos(item, its centroid) — the I2-style criterion
   // of the papers THOR cites ([29], [32]), equivalent to summing the
   // cluster-centroid lengths for unit-length members. (THOR's text also
   // multiplies each cluster term by n_i/n; taken literally that rewards
   // merging distinct clusters, so the citation's unweighted form is used.)
+  // The cosines are computed in parallel into an index-addressed buffer and
+  // summed serially in item order: no floating-point reassociation, so the
+  // total is bit-identical at every thread count.
   if (vectors.empty()) return 0.0;
+  std::vector<double> similarity(vectors.size(), 0.0);
+  ParallelFor(
+      vectors.size(),
+      [&](size_t i) {
+        int c = assignment[i];
+        if (c < 0 || c >= static_cast<int>(centroids.size())) return;
+        similarity[i] =
+            ir::CosineSimilarity(vectors[i],
+                                 centroids[static_cast<size_t>(c)]);
+      },
+      threads);
   double total = 0.0;
   for (size_t i = 0; i < vectors.size(); ++i) {
     int c = assignment[i];
     if (c < 0 || c >= static_cast<int>(centroids.size())) continue;
-    total +=
-        ir::CosineSimilarity(vectors[i], centroids[static_cast<size_t>(c)]);
+    total += similarity[i];
   }
   return total;
 }
@@ -168,30 +190,41 @@ Result<Clustering> KMeansCluster(const std::vector<ir::SparseVector>& vectors,
   }
   int k = std::min<int>(options.k, static_cast<int>(vectors.size()));
   int restarts = std::max(1, options.restarts);
+  // Fork every restart's generator up front (the same Fork() sequence the
+  // serial loop performed), then run the restarts concurrently; each task
+  // touches only its own Rng and result slot. The winner is the lowest
+  // restart index among those with maximal internal similarity — the same
+  // strictly-greater rule the serial scan applied — so the output is
+  // bit-identical at every thread count.
   Rng rng(options.seed);
-  Clustering best;
-  bool have_best = false;
-  for (int r = 0; r < restarts; ++r) {
-    Rng restart_rng = rng.Fork();
-    Clustering candidate =
-        RunOneRestart(vectors, k, options.max_iterations, &restart_rng);
-    if (!have_best ||
-        candidate.internal_similarity > best.internal_similarity) {
-      best = std::move(candidate);
-      have_best = true;
+  std::vector<Rng> restart_rngs;
+  restart_rngs.reserve(static_cast<size_t>(restarts));
+  for (int r = 0; r < restarts; ++r) restart_rngs.push_back(rng.Fork());
+  std::vector<Clustering> runs = ParallelMap(
+      static_cast<size_t>(restarts),
+      [&](size_t r) {
+        return RunOneRestart(vectors, k, options.max_iterations,
+                             &restart_rngs[r], /*threads=*/1);
+      },
+      options.threads);
+  size_t best = 0;
+  for (size_t r = 1; r < runs.size(); ++r) {
+    if (runs[r].internal_similarity > runs[best].internal_similarity) {
+      best = r;
     }
   }
-  return best;
+  return std::move(runs[best]);
 }
 
 Result<Clustering> KMeansOneIteration(
-    const std::vector<ir::SparseVector>& vectors, int k, uint64_t seed) {
+    const std::vector<ir::SparseVector>& vectors, int k, uint64_t seed,
+    int threads) {
   if (vectors.empty()) {
     return Status::InvalidArgument("KMeansOneIteration: no input vectors");
   }
   k = std::min<int>(std::max(k, 1), static_cast<int>(vectors.size()));
   Rng rng(seed);
-  return RunOneRestart(vectors, k, /*max_iterations=*/1, &rng);
+  return RunOneRestart(vectors, k, /*max_iterations=*/1, &rng, threads);
 }
 
 }  // namespace thor::cluster

@@ -20,6 +20,12 @@ struct KMeansOptions {
   /// highest internal similarity wins (paper Section 3.1.4).
   int restarts = 10;
   uint64_t seed = 42;
+  /// Threads for running restarts concurrently: 0 = the process default
+  /// (`THOR_THREADS` / hardware concurrency), 1 = serial. Every restart
+  /// uses its own pre-forked Rng and the winner is chosen by
+  /// (internal_similarity, restart index), so the result is bit-identical
+  /// at every thread count.
+  int threads = 0;
 };
 
 /// Result of a clustering run.
@@ -50,10 +56,13 @@ std::vector<ir::SparseVector> ComputeCentroids(
     const std::vector<int>& assignment, int k);
 
 /// Internal-similarity criterion for a whole clustering (see the
-/// `Clustering::internal_similarity` note on the exact form).
+/// `Clustering::internal_similarity` note on the exact form). With
+/// `threads != 1` the per-item cosines are computed concurrently but summed
+/// in item order, so the value is bit-identical to the serial sum.
 double InternalSimilarity(const std::vector<ir::SparseVector>& vectors,
                           const std::vector<int>& assignment,
-                          const std::vector<ir::SparseVector>& centroids);
+                          const std::vector<ir::SparseVector>& centroids,
+                          int threads = 1);
 
 /// \brief Cosine-similarity Simple K-Means with random restarts.
 ///
@@ -64,9 +73,12 @@ Result<Clustering> KMeansCluster(const std::vector<ir::SparseVector>& vectors,
                                  const KMeansOptions& options);
 
 /// Runs exactly one assign+recenter cycle from random centers: the unit the
-/// paper times in Figures 5 and 7.
+/// paper times in Figures 5 and 7. `threads` parallelizes the assignment
+/// and similarity scans across items (1 = serial, 0 = process default);
+/// the result is identical at every thread count.
 Result<Clustering> KMeansOneIteration(
-    const std::vector<ir::SparseVector>& vectors, int k, uint64_t seed);
+    const std::vector<ir::SparseVector>& vectors, int k, uint64_t seed,
+    int threads = 1);
 
 }  // namespace thor::cluster
 

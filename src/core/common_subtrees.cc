@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string_view>
+#include <unordered_map>
 
 #include "src/text/edit_distance.h"
+#include "src/util/parallel.h"
 
 namespace thor::core {
 
@@ -24,15 +28,49 @@ double RatioTerm(int a, int b) {
   return static_cast<double>(std::abs(a - b)) / hi;
 }
 
+// Shape distance with the (expensive) path term supplied by the caller —
+// the matching loop reads it from the interned-pair cache instead of
+// recomputing the edit distance for every candidate pair.
+double ShapeDistanceWithPathTerm(const ShapeQuad& a, const ShapeQuad& b,
+                                 double path_term,
+                                 const ShapeDistanceWeights& weights) {
+  return weights.path * path_term +
+         weights.fanout * RatioTerm(a.fanout, b.fanout) +
+         weights.depth * RatioTerm(a.depth, b.depth) +
+         weights.nodes * RatioTerm(a.num_nodes, b.num_nodes);
+}
+
+// Interns path-symbol strings to dense ids so edit distances can be cached
+// per distinct pair instead of per candidate pair. Views point into the
+// quads, which outlive the table.
+class PathInterner {
+ public:
+  int Intern(std::string_view path) {
+    auto [it, inserted] =
+        ids_.emplace(path, static_cast<int>(paths_.size()));
+    if (inserted) paths_.push_back(path);
+    return it->second;
+  }
+
+  std::string_view path(int id) const {
+    return paths_[static_cast<size_t>(id)];
+  }
+  int size() const { return static_cast<int>(paths_.size()); }
+
+ private:
+  std::unordered_map<std::string_view, int> ids_;
+  std::vector<std::string_view> paths_;
+};
+
 }  // namespace
 
 double ShapeDistance(const ShapeQuad& a, const ShapeQuad& b,
                      const ShapeDistanceWeights& weights) {
-  double path_term = text::NormalizedEditDistance(a.path_symbols,
-                                                  b.path_symbols);
-  return weights.path * path_term + weights.fanout * RatioTerm(a.fanout, b.fanout) +
-         weights.depth * RatioTerm(a.depth, b.depth) +
-         weights.nodes * RatioTerm(a.num_nodes, b.num_nodes);
+  double path_term =
+      a.path_symbols == b.path_symbols
+          ? 0.0
+          : text::NormalizedEditDistance(a.path_symbols, b.path_symbols);
+  return ShapeDistanceWithPathTerm(a, b, path_term, weights);
 }
 
 std::vector<CommonSubtreeSet> FindCommonSubtreeSets(
@@ -46,91 +84,174 @@ std::vector<CommonSubtreeSet> FindCommonSubtreeSets(
     // Auto: a content-rich page, but not an outlier — the page at the 75th
     // percentile of content length. This anchors a mixed cluster (answer
     // pages plus misclustered no-match pages) on an answer page, while one
-    // freak page cannot hijack the prototype role.
+    // freak page cannot hijack the prototype role. Only that one order
+    // statistic is needed, so a full sort is avoided; ties break toward
+    // the lower page index to keep the choice well defined.
+    std::vector<int> content_lengths(trees.size());
+    for (size_t i = 0; i < trees.size(); ++i) {
+      content_lengths[i] = trees[i]->node(trees[i]->root()).content_length;
+    }
     std::vector<int> order(trees.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
-    std::sort(order.begin(), order.end(), [&trees](int a, int b) {
-      return trees[static_cast<size_t>(a)]
-                 ->node(trees[static_cast<size_t>(a)]->root())
-                 .content_length >
-             trees[static_cast<size_t>(b)]
-                 ->node(trees[static_cast<size_t>(b)]->root())
-                 .content_length;
-    });
-    prototype = order[order.size() / 4];
+    auto richer = [&content_lengths](int a, int b) {
+      int la = content_lengths[static_cast<size_t>(a)];
+      int lb = content_lengths[static_cast<size_t>(b)];
+      if (la != lb) return la > lb;
+      return a < b;
+    };
+    auto nth = order.begin() + static_cast<long>(order.size() / 4);
+    std::nth_element(order.begin(), nth, order.end(), richer);
+    prototype = *nth;
   }
 
-  // Seed one set per prototype candidate and cache its quadruple.
+  // Quadruples for every page's candidates, pages in parallel (each task
+  // writes only its own page's slot).
+  std::vector<std::vector<ShapeQuad>> quads(trees.size());
+  ParallelFor(
+      trees.size(),
+      [&](size_t page) {
+        const auto& page_candidates = candidates[page];
+        quads[page].reserve(page_candidates.size());
+        for (html::NodeId node : page_candidates) {
+          quads[page].push_back(MakeShapeQuad(*trees[page], node));
+        }
+      },
+      options.threads);
+
+  // Seed one set per prototype candidate.
   const auto& proto_candidates = candidates[static_cast<size_t>(prototype)];
-  std::vector<ShapeQuad> proto_quads;
-  proto_quads.reserve(proto_candidates.size());
+  const auto& proto_quads = quads[static_cast<size_t>(prototype)];
+  sets.reserve(proto_candidates.size());
   for (html::NodeId node : proto_candidates) {
     sets.push_back(CommonSubtreeSet{{{prototype, node}}});
-    proto_quads.push_back(
-        MakeShapeQuad(*trees[static_cast<size_t>(prototype)], node));
   }
+
+  // Memoize the normalized path edit distance over interned symbol
+  // sequences: every (prototype path, candidate path) pair is computed once
+  // — in parallel — instead of once per candidate pair per greedy pass.
+  PathInterner interner;
+  std::vector<int> proto_path_ids;
+  proto_path_ids.reserve(proto_quads.size());
+  for (const ShapeQuad& quad : proto_quads) {
+    proto_path_ids.push_back(interner.Intern(quad.path_symbols));
+  }
+  int num_proto_paths = interner.size();
+  std::vector<std::vector<int>> page_path_ids(trees.size());
+  for (size_t page = 0; page < trees.size(); ++page) {
+    if (static_cast<int>(page) == prototype) continue;
+    page_path_ids[page].reserve(quads[page].size());
+    for (const ShapeQuad& quad : quads[page]) {
+      page_path_ids[page].push_back(interner.Intern(quad.path_symbols));
+    }
+  }
+  int num_paths = interner.size();
+  std::vector<double> path_distance(
+      static_cast<size_t>(num_proto_paths) * static_cast<size_t>(num_paths),
+      0.0);
+  ParallelFor(
+      path_distance.size(),
+      [&](size_t flat) {
+        int p = static_cast<int>(flat) / num_paths;
+        int q = static_cast<int>(flat) % num_paths;
+        path_distance[flat] =
+            p == q ? 0.0
+                   : text::NormalizedEditDistance(interner.path(p),
+                                                  interner.path(q));
+      },
+      options.threads);
 
   // Greedy minimum-distance matching per page: sort all (set, candidate)
   // pairs by distance, take each set and each candidate at most once.
+  // Pages depend only on the prototype, never on each other, so they match
+  // in parallel and their picks merge in page order below.
   struct Pair {
     double distance;
     int set_index;
     int cand_index;
   };
+  struct Match {
+    int set_index;
+    int cand_index;
+  };
+  std::vector<std::vector<Match>> page_matches(trees.size());
+  ParallelFor(
+      trees.size(),
+      [&](size_t page) {
+        if (static_cast<int>(page) == prototype) return;
+        const auto& page_quads = quads[page];
+        const auto& path_ids = page_path_ids[page];
+        std::vector<bool> set_taken(proto_quads.size(), false);
+        std::vector<bool> cand_taken(page_quads.size(), false);
+        // Full-distance memo per (set, candidate): values computed in the
+        // exact-path pass are reused verbatim by the relaxed pass.
+        constexpr double kUnset = std::numeric_limits<double>::infinity();
+        std::vector<double> memo(proto_quads.size() * page_quads.size(),
+                                 kUnset);
+        auto pair_distance = [&](size_t s, size_t c) {
+          double& slot = memo[s * page_quads.size() + c];
+          if (slot == kUnset) {
+            double path_term =
+                path_distance[static_cast<size_t>(proto_path_ids[s]) *
+                                  static_cast<size_t>(num_paths) +
+                              static_cast<size_t>(path_ids[c])];
+            slot = ShapeDistanceWithPathTerm(proto_quads[s], page_quads[c],
+                                             path_term, options.weights);
+          }
+          return slot;
+        };
+        auto greedy_pass = [&](bool require_same_path, double cutoff) {
+          std::vector<Pair> pairs;
+          for (size_t s = 0; s < proto_quads.size(); ++s) {
+            if (set_taken[s]) continue;
+            for (size_t c = 0; c < page_quads.size(); ++c) {
+              if (cand_taken[c]) continue;
+              if (require_same_path &&
+                  proto_path_ids[s] != path_ids[c]) {
+                continue;
+              }
+              double d = pair_distance(s, c);
+              if (d <= cutoff) {
+                pairs.push_back(
+                    {d, static_cast<int>(s), static_cast<int>(c)});
+              }
+            }
+          }
+          std::sort(pairs.begin(), pairs.end(),
+                    [](const Pair& a, const Pair& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      if (a.set_index != b.set_index) {
+                        return a.set_index < b.set_index;
+                      }
+                      return a.cand_index < b.cand_index;
+                    });
+          for (const Pair& p : pairs) {
+            if (set_taken[static_cast<size_t>(p.set_index)] ||
+                cand_taken[static_cast<size_t>(p.cand_index)]) {
+              continue;
+            }
+            set_taken[static_cast<size_t>(p.set_index)] = true;
+            cand_taken[static_cast<size_t>(p.cand_index)] = true;
+            page_matches[page].push_back({p.set_index, p.cand_index});
+          }
+        };
+        if (options.exact_path_first) {
+          greedy_pass(/*require_same_path=*/true,
+                      options.max_same_path_distance);
+        }
+        greedy_pass(/*require_same_path=*/false, options.max_match_distance);
+      },
+      options.threads);
+
+  // Serial merge in page order: member order within every set matches the
+  // serial page loop exactly.
   for (size_t page = 0; page < trees.size(); ++page) {
-    if (static_cast<int>(page) == prototype) continue;
-    const auto& page_candidates = candidates[page];
-    std::vector<ShapeQuad> page_quads;
-    page_quads.reserve(page_candidates.size());
-    for (html::NodeId node : page_candidates) {
-      page_quads.push_back(MakeShapeQuad(*trees[page], node));
+    for (const Match& m : page_matches[page]) {
+      sets[static_cast<size_t>(m.set_index)].members.push_back(
+          {static_cast<int>(page),
+           candidates[page][static_cast<size_t>(m.cand_index)]});
     }
-    std::vector<bool> set_taken(proto_quads.size(), false);
-    std::vector<bool> cand_taken(page_quads.size(), false);
-    auto greedy_pass = [&](bool require_same_path, double cutoff) {
-      std::vector<Pair> pairs;
-      for (size_t s = 0; s < proto_quads.size(); ++s) {
-        if (set_taken[s]) continue;
-        for (size_t c = 0; c < page_quads.size(); ++c) {
-          if (cand_taken[c]) continue;
-          if (require_same_path &&
-              proto_quads[s].path_symbols != page_quads[c].path_symbols) {
-            continue;
-          }
-          double d = ShapeDistance(proto_quads[s], page_quads[c],
-                                   options.weights);
-          if (d <= cutoff) {
-            pairs.push_back({d, static_cast<int>(s), static_cast<int>(c)});
-          }
-        }
-      }
-      std::sort(pairs.begin(), pairs.end(),
-                [](const Pair& a, const Pair& b) {
-                  if (a.distance != b.distance) {
-                    return a.distance < b.distance;
-                  }
-                  if (a.set_index != b.set_index) {
-                    return a.set_index < b.set_index;
-                  }
-                  return a.cand_index < b.cand_index;
-                });
-      for (const Pair& p : pairs) {
-        if (set_taken[static_cast<size_t>(p.set_index)] ||
-            cand_taken[static_cast<size_t>(p.cand_index)]) {
-          continue;
-        }
-        set_taken[static_cast<size_t>(p.set_index)] = true;
-        cand_taken[static_cast<size_t>(p.cand_index)] = true;
-        sets[static_cast<size_t>(p.set_index)].members.push_back(
-            {static_cast<int>(page),
-             page_candidates[static_cast<size_t>(p.cand_index)]});
-      }
-    };
-    if (options.exact_path_first) {
-      greedy_pass(/*require_same_path=*/true,
-                  options.max_same_path_distance);
-    }
-    greedy_pass(/*require_same_path=*/false, options.max_match_distance);
   }
   return sets;
 }

@@ -75,6 +75,11 @@ struct CommonSubtreeOptions {
   bool exact_path_first = true;
   /// Distance cutoff used in the exact-path pass.
   double max_same_path_distance = 0.75;
+  /// Threads for quadruple construction and per-page matching
+  /// (0 = process default, 1 = serial). Pages match independently against
+  /// the prototype and their matches merge in page order, so the sets are
+  /// identical at every thread count.
+  int threads = 0;
 };
 
 /// \brief Cross-page analysis step 1: groups candidate subtrees from all

@@ -18,6 +18,10 @@ struct SubtreeRankOptions {
   /// important" exact value — 0.5 in the paper's first prototype).
   double prune_threshold = 0.5;
   text::TermOptions terms;
+  /// Threads for scoring sets concurrently (0 = process default,
+  /// 1 = serial). Each set builds its own vocabulary and TFIDF model, so
+  /// sets are independent and the ranking is identical at every count.
+  int threads = 0;
 };
 
 /// One common subtree set with its intra-set content similarity.

@@ -4,17 +4,18 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/util/parallel.h"
+
 namespace thor::core {
 
 Phase2Result RunPhase2(const std::vector<const html::TagTree*>& trees,
                        const Phase2Options& options) {
   Phase2Result result;
   if (trees.empty()) return result;
-  std::vector<std::vector<html::NodeId>> candidates;
-  candidates.reserve(trees.size());
-  for (const html::TagTree* tree : trees) {
-    candidates.push_back(CandidateSubtrees(*tree, options.filter));
-  }
+  std::vector<std::vector<html::NodeId>> candidates = ParallelMap(
+      trees.size(),
+      [&](size_t i) { return CandidateSubtrees(*trees[i], options.filter); },
+      options.threads);
   std::vector<CommonSubtreeSet> sets =
       FindCommonSubtreeSets(trees, candidates, options.common);
   result.ranked_sets = RankSubtreeSets(trees, sets, options.rank);
@@ -103,44 +104,55 @@ Result<ThorResult> RunThor(const std::vector<Page>& pages,
     }
   }
 
-  for (int cluster_id : result.passed_clusters) {
-    // Collect this cluster's pages, remembering original indices.
-    std::vector<const html::TagTree*> trees;
-    std::vector<int> original_index;
-    for (size_t i = 0; i < pages.size(); ++i) {
-      if (result.clustering.assignment[i] == cluster_id) {
-        trees.push_back(&pages[i].tree);
-        original_index.push_back(static_cast<int>(i));
-      }
-    }
-    if (trees.empty()) continue;
-    Phase2Result phase2 = RunPhase2(trees, options.phase2);
-    std::vector<ThorPageResult> cluster_results;
-    for (const ExtractedPagelet& pagelet : phase2.pagelets) {
-      ThorPageResult page_result;
-      page_result.page_index =
-          original_index[static_cast<size_t>(pagelet.page_index)];
-      page_result.pagelet = pagelet.node;
-      const html::TagTree& tree =
-          *trees[static_cast<size_t>(pagelet.page_index)];
-      page_result.objects =
-          PartitionObjects(tree, pagelet.node, pagelet.dynamic_descendants,
-                           options.objects);
-      cluster_results.push_back(std::move(page_result));
-    }
-    // Cross-page Stage-3 validation: collapse field-row "objects" of
-    // detail-page clusters into one record per page.
-    std::vector<PageObjects> cluster_objects;
-    cluster_objects.reserve(cluster_results.size());
-    for (ThorPageResult& page_result : cluster_results) {
-      cluster_objects.push_back(
-          {&pages[static_cast<size_t>(page_result.page_index)].tree,
-           page_result.pagelet, std::move(page_result.objects)});
-    }
-    CollapseFieldRowObjects(&cluster_objects);
-    for (size_t i = 0; i < cluster_results.size(); ++i) {
-      cluster_results[i].objects = std::move(cluster_objects[i].objects);
-    }
+  // Phase II + Stage 3 per passed cluster. Clusters are disjoint page sets
+  // reading shared const trees, so they run concurrently; the per-cluster
+  // outputs merge in cluster-rank order below, making the result identical
+  // to the serial loop at every thread count.
+  std::vector<std::vector<ThorPageResult>> cluster_outputs = ParallelMap(
+      result.passed_clusters.size(),
+      [&](size_t ci) {
+        int cluster_id = result.passed_clusters[ci];
+        // Collect this cluster's pages, remembering original indices.
+        std::vector<const html::TagTree*> trees;
+        std::vector<int> original_index;
+        for (size_t i = 0; i < pages.size(); ++i) {
+          if (result.clustering.assignment[i] == cluster_id) {
+            trees.push_back(&pages[i].tree);
+            original_index.push_back(static_cast<int>(i));
+          }
+        }
+        std::vector<ThorPageResult> cluster_results;
+        if (trees.empty()) return cluster_results;
+        Phase2Result phase2 = RunPhase2(trees, options.phase2);
+        for (const ExtractedPagelet& pagelet : phase2.pagelets) {
+          ThorPageResult page_result;
+          page_result.page_index =
+              original_index[static_cast<size_t>(pagelet.page_index)];
+          page_result.pagelet = pagelet.node;
+          const html::TagTree& tree =
+              *trees[static_cast<size_t>(pagelet.page_index)];
+          page_result.objects = PartitionObjects(tree, pagelet.node,
+                                                 pagelet.dynamic_descendants,
+                                                 options.objects);
+          cluster_results.push_back(std::move(page_result));
+        }
+        // Cross-page Stage-3 validation: collapse field-row "objects" of
+        // detail-page clusters into one record per page.
+        std::vector<PageObjects> cluster_objects;
+        cluster_objects.reserve(cluster_results.size());
+        for (ThorPageResult& page_result : cluster_results) {
+          cluster_objects.push_back(
+              {&pages[static_cast<size_t>(page_result.page_index)].tree,
+               page_result.pagelet, std::move(page_result.objects)});
+        }
+        CollapseFieldRowObjects(&cluster_objects);
+        for (size_t i = 0; i < cluster_results.size(); ++i) {
+          cluster_results[i].objects = std::move(cluster_objects[i].objects);
+        }
+        return cluster_results;
+      },
+      options.threads);
+  for (std::vector<ThorPageResult>& cluster_results : cluster_outputs) {
     for (ThorPageResult& page_result : cluster_results) {
       result.pages.push_back(std::move(page_result));
     }

@@ -21,6 +21,10 @@ struct Phase2Options {
   CommonSubtreeOptions common;
   SubtreeRankOptions rank;
   PageletSelectionOptions selection;
+  /// Threads for the per-page candidate-subtree scan (0 = process default,
+  /// 1 = serial). Shape matching and set ranking carry their own knobs in
+  /// `common.threads` / `rank.threads`.
+  int threads = 0;
 };
 
 /// Phase-II output for one page cluster.
@@ -69,6 +73,21 @@ struct ThorOptions {
   int min_cluster_pages = 3;
   Phase2Options phase2;
   ObjectPartitionOptions objects;
+  /// Threads for running Phase II over the passed clusters concurrently
+  /// (0 = process default, 1 = serial). Per-cluster outputs are merged in
+  /// cluster-rank order, so the result is identical at every thread count.
+  int threads = 0;
+
+  /// Sets every threads knob in the pipeline — Phase-I restarts, the
+  /// Phase-II cluster fan-out, candidate scanning, shape matching, and set
+  /// ranking. `SetAllThreads(1)` is the fully serial escape hatch.
+  void SetAllThreads(int t) {
+    threads = t;
+    clustering.kmeans.threads = t;
+    phase2.threads = t;
+    phase2.common.threads = t;
+    phase2.rank.threads = t;
+  }
 };
 
 /// One page's extraction outcome.

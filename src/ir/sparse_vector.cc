@@ -23,6 +23,7 @@ SparseVector SparseVector::FromPairs(std::vector<VectorEntry> entries) {
       std::remove_if(out.entries_.begin(), out.entries_.end(),
                      [](const VectorEntry& e) { return e.weight == 0.0; }),
       out.entries_.end());
+  out.RecomputeNorm();
   return out;
 }
 
@@ -36,10 +37,10 @@ SparseVector SparseVector::FromCounts(
   return FromPairs(std::move(entries));
 }
 
-double SparseVector::Norm() const {
+void SparseVector::RecomputeNorm() {
   double sum_sq = 0.0;
   for (const VectorEntry& e : entries_) sum_sq += e.weight * e.weight;
-  return std::sqrt(sum_sq);
+  norm_ = std::sqrt(sum_sq);
 }
 
 double SparseVector::Sum() const {
@@ -58,6 +59,9 @@ double SparseVector::At(int32_t id) const {
 
 void SparseVector::Scale(double factor) {
   for (VectorEntry& e : entries_) e.weight *= factor;
+  // Recompute from the scaled weights (not norm_ * |factor|) so the cached
+  // value matches what a direct scan of the entries would produce.
+  RecomputeNorm();
 }
 
 void SparseVector::Normalize() {

@@ -21,6 +21,11 @@ struct VectorEntry {
 /// The page and subtree signatures of the paper are sparse term/tag vectors;
 /// all phase-1/phase-2 similarity math runs on this type. Entries with zero
 /// weight are never stored.
+///
+/// Thread-safety: all const members are pure reads (the Euclidean norm is
+/// cached eagerly by the mutators rather than lazily on first read), so a
+/// `const SparseVector&` may be shared freely across threads — K-Means
+/// restarts and Phase-II workers all read the same signature vectors.
 class SparseVector {
  public:
   SparseVector() = default;
@@ -36,8 +41,9 @@ class SparseVector {
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
 
-  /// Euclidean norm.
-  double Norm() const;
+  /// Euclidean norm. O(1): cached by the mutating operations, recomputed
+  /// with the same summation order the direct scan used.
+  double Norm() const { return norm_; }
 
   /// Sum of weights.
   double Sum() const;
@@ -59,7 +65,10 @@ class SparseVector {
                       double factor = 1.0) const;
 
  private:
+  void RecomputeNorm();
+
   std::vector<VectorEntry> entries_;
+  double norm_ = 0.0;
 };
 
 }  // namespace thor::ir

@@ -62,6 +62,15 @@ struct Stemmer {
     return false;
   }
 
+  // True if 0..end contains at least two vowels.
+  bool HasTwoVowels(int end) const {
+    int vowels = 0;
+    for (int i = 0; i <= end; ++i) {
+      if (!IsConsonant(i) && ++vowels >= 2) return true;
+    }
+    return false;
+  }
+
   // True if i-1, i contain a double consonant.
   bool DoubleConsonant(int i) const {
     if (i < 1) return false;
@@ -108,7 +117,14 @@ struct Stemmer {
         k -= 2;
       } else if (Ends("ies")) {
         SetTo("i");
-      } else if (b[static_cast<size_t>(k - 1)] != 's') {
+      } else if (b[static_cast<size_t>(k - 1)] != 's' &&
+                 (IsConsonant(k - 1) || b[static_cast<size_t>(k - 1)] == 'e')) {
+        // Bare-s plurals end consonant+s ("cats", "connections") or e+s
+        // ("searches", "houses"); a final 's' right after any other vowel
+        // is almost always part of the root — and in particular of stems
+        // this stemmer itself produced from "-se" words ("cause" -> "caus",
+        // "promise" -> "promis"). Stripping those on a second application
+        // was the main source of re-stemming drift.
         --k;
       }
     }
@@ -260,7 +276,11 @@ struct Stemmer {
     j = k;
     if (b[static_cast<size_t>(k)] == 'e') {
       int a = Measure();
-      if (a > 1 || (a == 1 && !CvC(k - 1))) --k;
+      // At m == 1 the final e only goes when at least two vowels survive:
+      // dropping it from a one-vowel-remainder word ("agre", "else",
+      // "inde") yields a stem that re-stems differently, so those words
+      // are fixed points instead.
+      if (a > 1 || (a == 1 && !CvC(k - 1) && HasTwoVowels(k - 1))) --k;
     }
     if (b[static_cast<size_t>(k)] == 'l' && DoubleConsonant(k) &&
         Measure() > 1) {

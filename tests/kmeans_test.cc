@@ -60,6 +60,43 @@ TEST(KMeansTest, DeterministicForSeed) {
   EXPECT_DOUBLE_EQ(a->internal_similarity, b->internal_similarity);
 }
 
+TEST(KMeansTest, BitIdenticalAcrossThreadCounts) {
+  Blobs blobs = MakeBlobs(15, 11);
+  KMeansOptions serial;
+  serial.k = 3;
+  serial.restarts = 8;
+  serial.seed = 123;
+  serial.threads = 1;
+  KMeansOptions parallel = serial;
+  parallel.threads = 8;
+  auto a = KMeansCluster(blobs.vectors, serial);
+  auto b = KMeansCluster(blobs.vectors, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->internal_similarity, b->internal_similarity);  // bitwise
+  EXPECT_EQ(a->iterations_run, b->iterations_run);
+  ASSERT_EQ(a->centroids.size(), b->centroids.size());
+  for (size_t c = 0; c < a->centroids.size(); ++c) {
+    EXPECT_EQ(a->centroids[c].entries(), b->centroids[c].entries());
+  }
+}
+
+TEST(KMeansTest, ParallelRunsRepeatable) {
+  Blobs blobs = MakeBlobs(12, 12);
+  KMeansOptions options;
+  options.k = 3;
+  options.restarts = 6;
+  options.seed = 77;
+  options.threads = 8;
+  auto a = KMeansCluster(blobs.vectors, options);
+  auto b = KMeansCluster(blobs.vectors, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->internal_similarity, b->internal_similarity);
+}
+
 TEST(KMeansTest, AssignmentsAlwaysValid) {
   Blobs blobs = MakeBlobs(10, 3);
   for (int k : {1, 2, 3, 5, 10}) {

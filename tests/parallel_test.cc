@@ -1,0 +1,151 @@
+#include "src/util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace thor {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr size_t kN = 10000;
+  std::unique_ptr<std::atomic<int>[]> hits(new std::atomic<int>[kN]);
+  for (size_t i = 0; i < kN; ++i) hits[i].store(0);
+  ParallelFor(
+      kN, [&](size_t i) { hits[i].fetch_add(1); }, /*threads=*/8);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ThreadsOneRunsInlineAndInOrder) {
+  std::vector<size_t> visited;
+  ParallelFor(
+      100,
+      [&](size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), std::this_thread::get_id());
+        visited.push_back(i);  // safe: serial escape hatch, no pool
+      },
+      /*threads=*/1);
+  ASSERT_EQ(visited.size(), 100u);
+  for (size_t i = 0; i < visited.size(); ++i) EXPECT_EQ(visited[i], i);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsANoop) {
+  bool ran = false;
+  ParallelFor(
+      0, [&](size_t) { ran = true; }, /*threads=*/8);
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, ExceptionsPropagateToCaller) {
+  EXPECT_THROW(ParallelFor(
+                   1000,
+                   [](size_t i) {
+                     if (i == 137) throw std::runtime_error("boom");
+                   },
+                   /*threads=*/8),
+               std::runtime_error);
+  EXPECT_THROW(ParallelFor(
+                   10,
+                   [](size_t i) {
+                     if (i == 3) throw std::runtime_error("serial boom");
+                   },
+                   /*threads=*/1),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, PoolStaysUsableAfterAnException) {
+  EXPECT_THROW(ParallelFor(
+                   100, [](size_t) { throw std::runtime_error("x"); },
+                   /*threads=*/4),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  ParallelFor(
+      100, [&](size_t) { count.fetch_add(1); }, /*threads=*/4);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelForTest, ExercisesDistinctThreads) {
+  // The first `expected` indices rendezvous before any of them may finish,
+  // which can only happen if that many distinct threads really claim work.
+  // A ParallelFor can at most use the caller plus the global pool's
+  // workers, so expect exactly that (on a single-core host: 2).
+  const int expected =
+      std::min(4, 1 + ThreadPool::Global()->num_threads());
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::set<std::thread::id> ids;
+  ParallelFor(
+      4,
+      [&](size_t) {
+        std::unique_lock<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+        if (++arrived >= expected) {
+          cv.notify_all();
+        } else {
+          cv.wait(lock, [&] { return arrived >= expected; });
+        }
+      },
+      /*threads=*/4);
+  EXPECT_GE(ids.size(), static_cast<size_t>(expected));
+}
+
+TEST(ParallelForTest, NestedLoopsComplete) {
+  // RunThor nests ParallelFor (clusters -> pages); the pool must not
+  // deadlock when workers launch and wait on inner loops.
+  std::atomic<int> total{0};
+  ParallelFor(
+      8,
+      [&](size_t) {
+        ParallelFor(
+            50, [&](size_t) { total.fetch_add(1); }, /*threads=*/4);
+      },
+      /*threads=*/4);
+  EXPECT_EQ(total.load(), 8 * 50);
+}
+
+TEST(ParallelMapTest, ReturnsValuesInIndexOrder) {
+  auto squares = ParallelMap(
+      1000, [](size_t i) { return i * i; }, /*threads=*/8);
+  ASSERT_EQ(squares.size(), 1000u);
+  for (size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsStableAndSized) {
+  ThreadPool* pool = ThreadPool::Global();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool, ThreadPool::Global());
+  EXPECT_GE(pool->num_threads(), 1);
+}
+
+TEST(ThreadConfigTest, ParseThreadCount) {
+  EXPECT_EQ(ParseThreadCount(nullptr, 3), 3);
+  EXPECT_EQ(ParseThreadCount("", 3), 3);
+  EXPECT_EQ(ParseThreadCount("8", 3), 8);
+  EXPECT_EQ(ParseThreadCount("1", 3), 1);
+  EXPECT_EQ(ParseThreadCount("0", 3), 3);
+  EXPECT_EQ(ParseThreadCount("-2", 3), 3);
+  EXPECT_EQ(ParseThreadCount("abc", 3), 3);
+  EXPECT_EQ(ParseThreadCount("4x", 3), 3);
+  EXPECT_EQ(ParseThreadCount("999999", 3), 3);  // over the sanity cap
+}
+
+TEST(ThreadConfigTest, ResolveThreads) {
+  EXPECT_EQ(ResolveThreads(5), 5);
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_EQ(ResolveThreads(0), DefaultThreads());
+  EXPECT_EQ(ResolveThreads(-1), DefaultThreads());
+  EXPECT_GE(DefaultThreads(), 1);
+}
+
+}  // namespace
+}  // namespace thor

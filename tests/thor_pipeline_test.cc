@@ -153,6 +153,55 @@ TEST(ThorPipelineTest, DeterministicAcrossRuns) {
   }
 }
 
+void ExpectIdenticalResults(const ThorResult& a, const ThorResult& b) {
+  EXPECT_EQ(a.clustering.assignment, b.clustering.assignment);
+  EXPECT_EQ(a.clustering.internal_similarity,
+            b.clustering.internal_similarity);  // bitwise
+  EXPECT_EQ(a.passed_clusters, b.passed_clusters);
+  ASSERT_EQ(a.ranked_clusters.size(), b.ranked_clusters.size());
+  for (size_t i = 0; i < a.ranked_clusters.size(); ++i) {
+    EXPECT_EQ(a.ranked_clusters[i].cluster, b.ranked_clusters[i].cluster);
+    EXPECT_EQ(a.ranked_clusters[i].score, b.ranked_clusters[i].score);
+  }
+  ASSERT_EQ(a.pages.size(), b.pages.size());
+  for (size_t i = 0; i < a.pages.size(); ++i) {
+    EXPECT_EQ(a.pages[i].page_index, b.pages[i].page_index);
+    EXPECT_EQ(a.pages[i].pagelet, b.pages[i].pagelet);
+    ASSERT_EQ(a.pages[i].objects.size(), b.pages[i].objects.size());
+    for (size_t o = 0; o < a.pages[i].objects.size(); ++o) {
+      EXPECT_EQ(a.pages[i].objects[o].parts, b.pages[i].objects[o].parts);
+    }
+  }
+}
+
+TEST(ThorPipelineTest, IdenticalAcrossThreadCounts) {
+  auto corpus = SmallCorpus(2);
+  for (const auto& sample : corpus) {
+    auto pages = ToPages(sample);
+    ThorOptions serial;
+    serial.SetAllThreads(1);
+    ThorOptions parallel;
+    parallel.SetAllThreads(8);
+    auto a = RunThor(pages, serial);
+    auto b = RunThor(pages, parallel);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectIdenticalResults(*a, *b);
+  }
+}
+
+TEST(ThorPipelineTest, ParallelRunsRepeatable) {
+  auto corpus = SmallCorpus(1);
+  auto pages = ToPages(corpus[0]);
+  ThorOptions options;
+  options.SetAllThreads(8);
+  auto a = RunThor(pages, options);
+  auto b = RunThor(pages, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectIdenticalResults(*a, *b);
+}
+
 TEST(ThorPipelineTest, RobustToTemplateChange) {
   // The paper claims robustness to presentation changes: rerunning THOR on
   // a site whose templates differ (different site id => different style)
