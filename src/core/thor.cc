@@ -24,12 +24,57 @@ Phase2Result RunPhase2(const std::vector<const html::TagTree*>& trees,
   return result;
 }
 
-Result<ThorResult> RunThor(const std::vector<Page>& pages,
+namespace {
+
+/// A page is analyzable when parsing produced some real structure; the
+/// residue of a truncated/garbled fetch (root alone, or root+body with
+/// nothing in it) is not.
+bool PageUsable(const Page& page, int min_page_nodes) {
+  int tag_nodes = 0;
+  for (html::NodeId id : page.tree.Preorder()) {
+    if (page.tree.node(id).kind == html::NodeKind::kTag) ++tag_nodes;
+  }
+  return tag_nodes >= min_page_nodes;
+}
+
+}  // namespace
+
+Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
                            const ThorOptions& options) {
-  if (pages.empty()) {
+  if (all_pages.empty()) {
     return Status::InvalidArgument("RunThor: no pages");
   }
   ThorResult result;
+  result.diagnostics.input_pages = static_cast<int>(all_pages.size());
+
+  // Graceful degradation: shed unusable pages up front instead of letting
+  // a truncated fetch distort clustering or crash Phase II.
+  std::vector<int> original_index_of;
+  original_index_of.reserve(all_pages.size());
+  for (size_t i = 0; i < all_pages.size(); ++i) {
+    if (PageUsable(all_pages[i], options.min_page_nodes)) {
+      original_index_of.push_back(static_cast<int>(i));
+    }
+  }
+  result.diagnostics.pages_dropped =
+      static_cast<int>(all_pages.size() - original_index_of.size());
+  if (original_index_of.empty()) {
+    return Status::InvalidArgument(
+        "RunThor: no usable pages (" +
+        std::to_string(result.diagnostics.pages_dropped) +
+        " dropped as degenerate)");
+  }
+  std::vector<Page> filtered;
+  const std::vector<Page>* input = &all_pages;
+  if (result.diagnostics.pages_dropped > 0) {
+    filtered.reserve(original_index_of.size());
+    for (int i : original_index_of) {
+      filtered.push_back(all_pages[static_cast<size_t>(i)]);
+    }
+    input = &filtered;
+  }
+  const std::vector<Page>& pages = *input;
+
   auto clustering = ClusterPages(pages, options.clustering);
   if (!clustering.ok()) return clustering.status();
   result.clustering = std::move(*clustering);
@@ -79,6 +124,9 @@ Result<ThorResult> RunThor(const std::vector<Page>& pages,
       }
     }
   }
+  for (bool v : vetoed) {
+    if (v) ++result.diagnostics.clusters_vetoed;
+  }
   if (options.clusters_to_pass > 0) {
     for (const RankedCluster& rc : result.ranked_clusters) {
       if (static_cast<int>(result.passed_clusters.size()) >=
@@ -99,7 +147,12 @@ Result<ThorResult> RunThor(const std::vector<Page>& pages,
     double cutoff = top_score * options.cluster_score_fraction;
     for (const RankedCluster& rc : result.ranked_clusters) {
       if (vetoed[static_cast<size_t>(rc.cluster)]) continue;
-      if (rc.num_pages < options.min_cluster_pages) continue;
+      if (rc.num_pages < options.min_cluster_pages) {
+        // Too few pages for cross-page analysis — common after hostile
+        // transports shed most of a class's pages.
+        if (rc.num_pages > 0) ++result.diagnostics.clusters_skipped_small;
+        continue;
+      }
       if (rc.score >= cutoff) result.passed_clusters.push_back(rc.cluster);
     }
   }
@@ -155,6 +208,29 @@ Result<ThorResult> RunThor(const std::vector<Page>& pages,
   for (std::vector<ThorPageResult>& cluster_results : cluster_outputs) {
     for (ThorPageResult& page_result : cluster_results) {
       result.pages.push_back(std::move(page_result));
+    }
+  }
+
+  // Map results computed over the filtered pages back to the caller's
+  // indexing: dropped pages get assignment -1 and an empty vector slot.
+  if (result.diagnostics.pages_dropped > 0) {
+    std::vector<int> full_assignment(all_pages.size(), -1);
+    for (size_t f = 0; f < original_index_of.size(); ++f) {
+      full_assignment[static_cast<size_t>(original_index_of[f])] =
+          result.clustering.assignment[f];
+    }
+    result.clustering.assignment = std::move(full_assignment);
+    if (!result.clustering.vectors.empty()) {
+      std::vector<ir::SparseVector> full_vectors(all_pages.size());
+      for (size_t f = 0; f < original_index_of.size(); ++f) {
+        full_vectors[static_cast<size_t>(original_index_of[f])] =
+            std::move(result.clustering.vectors[f]);
+      }
+      result.clustering.vectors = std::move(full_vectors);
+    }
+    for (ThorPageResult& page_result : result.pages) {
+      page_result.page_index =
+          original_index_of[static_cast<size_t>(page_result.page_index)];
     }
   }
   return result;

@@ -71,6 +71,11 @@ struct ThorOptions {
   /// needs several structurally similar pages, and a one-page outlier
   /// cluster must not define the score ceiling either.
   int min_cluster_pages = 3;
+  /// Graceful degradation: input pages whose parsed tree has fewer tag
+  /// nodes than this (the residue of truncated or garbled fetches) are
+  /// dropped before clustering and counted in the result diagnostics,
+  /// instead of poisoning Phase I.
+  int min_page_nodes = 3;
   Phase2Options phase2;
   ObjectPartitionOptions objects;
   /// Threads for running Phase II over the passed clusters concurrently
@@ -97,6 +102,21 @@ struct ThorPageResult {
   std::vector<ObjectSpan> objects;
 };
 
+/// Degradation counters for one pipeline run. All zero on clean input.
+struct ThorDiagnostics {
+  int input_pages = 0;
+  /// Pages excluded before clustering because their tree was degenerate
+  /// (see ThorOptions::min_page_nodes). Dropped pages keep assignment -1.
+  int pages_dropped = 0;
+  /// Non-vetoed clusters skipped in adaptive passing because they held
+  /// fewer than min_cluster_pages pages (e.g. after drops).
+  int clusters_skipped_small = 0;
+  /// Clusters vetoed by Stage-1 nonsense knowledge.
+  int clusters_vetoed = 0;
+
+  bool degraded() const { return pages_dropped > 0; }
+};
+
 /// End-to-end THOR output.
 struct ThorResult {
   PageClusteringResult clustering;
@@ -106,6 +126,8 @@ struct ThorResult {
   /// Extraction outcomes for every page that reached Phase II and yielded
   /// a pagelet.
   std::vector<ThorPageResult> pages;
+  /// How much of the input survived to analysis (hostile-transport runs).
+  ThorDiagnostics diagnostics;
 };
 
 /// \brief Runs the complete two-phase THOR pipeline plus Stage-3 object

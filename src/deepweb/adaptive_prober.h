@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/deepweb/resilient_prober.h"
 #include "src/deepweb/site.h"
+#include "src/deepweb/transport.h"
 
 namespace thor::deepweb {
 
@@ -34,6 +36,8 @@ struct AdaptiveProbeResult {
   int rounds = 0;
   /// Structural classes detected (novelty representatives).
   int classes_detected = 0;
+  /// Transport-level accounting (all zero on a clean direct transport).
+  ProbeStats stats;
 };
 
 /// \brief Stage-1 refinement: probe until structural coverage saturates.
@@ -48,6 +52,16 @@ struct AdaptiveProbeResult {
 /// probing up to the budget.
 AdaptiveProbeResult AdaptiveProbeSite(const DeepWebSite& site,
                                       const AdaptiveProbeOptions& options);
+
+/// Transport-aware variant: queries flow through `transport` with
+/// per-query retry/backoff (see FetchWordWithRetry). Words whose fetch
+/// fails even after retries are skipped — they consume budget and are
+/// counted in `stats`, and coverage saturation proceeds on the pages that
+/// did arrive. Deterministic for deterministic transports.
+AdaptiveProbeResult AdaptiveProbeSite(SiteTransport* transport,
+                                      const AdaptiveProbeOptions& options,
+                                      const RetryPolicy& retry = {},
+                                      Clock* clock = nullptr);
 
 }  // namespace thor::deepweb
 

@@ -21,7 +21,11 @@ std::vector<int> SiteSample::PageletPageIndices() const {
   return indices;
 }
 
-LabeledPage LabelPage(const QueryResponse& response) {
+namespace {
+
+/// Fills in metadata and scans the parsed tree for ground-truth markers.
+LabeledPage FinishLabeledPage(const QueryResponse& response,
+                              html::TagTree tree) {
   LabeledPage page;
   page.url = response.url;
   page.query = response.query;
@@ -29,7 +33,7 @@ LabeledPage LabelPage(const QueryResponse& response) {
   page.size_bytes = static_cast<int>(response.html.size());
   page.true_class = response.page_class;
   page.from_nonsense_probe = response.from_nonsense_probe;
-  page.tree = html::ParseHtml(response.html);
+  page.tree = std::move(tree);
   for (html::NodeId id : page.tree.Preorder()) {
     if (page.tree.node(id).kind != html::NodeKind::kTag) continue;
     std::string_view marker = page.tree.AttributeValue(id, kQaMarkerAttr);
@@ -40,6 +44,33 @@ LabeledPage LabelPage(const QueryResponse& response) {
     }
   }
   return page;
+}
+
+}  // namespace
+
+LabeledPage LabelPage(const QueryResponse& response) {
+  return FinishLabeledPage(response, html::ParseHtml(response.html));
+}
+
+Result<LabeledPage> LabelPageChecked(const QueryResponse& response,
+                                     const PageValidationOptions& validation,
+                                     html::ParseDiagnostics* diagnostics) {
+  if (static_cast<int>(response.html.size()) < validation.min_html_bytes) {
+    return Status::ParseError("page body too small (" +
+                              std::to_string(response.html.size()) +
+                              " bytes)");
+  }
+  html::ParseDiagnostics local;
+  auto tree = html::ParseHtmlChecked(response.html, {}, &local);
+  if (diagnostics != nullptr) *diagnostics = local;
+  if (!tree.ok()) return tree.status();
+  if (local.tag_nodes < validation.min_tag_nodes) {
+    return Status::ParseError(
+        "parsed tree too small (" + std::to_string(local.tag_nodes) +
+        " tag nodes)" +
+        (local.truncated_markup ? " -- input truncated inside markup" : ""));
+  }
+  return FinishLabeledPage(response, std::move(*tree));
 }
 
 SiteSample BuildSiteSample(const DeepWebSite& site,
@@ -63,6 +94,71 @@ std::vector<SiteSample> BuildCorpus(const std::vector<DeepWebSite>& fleet,
     per_site.seed =
         options.seed + 0x9e37u * static_cast<uint64_t>(site.config().site_id);
     corpus.push_back(BuildSiteSample(site, per_site));
+  }
+  return corpus;
+}
+
+Result<SiteSample> BuildSiteSampleResilient(
+    int site_id, SiteTransport* transport,
+    const ResilientProbeOptions& options,
+    const PageValidationOptions& validation, Clock* clock) {
+  auto probe = ResilientProbeSite(transport, options, clock);
+  if (!probe.ok()) return probe.status();
+  SiteSample sample;
+  sample.site_id = site_id;
+  sample.diagnostics.probe = probe->stats;
+  sample.pages.reserve(probe->responses.size());
+  for (const QueryResponse& response : probe->responses) {
+    html::ParseDiagnostics diagnostics;
+    auto page = LabelPageChecked(response, validation, &diagnostics);
+    if (!page.ok()) {
+      // Damaged beyond use: drop the page, keep the count. The sample
+      // degrades; it does not poison the pipeline.
+      ++sample.diagnostics.pages_dropped;
+      continue;
+    }
+    if (diagnostics.truncated_markup) {
+      ++sample.diagnostics.pages_truncated_kept;
+    }
+    sample.pages.push_back(std::move(*page));
+  }
+  if (sample.pages.empty()) {
+    return Status::Internal("site " + std::to_string(site_id) +
+                            ": no usable pages after validation (" +
+                            probe->stats.ToString() + ")");
+  }
+  return sample;
+}
+
+std::vector<SiteSample> BuildCorpusResilient(
+    const std::vector<DeepWebSite>& fleet,
+    const ResilientProbeOptions& options, const FaultOptions& faults,
+    const PageValidationOptions& validation, ProbeStats* total_stats) {
+  std::vector<SiteSample> corpus;
+  corpus.reserve(fleet.size());
+  for (const DeepWebSite& site : fleet) {
+    uint64_t site_salt =
+        0x9e37u * static_cast<uint64_t>(site.config().site_id);
+    ResilientProbeOptions per_site = options;
+    per_site.plan.seed = options.plan.seed + site_salt;
+    FaultOptions per_site_faults = faults;
+    per_site_faults.seed = faults.seed + site_salt;
+    DirectTransport direct(&site);
+    FaultInjectingTransport chaotic(&direct, per_site_faults);
+    auto sample = BuildSiteSampleResilient(site.config().site_id, &chaotic,
+                                           per_site, validation);
+    if (sample.ok()) {
+      if (total_stats != nullptr) {
+        total_stats->Add(sample->diagnostics.probe);
+      }
+      corpus.push_back(std::move(*sample));
+    } else {
+      // Total collapse: keep an empty sample so the caller sees the site
+      // was attempted and lost, rather than silently shrinking the fleet.
+      SiteSample empty;
+      empty.site_id = site.config().site_id;
+      corpus.push_back(std::move(empty));
+    }
   }
   return corpus;
 }

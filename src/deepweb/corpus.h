@@ -5,9 +5,12 @@
 #include <vector>
 
 #include "src/deepweb/prober.h"
+#include "src/deepweb/resilient_prober.h"
 #include "src/deepweb/site.h"
+#include "src/deepweb/transport.h"
 #include "src/html/parser.h"
 #include "src/html/tag_tree.h"
+#include "src/util/status.h"
 
 namespace thor::deepweb {
 
@@ -39,10 +42,22 @@ struct LabeledPage {
   LabeledPage& operator=(const LabeledPage&) = delete;
 };
 
+/// Degradation accounting for one site's sample build.
+struct SampleDiagnostics {
+  /// Pages fetched but dropped as unparseable/degenerate (truncated or
+  /// garbled beyond use).
+  int pages_dropped = 0;
+  /// Pages kept although their body arrived truncated.
+  int pages_truncated_kept = 0;
+  /// Transport-level stats of the probe session (resilient path only).
+  ProbeStats probe;
+};
+
 /// All probed pages of one site.
 struct SiteSample {
   int site_id = 0;
   std::vector<LabeledPage> pages;
+  SampleDiagnostics diagnostics;
 
   /// Ground-truth class labels as ints (for entropy computation).
   std::vector<int> ClassLabels() const;
@@ -53,6 +68,26 @@ struct SiteSample {
 /// Parses one query response and attaches its ground-truth labels.
 LabeledPage LabelPage(const QueryResponse& response);
 
+/// Minimum substance a fetched page must have to enter a sample.
+struct PageValidationOptions {
+  /// Bodies below this are rejected outright (a truncated transfer's
+  /// residue, not a page).
+  int min_html_bytes = 16;
+  /// Parsed trees need at least this many tag nodes to be analyzable
+  /// (root and synthesized body count toward it).
+  int min_tag_nodes = 3;
+};
+
+/// Validating variant of LabelPage: parses through ParseHtmlChecked and
+/// rejects degenerate pages with Status::ParseError instead of emitting an
+/// unusable LabeledPage. A truncated page that still parses into a
+/// substantial tree is accepted (with the damage visible in
+/// `diagnostics`).
+Result<LabeledPage> LabelPageChecked(
+    const QueryResponse& response,
+    const PageValidationOptions& validation = {},
+    html::ParseDiagnostics* diagnostics = nullptr);
+
 /// Probes `site` and labels every collected page.
 SiteSample BuildSiteSample(const DeepWebSite& site,
                            const ProbeOptions& options);
@@ -61,6 +96,27 @@ SiteSample BuildSiteSample(const DeepWebSite& site,
 /// different sites receive different word samples, as a crawler would.
 std::vector<SiteSample> BuildCorpus(const std::vector<DeepWebSite>& fleet,
                                     const ProbeOptions& options);
+
+/// \brief Hostile-transport sample build: probes through `transport` with
+/// the resilient prober and drops unusable pages with counted diagnostics.
+///
+/// Partial loss degrades the sample (diagnostics say by how much); only a
+/// session that yields zero usable pages is an error.
+Result<SiteSample> BuildSiteSampleResilient(
+    int site_id, SiteTransport* transport,
+    const ResilientProbeOptions& options,
+    const PageValidationOptions& validation = {}, Clock* clock = nullptr);
+
+/// Probes the whole fleet through per-site fault-injecting transports
+/// (fault seed varied per site, like the probe-word seed). Sites whose
+/// probe session collapses entirely are kept as empty samples so callers
+/// can report them; `total_stats` (optional) accumulates probe stats
+/// across the fleet.
+std::vector<SiteSample> BuildCorpusResilient(
+    const std::vector<DeepWebSite>& fleet,
+    const ResilientProbeOptions& options, const FaultOptions& faults,
+    const PageValidationOptions& validation = {},
+    ProbeStats* total_stats = nullptr);
 
 }  // namespace thor::deepweb
 

@@ -1,0 +1,271 @@
+#include "src/deepweb/resilient_prober.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/strings.h"
+
+namespace thor::deepweb {
+
+namespace {
+
+uint64_t HashWord(std::string_view word) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : word) {
+    h ^= static_cast<unsigned char>(AsciiToLower(c));
+    h *= 1099511628211ULL;
+  }
+  return SplitMix64(&h);
+}
+
+void CountTransportError(TransportError error, ProbeStats* stats) {
+  switch (error) {
+    case TransportError::kTimeout:
+      ++stats->timeouts;
+      break;
+    case TransportError::kConnectionReset:
+      ++stats->connection_resets;
+      break;
+    case TransportError::kServerError:
+      ++stats->server_errors;
+      break;
+    case TransportError::kRateLimited:
+      ++stats->rate_limited;
+      break;
+    case TransportError::kPermanent:
+      ++stats->permanent_failures;
+      break;
+    case TransportError::kNone:
+      break;
+  }
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options,
+                               const Clock* clock)
+    : options_(options), clock_(clock) {}
+
+bool CircuitBreaker::AllowRequest() {
+  if (state_ == BreakerState::kOpen) {
+    if (clock_->NowMs() - opened_at_ms_ >= options_.open_duration_ms) {
+      state_ = BreakerState::kHalfOpen;
+      half_open_successes_ = 0;
+      return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++half_open_successes_ >= options_.half_open_successes) {
+      state_ = BreakerState::kClosed;
+      consecutive_failures_ = 0;
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (state_ == BreakerState::kHalfOpen) {
+    // A trial request failed: the site is still unhealthy.
+    state_ = BreakerState::kOpen;
+    opened_at_ms_ = clock_->NowMs();
+    ++trips_;
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    opened_at_ms_ = clock_->NowMs();
+    ++trips_;
+  }
+}
+
+double CircuitBreaker::CooldownRemainingMs() const {
+  if (state_ != BreakerState::kOpen) return 0.0;
+  double elapsed = clock_->NowMs() - opened_at_ms_;
+  return std::max(options_.open_duration_ms - elapsed, 0.0);
+}
+
+void ProbeStats::Add(const ProbeStats& other) {
+  words_planned += other.words_planned;
+  pages_collected += other.pages_collected;
+  attempts += other.attempts;
+  retries += other.retries;
+  timeouts += other.timeouts;
+  connection_resets += other.connection_resets;
+  server_errors += other.server_errors;
+  rate_limited += other.rate_limited;
+  permanent_failures += other.permanent_failures;
+  truncated_pages += other.truncated_pages;
+  abandoned_words += other.abandoned_words;
+  breaker_trips += other.breaker_trips;
+  breaker_rejections += other.breaker_rejections;
+  backoff_wait_ms += other.backoff_wait_ms;
+  transport_ms += other.transport_ms;
+}
+
+std::string ProbeStats::ToString() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "words=%d pages=%d attempts=%d retries=%d abandoned=%d "
+      "(timeout=%d reset=%d 5xx=%d 429=%d 4xx=%d truncated=%d) "
+      "breaker[trips=%d rejections=%d] wait=%.0fms transport=%.0fms",
+      words_planned, pages_collected, attempts, retries, abandoned_words,
+      timeouts, connection_resets, server_errors, rate_limited,
+      permanent_failures, truncated_pages, breaker_trips, breaker_rejections,
+      backoff_wait_ms, transport_ms);
+  return buf;
+}
+
+Result<ResilientProbeResult> ResilientProbeSite(
+    SiteTransport* transport, const ResilientProbeOptions& options,
+    Clock* clock) {
+  // With no clock injected, waits happen on a private simulated clock:
+  // chaos sessions complete instantly and remain deterministic.
+  SimulatedClock local_clock;
+  if (clock == nullptr) clock = &local_clock;
+
+  ProbePlan plan = MakeProbePlan(options.plan);
+  ResilientProbeResult result;
+  ProbeStats& stats = result.stats;
+  stats.words_planned = static_cast<int>(plan.dictionary_words.size() +
+                                         plan.nonsense_words.size());
+
+  CircuitBreaker breaker(options.breaker, clock);
+  int breaker_waits = 0;
+  bool session_abandoned = false;
+
+  auto budget_exhausted = [&]() {
+    return options.retry.total_attempt_budget > 0 &&
+           stats.attempts >= options.retry.total_attempt_budget;
+  };
+
+  auto probe_word = [&](const std::string& word, bool nonsense) {
+    if (session_abandoned || budget_exhausted()) {
+      ++stats.abandoned_words;
+      return;
+    }
+    Rng jitter_rng(options.retry.jitter_seed ^ HashWord(word));
+    int attempt = 0;
+    while (true) {
+      while (!breaker.AllowRequest()) {
+        ++stats.breaker_rejections;
+        if (breaker_waits >= options.max_breaker_waits) {
+          // The site looks down for good; stop hammering it.
+          session_abandoned = true;
+          ++stats.abandoned_words;
+          return;
+        }
+        ++breaker_waits;
+        double wait = breaker.CooldownRemainingMs();
+        clock->SleepMs(wait);
+        stats.backoff_wait_ms += wait;
+      }
+      if (budget_exhausted()) {
+        ++stats.abandoned_words;
+        return;
+      }
+      ++attempt;
+      ++stats.attempts;
+      FetchResult fetch = transport->Fetch(word);
+      stats.transport_ms += fetch.latency_ms;
+      if (fetch.ok()) {
+        breaker.RecordSuccess();
+        if (fetch.truncated_body) ++stats.truncated_pages;
+        fetch.response.from_nonsense_probe = nonsense;
+        result.responses.push_back(std::move(fetch.response));
+        ++stats.pages_collected;
+        return;
+      }
+      CountTransportError(fetch.error, &stats);
+      if (!IsTransientError(fetch.error)) {
+        // The server answered definitively; retrying cannot help and the
+        // connection is healthy, so the breaker is not charged.
+        ++stats.abandoned_words;
+        return;
+      }
+      breaker.RecordFailure();
+      if (attempt >= options.retry.max_attempts_per_query) {
+        ++stats.abandoned_words;
+        return;
+      }
+      ++stats.retries;
+      double delay =
+          BackoffDelayMs(options.retry.backoff, attempt, &jitter_rng);
+      // Honor an explicit server throttle hint when it exceeds our own
+      // schedule.
+      delay = std::max(delay, fetch.retry_after_ms);
+      clock->SleepMs(delay);
+      stats.backoff_wait_ms += delay;
+    }
+  };
+
+  for (const std::string& word : plan.dictionary_words) {
+    probe_word(word, /*nonsense=*/false);
+  }
+  for (const std::string& word : plan.nonsense_words) {
+    probe_word(word, /*nonsense=*/true);
+  }
+  stats.breaker_trips = breaker.trips();
+
+  if (result.responses.empty()) {
+    return Status::Internal("resilient probe collected no pages: " +
+                            stats.ToString());
+  }
+  return result;
+}
+
+Result<QueryResponse> FetchWordWithRetry(SiteTransport* transport,
+                                         std::string_view word,
+                                         const RetryPolicy& retry,
+                                         Clock* clock, ProbeStats* stats) {
+  SimulatedClock local_clock;
+  if (clock == nullptr) clock = &local_clock;
+  Rng jitter_rng(retry.jitter_seed ^ HashWord(word));
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    ++stats->attempts;
+    FetchResult fetch = transport->Fetch(word);
+    stats->transport_ms += fetch.latency_ms;
+    if (fetch.ok()) {
+      if (fetch.truncated_body) ++stats->truncated_pages;
+      ++stats->pages_collected;
+      return std::move(fetch.response);
+    }
+    CountTransportError(fetch.error, stats);
+    if (!IsTransientError(fetch.error) ||
+        attempt >= retry.max_attempts_per_query) {
+      ++stats->abandoned_words;
+      return Status::Internal(std::string("fetch failed (") +
+                              TransportErrorName(fetch.error) + ") for '" +
+                              std::string(word) + "' after " +
+                              std::to_string(attempt) + " attempt(s)");
+    }
+    ++stats->retries;
+    double delay = BackoffDelayMs(retry.backoff, attempt, &jitter_rng);
+    delay = std::max(delay, fetch.retry_after_ms);
+    clock->SleepMs(delay);
+    stats->backoff_wait_ms += delay;
+  }
+}
+
+}  // namespace thor::deepweb

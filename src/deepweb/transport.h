@@ -1,0 +1,144 @@
+#ifndef THOR_DEEPWEB_TRANSPORT_H_
+#define THOR_DEEPWEB_TRANSPORT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/deepweb/site.h"
+#include "src/util/clock.h"
+
+namespace thor::deepweb {
+
+/// Transport-level failure categories, modeled on what a real deep-web
+/// crawler sees: socket-level faults, HTTP error statuses, and throttling.
+enum class TransportError {
+  kNone = 0,
+  kTimeout,          ///< no response within the client timeout
+  kConnectionReset,  ///< connection dropped mid-flight
+  kServerError,      ///< HTTP 5xx
+  kRateLimited,      ///< HTTP 429 (carries a retry-after hint)
+  kPermanent,        ///< HTTP 4xx other than 429 (retrying cannot help)
+};
+
+const char* TransportErrorName(TransportError error);
+
+/// Transient errors are worth retrying; permanent ones are not. This is
+/// the classification the resilient prober's retry loop keys off.
+inline bool IsTransientError(TransportError error) {
+  switch (error) {
+    case TransportError::kTimeout:
+    case TransportError::kConnectionReset:
+    case TransportError::kServerError:
+    case TransportError::kRateLimited:
+      return true;
+    case TransportError::kNone:
+    case TransportError::kPermanent:
+      return false;
+  }
+  return false;
+}
+
+/// Outcome of one fetch attempt.
+struct FetchResult {
+  /// Valid iff `error == kNone`. The HTML may still be truncated or
+  /// garbled — corruption is a property of the body, not the connection.
+  QueryResponse response;
+  TransportError error = TransportError::kNone;
+  /// HTTP status of error responses (500..504, 429, 404, ...); 200 on
+  /// success, 0 for socket-level faults.
+  int http_status = 200;
+  /// For kRateLimited: the server's suggested wait before retrying.
+  double retry_after_ms = 0.0;
+  /// Simulated service time of this attempt (already charged to the clock).
+  double latency_ms = 0.0;
+  /// The body arrived shorter than the announced length (detectable in
+  /// real crawls via Content-Length mismatch).
+  bool truncated_body = false;
+
+  bool ok() const { return error == TransportError::kNone; }
+};
+
+/// \brief Abstraction over "issue one query to a deep-web source".
+///
+/// Stage-1 probing goes through this seam so the same prober runs against
+/// the pristine simulator, a fault-injecting decorator, or (eventually) a
+/// real HTTP client. Implementations must be safe for concurrent Fetch
+/// calls with distinct keywords.
+class SiteTransport {
+ public:
+  virtual ~SiteTransport() = default;
+  virtual FetchResult Fetch(std::string_view keyword) = 0;
+};
+
+/// Default transport: every query reaches DeepWebSite::Query intact.
+class DirectTransport : public SiteTransport {
+ public:
+  explicit DirectTransport(const DeepWebSite* site) : site_(site) {}
+  FetchResult Fetch(std::string_view keyword) override;
+
+ private:
+  const DeepWebSite* site_;
+};
+
+/// Fault mix of a hostile transport. All rates are independent
+/// probabilities in [0, 1]; the five error rates must sum to <= 1.
+struct FaultOptions {
+  uint64_t seed = 1;
+  double timeout_rate = 0.0;
+  double reset_rate = 0.0;
+  double server_error_rate = 0.0;
+  double rate_limit_rate = 0.0;
+  double permanent_error_rate = 0.0;
+  /// Successful responses whose body is cut at a random byte offset.
+  double truncate_rate = 0.0;
+  /// Successful responses with random bytes overwritten (markup damage).
+  double garble_rate = 0.0;
+  /// Successful responses served pathologically slowly.
+  double slow_rate = 0.0;
+
+  double base_latency_ms = 20.0;
+  double slow_latency_ms = 2000.0;
+  double timeout_ms = 1000.0;
+  double retry_after_ms = 250.0;
+
+  /// Spreads one overall fault probability across the transient error and
+  /// corruption categories (no permanent errors): the standard chaos dial
+  /// used by thorcli --fault-rate and the benches.
+  static FaultOptions Uniform(double overall_rate, uint64_t seed);
+};
+
+/// \brief Decorator that injects deterministic faults in front of any
+/// transport.
+///
+/// Every (keyword, attempt-number) pair draws its fault decision from an
+/// independent RNG stream seeded by (seed, keyword hash, attempt), so the
+/// outcome of a probe session is bit-identical regardless of the order or
+/// thread interleaving of Fetch calls — and a retry of the same keyword
+/// can deterministically succeed where the first attempt failed. Simulated
+/// service time is charged to the injected Clock.
+class FaultInjectingTransport : public SiteTransport {
+ public:
+  /// `wrapped` and `clock` must outlive this transport. A null clock
+  /// disables latency accounting.
+  FaultInjectingTransport(SiteTransport* wrapped, const FaultOptions& options,
+                          Clock* clock = nullptr);
+
+  FetchResult Fetch(std::string_view keyword) override;
+
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  SiteTransport* wrapped_;
+  FaultOptions options_;
+  Clock* clock_;
+  std::mutex mu_;
+  /// Per-keyword attempt counters (guarded by mu_).
+  std::unordered_map<std::string, int> attempts_;
+};
+
+}  // namespace thor::deepweb
+
+#endif  // THOR_DEEPWEB_TRANSPORT_H_

@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "src/html/tag_tree.h"
+#include "src/util/status.h"
 
 namespace thor::html {
 
@@ -26,6 +27,28 @@ struct ParseOptions {
 /// obtained by piping pages through HTML Tidy. Parsing never fails; any
 /// byte sequence yields a tree.
 TagTree ParseHtml(std::string_view input, const ParseOptions& options = {});
+
+/// Damage indicators collected by ParseHtmlChecked.
+struct ParseDiagnostics {
+  /// The input ends inside unterminated markup (a tag cut mid-attribute,
+  /// an unclosed comment, a quote cut mid-value) — the signature of a
+  /// truncated transfer.
+  bool truncated_markup = false;
+  /// Tag nodes in the resulting tree (root and synthesized head/body
+  /// included).
+  int tag_nodes = 0;
+};
+
+/// \brief Validating front end for hostile input.
+///
+/// Like ParseHtml, recovery is best-effort and never crashes; unlike
+/// ParseHtml, inputs too damaged to analyze — empty documents, markup that
+/// yields no elements at all — return a clean Status::ParseError instead
+/// of a degenerate tree. A truncated page that still parses into a usable
+/// tree succeeds, with the damage reported through `diagnostics`.
+Result<TagTree> ParseHtmlChecked(std::string_view input,
+                                 const ParseOptions& options = {},
+                                 ParseDiagnostics* diagnostics = nullptr);
 
 }  // namespace thor::html
 

@@ -88,4 +88,15 @@ TagTree Tidy(const TagTree& tree, const TidyOptions& options) {
   return pass.Run();
 }
 
+Result<TagTree> TidyChecked(const TagTree& tree, const TidyOptions& options) {
+  if (tree.node_count() <= 1) {
+    return Status::ParseError("cannot tidy an empty tree");
+  }
+  TagTree out = Tidy(tree, options);
+  if (out.node_count() <= 1) {
+    return Status::ParseError("document is empty after normalization");
+  }
+  return out;
+}
+
 }  // namespace thor::html

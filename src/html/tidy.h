@@ -2,6 +2,7 @@
 #define THOR_HTML_TIDY_H_
 
 #include "src/html/tag_tree.h"
+#include "src/util/status.h"
 
 namespace thor::html {
 
@@ -21,6 +22,13 @@ struct TidyOptions {
 /// Returns a normalized copy of `tree`. Derived fields of the result are
 /// finalized; the input is not modified.
 TagTree Tidy(const TagTree& tree, const TidyOptions& options = {});
+
+/// Validating variant for trees built from hostile input: normalizes like
+/// Tidy, but a tree that is empty before or after normalization (nothing
+/// but the synthesized root — the residue of a truncated or garbled page)
+/// returns Status::ParseError instead of an unusable tree.
+Result<TagTree> TidyChecked(const TagTree& tree,
+                            const TidyOptions& options = {});
 
 }  // namespace thor::html
 

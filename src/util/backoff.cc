@@ -1,0 +1,24 @@
+#include "src/util/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thor {
+
+double BackoffDelayMs(const BackoffPolicy& policy, int attempt, Rng* rng) {
+  if (attempt < 1) attempt = 1;
+  double base = policy.initial_ms;
+  // Multiply iteratively instead of pow(): exact reproducibility must not
+  // depend on libm rounding differences across platforms.
+  for (int i = 1; i < attempt && base < policy.max_ms; ++i) {
+    base *= policy.multiplier;
+  }
+  base = std::min(base, policy.max_ms);
+  if (policy.jitter_fraction > 0.0 && rng != nullptr) {
+    double u = 2.0 * rng->UniformDouble() - 1.0;  // [-1, 1)
+    base *= 1.0 + u * policy.jitter_fraction;
+  }
+  return std::max(base, 0.0);
+}
+
+}  // namespace thor

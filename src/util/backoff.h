@@ -1,0 +1,29 @@
+#ifndef THOR_UTIL_BACKOFF_H_
+#define THOR_UTIL_BACKOFF_H_
+
+#include "src/util/rng.h"
+
+namespace thor {
+
+/// \brief Capped exponential backoff with deterministic jitter.
+///
+/// Delay for attempt n (1-based) is
+///   min(initial_ms * multiplier^(n-1), max_ms) * (1 + U * jitter_fraction)
+/// where U in [-1, 1) is drawn from the caller's Rng, so retry schedules
+/// are bit-reproducible from a seed while still decorrelating concurrent
+/// clients (each gets its own Rng stream).
+struct BackoffPolicy {
+  double initial_ms = 100.0;
+  double multiplier = 2.0;
+  double max_ms = 5000.0;
+  /// Fraction of the base delay used as the jitter half-width (0 disables).
+  double jitter_fraction = 0.1;
+};
+
+/// Delay before retry number `attempt` (1 = first retry). Never negative.
+/// `rng` may be null when `jitter_fraction` is 0.
+double BackoffDelayMs(const BackoffPolicy& policy, int attempt, Rng* rng);
+
+}  // namespace thor
+
+#endif  // THOR_UTIL_BACKOFF_H_

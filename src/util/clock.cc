@@ -1,0 +1,23 @@
+#include "src/util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace thor {
+
+double SystemClock::NowMs() const {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}
+
+void SystemClock::SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+SystemClock* SystemClock::Instance() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace thor

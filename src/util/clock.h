@@ -1,0 +1,59 @@
+#ifndef THOR_UTIL_CLOCK_H_
+#define THOR_UTIL_CLOCK_H_
+
+#include <atomic>
+
+namespace thor {
+
+/// \brief Time source abstraction for components that wait (retry backoff,
+/// circuit-breaker cooldowns, rate-limit penalties).
+///
+/// Production code uses `SystemClock`; tests and the fault-injection
+/// harness use `SimulatedClock`, where sleeping merely advances a counter.
+/// This keeps chaos runs instantaneous and bit-reproducible: simulated
+/// wait times are part of the deterministic outcome, not wall time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Milliseconds since an arbitrary epoch. Monotonic.
+  virtual double NowMs() const = 0;
+
+  /// Blocks (or pretends to) for `ms` milliseconds. Negative is a no-op.
+  virtual void SleepMs(double ms) = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  double NowMs() const override;
+  void SleepMs(double ms) override;
+
+  /// Shared process-wide instance (stateless, thread-safe).
+  static SystemClock* Instance();
+};
+
+/// \brief Virtual clock: SleepMs advances time instantly.
+///
+/// Thread-safe; concurrent sleepers serialize their advances so NowMs is
+/// monotone. Deterministic given a deterministic call sequence.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(double start_ms = 0.0) : now_ms_(start_ms) {}
+
+  double NowMs() const override { return now_ms_.load(); }
+
+  void SleepMs(double ms) override {
+    if (ms <= 0.0) return;
+    double observed = now_ms_.load();
+    while (!now_ms_.compare_exchange_weak(observed, observed + ms)) {
+    }
+  }
+
+ private:
+  std::atomic<double> now_ms_;
+};
+
+}  // namespace thor
+
+#endif  // THOR_UTIL_CLOCK_H_

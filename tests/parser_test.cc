@@ -232,5 +232,78 @@ TEST_P(ParserFuzzLite, GarbageNeverBreaksInvariants) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzLite,
                          ::testing::Values(7, 21, 77, 301, 9999));
 
+// --- truncation regressions & checked parsing ---------------------------
+
+TEST(ParserTruncationTest, UnterminatedTagStillBuildsTree) {
+  TagTree tree = ParseHtml("<body><div id=\"a\"><p>text</p><div class");
+  // The complete elements survive; the cut tag is best-effort.
+  bool saw_p = false;
+  for (NodeId id : tree.Preorder()) {
+    if (tree.node(id).kind == NodeKind::kTag &&
+        tree.node(id).tag == Tag::kP) {
+      saw_p = true;
+    }
+  }
+  EXPECT_TRUE(saw_p);
+}
+
+TEST(ParserTruncationTest, EveryPrefixOfRealPageParses) {
+  const std::string html =
+      "<html><head><title>Results</title></head><body><h1>Found 3</h1>"
+      "<table><tr><td><a href=\"/item?id=1\">First &amp; best</a></td>"
+      "<td>$9.99</td></tr><tr><td>Second</td><td>$1</td></tr></table>"
+      "<script>track('q');</script></body></html>";
+  for (size_t cut = 0; cut <= html.size(); ++cut) {
+    TagTree tree = ParseHtml(std::string_view(html).substr(0, cut));
+    // Structural invariants hold at every cut.
+    for (NodeId id : tree.Preorder()) {
+      const Node& n = tree.node(id);
+      if (id != tree.root()) {
+        ASSERT_GE(n.parent, 0) << "cut at " << cut;
+        EXPECT_EQ(n.depth, tree.node(n.parent).depth + 1);
+      }
+    }
+  }
+}
+
+TEST(ParserCheckedTest, EmptyInputIsParseError) {
+  auto result = ParseHtmlChecked("");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  auto ws = ParseHtmlChecked("   \n\t  ");
+  EXPECT_FALSE(ws.ok());
+}
+
+TEST(ParserCheckedTest, MarkupYieldingNoElementsIsParseError) {
+  auto result = ParseHtmlChecked("<!-- only a comment -->");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserCheckedTest, TruncatedButUsablePageSucceedsWithDiagnostics) {
+  ParseDiagnostics diagnostics;
+  auto result = ParseHtmlChecked(
+      "<body><table><tr><td>row</td></tr><tr><td class=\"cu",
+      {}, &diagnostics);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(diagnostics.truncated_markup);
+  EXPECT_GE(diagnostics.tag_nodes, 4);
+}
+
+TEST(ParserCheckedTest, CleanPageHasNoTruncationFlag) {
+  ParseDiagnostics diagnostics;
+  auto result = ParseHtmlChecked("<body><p>hello</p></body>", {},
+                                 &diagnostics);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(diagnostics.truncated_markup);
+}
+
+TEST(ParserCheckedTest, TrailingLiteralLessThanIsNotTruncation) {
+  ParseDiagnostics diagnostics;
+  auto result = ParseHtmlChecked("<body><p>a &lt; b, i.e. a <</p>", {},
+                                 &diagnostics);
+  ASSERT_TRUE(result.ok());
+}
+
 }  // namespace
 }  // namespace thor::html

@@ -192,5 +192,91 @@ TEST_P(TokenizerFuzzLite, ArbitraryBytesAlwaysTerminate) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFuzzLite,
                          ::testing::Values(1, 2, 3, 4, 5, 99, 12345));
 
+// --- truncation regressions --------------------------------------------
+// Hostile transports cut transfers at arbitrary byte offsets; every
+// truncation artifact must degrade into best-effort tokens, never hang or
+// read out of bounds.
+
+TEST(TokenizerTruncationTest, UnterminatedTagAtEof) {
+  auto tokens = Lex("<div class");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[0].name, "div");
+  ASSERT_EQ(tokens[0].attributes.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].name, "class");
+  EXPECT_EQ(tokens[0].attributes[0].value, "");
+}
+
+TEST(TokenizerTruncationTest, TagNameCutAtEof) {
+  auto tokens = Lex("text<di");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[1].name, "di");
+}
+
+TEST(TokenizerTruncationTest, AttributeQuoteCutMidValue) {
+  auto tokens = Lex("<a href=\"/partial/pa");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  ASSERT_EQ(tokens[0].attributes.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].name, "href");
+  EXPECT_EQ(tokens[0].attributes[0].value, "/partial/pa");
+}
+
+TEST(TokenizerTruncationTest, AttributeCutBeforeValue) {
+  auto tokens = Lex("<a href=");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].attributes.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].value, "");
+}
+
+TEST(TokenizerTruncationTest, EntityCutAtEof) {
+  auto tokens = Lex("price &am");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kText);
+  // Not a known entity prefix with terminator: kept literally.
+  EXPECT_EQ(tokens[0].text, "price &am");
+}
+
+TEST(TokenizerTruncationTest, NumericEntityCutAtEof) {
+  auto tokens = Lex("x &#6");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kText);
+}
+
+TEST(TokenizerTruncationTest, CommentCutAtEof) {
+  auto tokens = Lex("<!-- cut mid-comm");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[0].text, " cut mid-comm");
+}
+
+TEST(TokenizerTruncationTest, EndTagCutAtEof) {
+  auto tokens = Lex("</tabl");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEndTag);
+  EXPECT_EQ(tokens[0].name, "tabl");
+}
+
+TEST(TokenizerTruncationTest, RawTextCutAtEof) {
+  auto tokens = Lex("<script>var x = '<");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].text, "var x = '<");
+}
+
+TEST(TokenizerTruncationTest, EveryPrefixOfRealMarkupTerminates) {
+  const std::string html =
+      "<!doctype html><html><head><title>T&amp;T</title></head><body>"
+      "<table class=\"r\"><tr><td><a href='/x?q=1'>A &lt; B</a></td></tr>"
+      "</table><script>if (a < b) { f(); }</script><!-- tail --></body>";
+  for (size_t cut = 0; cut <= html.size(); ++cut) {
+    auto tokens = Lex(std::string_view(html).substr(0, cut));
+    EXPECT_LE(tokens.size(), cut + 1) << "cut at " << cut;
+  }
+}
+
 }  // namespace
 }  // namespace thor::html

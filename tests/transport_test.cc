@@ -1,0 +1,231 @@
+#include "src/deepweb/transport.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/text/word_lists.h"
+#include "src/util/rng.h"
+
+namespace thor::deepweb {
+namespace {
+
+DeepWebSite MakeSite(uint64_t seed = 7) {
+  SiteConfig config;
+  config.site_id = 1;
+  config.seed = seed;
+  config.error_rate = 0.0;
+  return DeepWebSite(config);
+}
+
+std::vector<std::string> SampleWords(int n, uint64_t seed = 3) {
+  Rng rng(seed);
+  std::vector<std::string> words;
+  words.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) words.push_back(text::RandomWord(&rng));
+  return words;
+}
+
+TEST(DirectTransportTest, MatchesSiteQuery) {
+  DeepWebSite site = MakeSite();
+  DirectTransport transport(&site);
+  FetchResult fetched = transport.Fetch("guitar");
+  EXPECT_TRUE(fetched.ok());
+  QueryResponse direct = site.Query("guitar");
+  EXPECT_EQ(fetched.response.html, direct.html);
+  EXPECT_EQ(fetched.response.page_class, direct.page_class);
+}
+
+TEST(FaultTransportTest, ZeroRatesPassThroughUntouched) {
+  DeepWebSite site = MakeSite();
+  DirectTransport direct(&site);
+  FaultInjectingTransport transport(&direct, FaultOptions{});
+  for (const std::string& word : SampleWords(20)) {
+    FetchResult fetched = transport.Fetch(word);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_FALSE(fetched.truncated_body);
+    EXPECT_EQ(fetched.response.html, site.Query(word).html);
+  }
+}
+
+TEST(FaultTransportTest, SameSeedIsByteIdentical) {
+  DeepWebSite site = MakeSite();
+  auto run = [&site](uint64_t seed) {
+    DirectTransport direct(&site);
+    FaultInjectingTransport transport(&direct,
+                                      FaultOptions::Uniform(0.5, seed));
+    std::vector<FetchResult> results;
+    for (const std::string& word : SampleWords(60)) {
+      results.push_back(transport.Fetch(word));
+    }
+    return results;
+  };
+  auto a = run(11);
+  auto b = run(11);
+  auto c = run(12);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_difference_from_c = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].error, b[i].error) << i;
+    EXPECT_EQ(a[i].response.html, b[i].response.html) << i;
+    EXPECT_EQ(a[i].truncated_body, b[i].truncated_body) << i;
+    EXPECT_EQ(a[i].retry_after_ms, b[i].retry_after_ms) << i;
+    any_difference_from_c |= (a[i].error != c[i].error) ||
+                             (a[i].response.html != c[i].response.html);
+  }
+  EXPECT_TRUE(any_difference_from_c) << "different seeds gave same faults";
+}
+
+TEST(FaultTransportTest, OutcomeIndependentOfCallOrder) {
+  DeepWebSite site = MakeSite();
+  std::vector<std::string> words = SampleWords(40);
+  auto outcomes = [&site](const std::vector<std::string>& order) {
+    DirectTransport direct(&site);
+    FaultInjectingTransport transport(&direct,
+                                      FaultOptions::Uniform(0.5, 99));
+    std::vector<std::pair<std::string, TransportError>> seen;
+    for (const std::string& word : order) {
+      seen.emplace_back(word, transport.Fetch(word).error);
+    }
+    std::sort(seen.begin(), seen.end());
+    return seen;
+  };
+  std::vector<std::string> reversed(words.rbegin(), words.rend());
+  EXPECT_EQ(outcomes(words), outcomes(reversed));
+}
+
+TEST(FaultTransportTest, RetryOfSameWordDrawsFreshOutcome) {
+  DeepWebSite site = MakeSite();
+  DirectTransport direct(&site);
+  FaultOptions options;
+  options.seed = 5;
+  options.timeout_rate = 0.5;
+  FaultInjectingTransport transport(&direct, options);
+  // With a 50% timeout rate and independent per-attempt draws, ten
+  // attempts at the same word must not all agree.
+  bool saw_ok = false;
+  bool saw_timeout = false;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    FetchResult fetched = transport.Fetch("guitar");
+    saw_ok |= fetched.ok();
+    saw_timeout |= fetched.error == TransportError::kTimeout;
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_timeout);
+}
+
+TEST(FaultTransportTest, ErrorRatesApproximatelyHonored) {
+  DeepWebSite site = MakeSite();
+  DirectTransport direct(&site);
+  FaultOptions options;
+  options.seed = 17;
+  options.timeout_rate = 0.25;
+  options.server_error_rate = 0.25;
+  FaultInjectingTransport transport(&direct, options);
+  int timeouts = 0;
+  int server_errors = 0;
+  const auto words = SampleWords(400);
+  for (const std::string& word : words) {
+    FetchResult fetched = transport.Fetch(word);
+    if (fetched.error == TransportError::kTimeout) ++timeouts;
+    if (fetched.error == TransportError::kServerError) {
+      ++server_errors;
+      EXPECT_GE(fetched.http_status, 500);
+      EXPECT_LE(fetched.http_status, 504);
+    }
+  }
+  EXPECT_NEAR(timeouts / 400.0, 0.25, 0.08);
+  EXPECT_NEAR(server_errors / 400.0, 0.25, 0.08);
+}
+
+TEST(FaultTransportTest, TruncationShortensBody) {
+  DeepWebSite site = MakeSite();
+  DirectTransport direct(&site);
+  FaultOptions options;
+  options.seed = 23;
+  options.truncate_rate = 1.0;
+  FaultInjectingTransport transport(&direct, options);
+  int strictly_shorter = 0;
+  for (const std::string& word : SampleWords(30)) {
+    FetchResult fetched = transport.Fetch(word);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_TRUE(fetched.truncated_body);
+    std::string full = site.Query(word).html;
+    EXPECT_LE(fetched.response.html.size(), full.size());
+    EXPECT_FALSE(fetched.response.html.empty());
+    EXPECT_EQ(fetched.response.html,
+              full.substr(0, fetched.response.html.size()));
+    if (fetched.response.html.size() < full.size()) ++strictly_shorter;
+  }
+  EXPECT_GT(strictly_shorter, 20);
+}
+
+TEST(FaultTransportTest, GarblingDamagesBytesInPlace) {
+  DeepWebSite site = MakeSite();
+  DirectTransport direct(&site);
+  FaultOptions options;
+  options.seed = 29;
+  options.garble_rate = 1.0;
+  FaultInjectingTransport transport(&direct, options);
+  int pages_damaged = 0;
+  for (const std::string& word : SampleWords(20)) {
+    FetchResult fetched = transport.Fetch(word);
+    ASSERT_TRUE(fetched.ok());
+    std::string full = site.Query(word).html;
+    ASSERT_EQ(fetched.response.html.size(), full.size());
+    if (fetched.response.html != full) ++pages_damaged;
+  }
+  EXPECT_GT(pages_damaged, 15);
+}
+
+TEST(FaultTransportTest, RateLimitCarriesRetryAfter) {
+  DeepWebSite site = MakeSite();
+  DirectTransport direct(&site);
+  FaultOptions options;
+  options.seed = 31;
+  options.rate_limit_rate = 1.0;
+  FaultInjectingTransport transport(&direct, options);
+  FetchResult fetched = transport.Fetch("guitar");
+  EXPECT_EQ(fetched.error, TransportError::kRateLimited);
+  EXPECT_EQ(fetched.http_status, 429);
+  EXPECT_GE(fetched.retry_after_ms, options.retry_after_ms);
+}
+
+TEST(FaultTransportTest, LatencyChargedToClock) {
+  DeepWebSite site = MakeSite();
+  DirectTransport direct(&site);
+  SimulatedClock clock;
+  FaultOptions options;
+  options.seed = 37;
+  options.base_latency_ms = 10.0;
+  FaultInjectingTransport transport(&direct, options, &clock);
+  for (const std::string& word : SampleWords(5)) transport.Fetch(word);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 50.0);
+}
+
+TEST(FaultTransportTest, ClassificationSplitsTransientFromPermanent) {
+  EXPECT_TRUE(IsTransientError(TransportError::kTimeout));
+  EXPECT_TRUE(IsTransientError(TransportError::kConnectionReset));
+  EXPECT_TRUE(IsTransientError(TransportError::kServerError));
+  EXPECT_TRUE(IsTransientError(TransportError::kRateLimited));
+  EXPECT_FALSE(IsTransientError(TransportError::kPermanent));
+  EXPECT_FALSE(IsTransientError(TransportError::kNone));
+}
+
+TEST(FaultOptionsTest, UniformSplitsOverallRate) {
+  FaultOptions options = FaultOptions::Uniform(0.4, 1);
+  double error_sum = options.timeout_rate + options.reset_rate +
+                     options.server_error_rate + options.rate_limit_rate +
+                     options.permanent_error_rate;
+  EXPECT_GT(error_sum, 0.0);
+  EXPECT_LT(error_sum, 0.4);
+  EXPECT_EQ(options.permanent_error_rate, 0.0);
+  EXPECT_GT(options.truncate_rate, 0.0);
+  FaultOptions clamped = FaultOptions::Uniform(7.0, 1);
+  EXPECT_LE(clamped.timeout_rate, 0.20 + 1e-12);
+}
+
+}  // namespace
+}  // namespace thor::deepweb

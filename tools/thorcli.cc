@@ -25,7 +25,9 @@
 #include "src/core/template_registry.h"
 #include "src/core/thor.h"
 #include "src/deepweb/corpus.h"
+#include "src/deepweb/resilient_prober.h"
 #include "src/deepweb/site_generator.h"
+#include "src/deepweb/transport.h"
 #include "src/search/deep_web_search.h"
 #include "src/util/json.h"
 #include "src/util/json_reader.h"
@@ -43,7 +45,14 @@ int Usage() {
                "  thorcli analyze DIR --templates FILE\n"
                "  thorcli apply FILE.html... --templates FILE [--json]\n"
                "  thorcli search DIR... --query WORDS [--by-site]\n"
-               "  thorcli eval [--sites N]\n");
+               "  thorcli eval [--sites N] [--fault-rate R] "
+               "[--retry-budget N] [--seed S]\n"
+               "\n"
+               "eval chaos mode: --fault-rate injects transport faults "
+               "(timeouts, resets,\n5xx, 429, truncation, garbling) at "
+               "overall rate R in [0,1]; --retry-budget\ncaps fetch "
+               "attempts per query; --seed makes the chaos run "
+               "reproducible.\n");
   return 2;
 }
 
@@ -363,27 +372,75 @@ int RunSearch(int argc, char** argv) {
 
 int RunEval(int argc, char** argv) {
   int num_sites = 10;
+  double fault_rate = 0.0;
+  int retry_budget = 4;
+  uint64_t seed = 1234;
   for (int i = 0; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--sites") && i + 1 < argc) {
       num_sites = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--fault-rate") && i + 1 < argc) {
+      fault_rate = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--retry-budget") && i + 1 < argc) {
+      retry_budget = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     }
   }
   deepweb::FleetOptions fleet_options;
   fleet_options.num_sites = num_sites;
   auto fleet = deepweb::GenerateSiteFleet(fleet_options);
-  auto corpus = deepweb::BuildCorpus(fleet, deepweb::ProbeOptions{});
+  std::vector<deepweb::SiteSample> corpus;
+  if (fault_rate > 0.0) {
+    deepweb::ResilientProbeOptions probe;
+    probe.plan.seed = seed;
+    probe.retry.max_attempts_per_query = retry_budget;
+    deepweb::FaultOptions faults = deepweb::FaultOptions::Uniform(
+        fault_rate, seed);
+    deepweb::ProbeStats stats;
+    corpus = deepweb::BuildCorpusResilient(fleet, probe, faults, {}, &stats);
+    std::printf("chaos probe (fault-rate %.2f, retry budget %d, seed %llu):\n"
+                "  %s\n",
+                fault_rate, retry_budget,
+                static_cast<unsigned long long>(seed),
+                stats.ToString().c_str());
+  } else {
+    deepweb::ProbeOptions probe;
+    probe.seed = seed;
+    corpus = deepweb::BuildCorpus(fleet, probe);
+  }
   core::PrecisionRecall total;
+  int collapsed_sites = 0;
+  int dropped_pages = 0;
   for (const auto& sample : corpus) {
+    if (sample.pages.empty()) {
+      std::printf("site %-3d probe collapsed (no usable pages)\n",
+                  sample.site_id);
+      ++collapsed_sites;
+      continue;
+    }
+    dropped_pages += sample.diagnostics.pages_dropped;
     auto pages = core::ToPages(sample);
     auto result = core::RunThor(pages, core::ThorOptions{});
     if (!result.ok()) continue;
     auto pr = core::EvaluatePagelets(sample, *result);
-    std::printf("site %-3d P=%.3f R=%.3f (%d/%d)\n", sample.site_id,
+    std::printf("site %-3d P=%.3f R=%.3f (%d/%d)", sample.site_id,
                 pr.Precision(), pr.Recall(), pr.correct, pr.truth);
+    if (result->diagnostics.degraded() ||
+        sample.diagnostics.pages_dropped > 0) {
+      std::printf("  [degraded: %d probe drops, %d pipeline drops]",
+                  sample.diagnostics.pages_dropped,
+                  result->diagnostics.pages_dropped);
+    }
+    std::printf("\n");
     total.Add(pr);
   }
-  std::printf("TOTAL  P=%.3f R=%.3f over %d sites\n", total.Precision(),
+  std::printf("TOTAL  P=%.3f R=%.3f over %d sites", total.Precision(),
               total.Recall(), num_sites);
+  if (fault_rate > 0.0) {
+    std::printf(" (%d collapsed, %d pages dropped)", collapsed_sites,
+                dropped_pages);
+  }
+  std::printf("\n");
   return 0;
 }
 
