@@ -24,20 +24,37 @@ int Main(int argc, char** argv) {
 
   bench::PrintHeader("Figure 10: overall two-phase P/R per approach (" +
                      std::to_string(num_sites) + " sites)");
-  bench::PrintRow("approach", {"precision", "recall"});
+  bench::PrintRow("approach", {"precision", "recall", "p1_ms", "rank_ms",
+                               "p2_ms", "total_ms"});
   for (int a = 0; a < core::kNumClusteringApproaches; ++a) {
     auto approach = static_cast<core::ClusteringApproach>(a);
     core::PrecisionRecall total;
+    // Per-stage wall time from each run's span report, averaged per site.
+    double phase1_ms = 0.0;
+    double rank_ms = 0.0;
+    double phase2_ms = 0.0;
+    double total_ms = 0.0;
     for (size_t site = 0; site < corpus.size(); ++site) {
       core::ThorOptions options;
       options.clustering.approach = approach;
       auto result = core::RunThor(site_pages[site], options);
       if (!result.ok()) continue;
+      for (const TraceSpan& span : result->report.spans) {
+        if (span.name == "phase1_clustering") phase1_ms += span.duration_ms;
+        if (span.name == "cluster_ranking") rank_ms += span.duration_ms;
+        if (span.name == "phase2_extraction") phase2_ms += span.duration_ms;
+        if (span.name == "run_thor") total_ms += span.duration_ms;
+      }
       total.Add(core::EvaluatePagelets(corpus[site], *result));
     }
+    double inv_sites = 1.0 / static_cast<double>(corpus.size());
     bench::PrintRow(core::ApproachLabel(approach),
                     {bench::Fmt(total.Precision()),
-                     bench::Fmt(total.Recall())});
+                     bench::Fmt(total.Recall()),
+                     bench::Fmt(phase1_ms * inv_sites, 2),
+                     bench::Fmt(rank_ms * inv_sites, 2),
+                     bench::Fmt(phase2_ms * inv_sites, 2),
+                     bench::Fmt(total_ms * inv_sites, 2)});
   }
   std::printf(
       "\npaper shape check: TTag best (~0.97/0.96 in the paper); RTag "

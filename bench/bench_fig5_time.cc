@@ -97,6 +97,37 @@ int Main(int argc, char** argv) {
                          bench::Fmt(tfidf_content * scale),
                          bench::Fmt(url * scale)});
   }
+  // Per-stage breakdown of the timed unit for THOR's own approach (TTag):
+  // where inside fit -> weigh -> cluster the milliseconds go.
+  bench::PrintHeader(
+      "Figure 5 breakdown: per-stage time (ms) of one TTag iteration");
+  bench::PrintRow("", {"pages", "tfidf_fit", "weigh", "kmeans", "total"});
+  for (int n : kPageCounts) {
+    double fit_s = 0.0;
+    double weigh_s = 0.0;
+    double kmeans_s = 0.0;
+    for (const auto& site : sites) {
+      int take = std::min<int>(n, static_cast<int>(site.tag_counts.size()));
+      std::vector<ir::SparseVector> subset(site.tag_counts.begin(),
+                                           site.tag_counts.begin() + take);
+      ir::TfidfModel model;
+      fit_s += bench::TimeSeconds(
+          [&] { model = ir::TfidfModel::Fit(subset); });
+      std::vector<ir::SparseVector> weighted;
+      weigh_s += bench::TimeSeconds(
+          [&] { weighted = model.WeighAll(subset, ir::Weighting::kTfidf); });
+      kmeans_s += bench::TimeSeconds([&] {
+        auto result = cluster::KMeansOneIteration(weighted, 3, 17, threads);
+        (void)result;
+      });
+    }
+    double scale = 1000.0 / sites.size();  // ms per site
+    bench::PrintRow(
+        "", {std::to_string(n), bench::Fmt(fit_s * scale),
+             bench::Fmt(weigh_s * scale), bench::Fmt(kmeans_s * scale),
+             bench::Fmt((fit_s + weigh_s + kmeans_s) * scale)});
+  }
+
   std::printf(
       "\npaper shape check: tag-based ~an order of magnitude faster than\n"
       "content-based at every size; all grow with collection size.\n");

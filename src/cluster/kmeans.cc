@@ -213,6 +213,24 @@ Result<Clustering> KMeansCluster(const std::vector<ir::SparseVector>& vectors,
       best = r;
     }
   }
+  if (options.metrics != nullptr) {
+    AddCounter(options.metrics, "phase1.kmeans.runs");
+    AddCounter(options.metrics, "phase1.kmeans.restarts", restarts);
+    int64_t iterations_total = 0;
+    int64_t converged = 0;
+    for (const Clustering& run : runs) {
+      iterations_total += run.iterations_run;
+      if (run.iterations_run < options.max_iterations) ++converged;
+      Observe(options.metrics, "phase1.kmeans.iterations_per_restart",
+              run.iterations_run);
+    }
+    AddCounter(options.metrics, "phase1.kmeans.iterations_total",
+               iterations_total);
+    AddCounter(options.metrics, "phase1.kmeans.converged_restarts",
+               converged);
+    AddCounter(options.metrics, "phase1.kmeans.winner_iterations",
+               runs[best].iterations_run);
+  }
   return std::move(runs[best]);
 }
 

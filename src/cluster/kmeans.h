@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/ir/sparse_vector.h"
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -26,6 +27,11 @@ struct KMeansOptions {
   /// (internal_similarity, restart index), so the result is bit-identical
   /// at every thread count.
   int threads = 0;
+  /// Optional observability sink: KMeansCluster records restart counts,
+  /// iteration totals, and convergence under "phase1.kmeans.*". Recording
+  /// happens once per call from serial code, so a shared registry stays
+  /// deterministic at every thread count.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Result of a clustering run.

@@ -174,6 +174,10 @@ std::vector<CommonSubtreeSet> FindCommonSubtreeSets(
     int cand_index;
   };
   std::vector<std::vector<Match>> page_matches(trees.size());
+  // Per-page memo hit/miss tallies, aggregated into the registry after the
+  // parallel region so the totals are independent of scheduling.
+  std::vector<int64_t> memo_hits(trees.size(), 0);
+  std::vector<int64_t> memo_misses(trees.size(), 0);
   ParallelFor(
       trees.size(),
       [&](size_t page) {
@@ -190,12 +194,15 @@ std::vector<CommonSubtreeSet> FindCommonSubtreeSets(
         auto pair_distance = [&](size_t s, size_t c) {
           double& slot = memo[s * page_quads.size() + c];
           if (slot == kUnset) {
+            ++memo_misses[page];
             double path_term =
                 path_distance[static_cast<size_t>(proto_path_ids[s]) *
                                   static_cast<size_t>(num_paths) +
                               static_cast<size_t>(path_ids[c])];
             slot = ShapeDistanceWithPathTerm(proto_quads[s], page_quads[c],
                                              path_term, options.weights);
+          } else {
+            ++memo_hits[page];
           }
           return slot;
         };
@@ -252,6 +259,24 @@ std::vector<CommonSubtreeSet> FindCommonSubtreeSets(
           {static_cast<int>(page),
            candidates[page][static_cast<size_t>(m.cand_index)]});
     }
+  }
+  if (options.metrics != nullptr) {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    for (size_t page = 0; page < trees.size(); ++page) {
+      hits += memo_hits[page];
+      misses += memo_misses[page];
+    }
+    AddCounter(options.metrics, "shape.pair_memo_hits", hits);
+    AddCounter(options.metrics, "shape.pair_memo_misses", misses);
+    AddCounter(options.metrics, "shape.distinct_paths", num_paths);
+    // Off-diagonal entries of the interned-pair table: the edit distances
+    // actually run, vs the naive per-candidate-pair count.
+    AddCounter(options.metrics, "shape.path_distances_computed",
+               static_cast<int64_t>(num_proto_paths) * num_paths -
+                   std::min(num_proto_paths, num_paths));
+    AddCounter(options.metrics, "shape.sets_seeded",
+               static_cast<int64_t>(proto_candidates.size()));
   }
   return sets;
 }

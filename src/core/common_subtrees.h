@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/html/tag_tree.h"
+#include "src/util/metrics.h"
 
 namespace thor::core {
 
@@ -80,6 +81,11 @@ struct CommonSubtreeOptions {
   /// the prototype and their matches merge in page order, so the sets are
   /// identical at every thread count.
   int threads = 0;
+  /// Optional observability sink: records "shape.*" counters — interned
+  /// path counts, edit distances actually computed, and the hit/miss split
+  /// of the per-(set, candidate) distance memo. All integer tallies, summed
+  /// after each parallel region, so totals are thread-count independent.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Cross-page analysis step 1: groups candidate subtrees from all

@@ -16,11 +16,35 @@ Phase2Result RunPhase2(const std::vector<const html::TagTree*>& trees,
       trees.size(),
       [&](size_t i) { return CandidateSubtrees(*trees[i], options.filter); },
       options.threads);
+  CommonSubtreeOptions common = options.common;
+  if (common.metrics == nullptr) common.metrics = options.metrics;
   std::vector<CommonSubtreeSet> sets =
-      FindCommonSubtreeSets(trees, candidates, options.common);
+      FindCommonSubtreeSets(trees, candidates, common);
   result.ranked_sets = RankSubtreeSets(trees, sets, options.rank);
   result.pagelets =
       SelectPagelets(trees, result.ranked_sets, options.selection);
+  if (options.metrics != nullptr) {
+    MetricsRegistry* metrics = options.metrics;
+    AddCounter(metrics, "phase2.clusters_analyzed");
+    AddCounter(metrics, "phase2.pages_scanned",
+               static_cast<int64_t>(trees.size()));
+    int64_t total_candidates = 0;
+    for (const auto& page_candidates : candidates) {
+      total_candidates += static_cast<int64_t>(page_candidates.size());
+      Observe(metrics, "phase2.candidates_per_page",
+              static_cast<double>(page_candidates.size()));
+    }
+    AddCounter(metrics, "phase2.candidates_total", total_candidates);
+    AddCounter(metrics, "phase2.sets_found",
+               static_cast<int64_t>(result.ranked_sets.size()));
+    int64_t pruned_static = 0;
+    for (const RankedSubtreeSet& set : result.ranked_sets) {
+      if (!set.IsDynamic(options.rank.prune_threshold)) ++pruned_static;
+    }
+    AddCounter(metrics, "phase2.sets_pruned_static", pruned_static);
+    AddCounter(metrics, "phase2.pagelets_selected",
+               static_cast<int64_t>(result.pagelets.size()));
+  }
   return result;
 }
 
@@ -44,6 +68,22 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
   if (all_pages.empty()) {
     return Status::InvalidArgument("RunThor: no pages");
   }
+  // Observability: callers may supply a shared registry/tracer; otherwise
+  // the run observes into local sinks. Either way the run's report carries
+  // the spans and a metric snapshot.
+  MetricsRegistry local_registry;
+  MetricsRegistry* metrics = options.observability.metrics != nullptr
+                                 ? options.observability.metrics
+                                 : &local_registry;
+  Tracer local_tracer(options.observability.clock);
+  Tracer* tracer = options.observability.tracer != nullptr
+                       ? options.observability.tracer
+                       : &local_tracer;
+  Tracer::Scope run_span(tracer, "run_thor");
+  AddCounter(metrics, "thor.runs");
+  AddCounter(metrics, "thor.input_pages",
+             static_cast<int64_t>(all_pages.size()));
+
   ThorResult result;
   result.diagnostics.input_pages = static_cast<int>(all_pages.size());
 
@@ -51,13 +91,18 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
   // a truncated fetch distort clustering or crash Phase II.
   std::vector<int> original_index_of;
   original_index_of.reserve(all_pages.size());
-  for (size_t i = 0; i < all_pages.size(); ++i) {
-    if (PageUsable(all_pages[i], options.min_page_nodes)) {
-      original_index_of.push_back(static_cast<int>(i));
+  {
+    Tracer::Scope span(tracer, "drop_degenerate_pages");
+    for (size_t i = 0; i < all_pages.size(); ++i) {
+      if (PageUsable(all_pages[i], options.min_page_nodes)) {
+        original_index_of.push_back(static_cast<int>(i));
+      }
     }
   }
   result.diagnostics.pages_dropped =
       static_cast<int>(all_pages.size() - original_index_of.size());
+  AddCounter(metrics, "thor.pages_dropped",
+             result.diagnostics.pages_dropped);
   if (original_index_of.empty()) {
     return Status::InvalidArgument(
         "RunThor: no usable pages (" +
@@ -75,10 +120,22 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
   }
   const std::vector<Page>& pages = *input;
 
-  auto clustering = ClusterPages(pages, options.clustering);
-  if (!clustering.ok()) return clustering.status();
-  result.clustering = std::move(*clustering);
+  PageClusteringOptions clustering_options = options.clustering;
+  if (clustering_options.kmeans.metrics == nullptr) {
+    clustering_options.kmeans.metrics = metrics;
+  }
+  {
+    Tracer::Scope span(tracer, "phase1_clustering");
+    auto clustering = ClusterPages(pages, clustering_options);
+    if (!clustering.ok()) return clustering.status();
+    result.clustering = std::move(*clustering);
+  }
+  SetGauge(metrics, "phase1.internal_similarity",
+           result.clustering.internal_similarity);
 
+  // No early return between here and the matching EndSpan, so explicit
+  // begin/end is safe and keeps the stage boundary exact.
+  int ranking_span = tracer->BeginSpan("cluster_ranking");
   result.ranked_clusters =
       RankClusters(pages, result.clustering.assignment, result.clustering.k,
                    options.cluster_ranking);
@@ -156,6 +213,17 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
       if (rc.score >= cutoff) result.passed_clusters.push_back(rc.cluster);
     }
   }
+  tracer->EndSpan(ranking_span);
+  AddCounter(metrics, "thor.clusters_vetoed",
+             result.diagnostics.clusters_vetoed);
+  AddCounter(metrics, "thor.clusters_skipped_small",
+             result.diagnostics.clusters_skipped_small);
+  AddCounter(metrics, "thor.clusters_passed",
+             static_cast<int64_t>(result.passed_clusters.size()));
+
+  Phase2Options phase2_options = options.phase2;
+  if (phase2_options.metrics == nullptr) phase2_options.metrics = metrics;
+  int phase2_span = tracer->BeginSpan("phase2_extraction");
 
   // Phase II + Stage 3 per passed cluster. Clusters are disjoint page sets
   // reading shared const trees, so they run concurrently; the per-cluster
@@ -176,7 +244,7 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
         }
         std::vector<ThorPageResult> cluster_results;
         if (trees.empty()) return cluster_results;
-        Phase2Result phase2 = RunPhase2(trees, options.phase2);
+        Phase2Result phase2 = RunPhase2(trees, phase2_options);
         for (const ExtractedPagelet& pagelet : phase2.pagelets) {
           ThorPageResult page_result;
           page_result.page_index =
@@ -210,9 +278,13 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
       result.pages.push_back(std::move(page_result));
     }
   }
+  tracer->EndSpan(phase2_span);
+  AddCounter(metrics, "thor.pages_extracted",
+             static_cast<int64_t>(result.pages.size()));
 
   // Map results computed over the filtered pages back to the caller's
   // indexing: dropped pages get assignment -1 and an empty vector slot.
+  int remap_span = tracer->BeginSpan("remap_results");
   if (result.diagnostics.pages_dropped > 0) {
     std::vector<int> full_assignment(all_pages.size(), -1);
     for (size_t f = 0; f < original_index_of.size(); ++f) {
@@ -233,6 +305,10 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
           original_index_of[static_cast<size_t>(page_result.page_index)];
     }
   }
+  tracer->EndSpan(remap_span);
+  // The still-open run_thor root gets its duration-so-far in the snapshot.
+  result.report.spans = tracer->Snapshot();
+  result.report.metrics = metrics->Snapshot();
   return result;
 }
 

@@ -11,7 +11,10 @@
 #include "src/core/pagelet_selection.h"
 #include "src/core/subtree_filter.h"
 #include "src/core/subtree_ranking.h"
+#include "src/util/clock.h"
+#include "src/util/metrics.h"
 #include "src/util/status.h"
+#include "src/util/trace.h"
 
 namespace thor::core {
 
@@ -25,6 +28,11 @@ struct Phase2Options {
   /// 1 = serial). Shape matching and set ranking carry their own knobs in
   /// `common.threads` / `rank.threads`.
   int threads = 0;
+  /// Optional observability sink: RunPhase2 records "phase2.*" counters
+  /// (candidate/set/pagelet tallies) and propagates the registry into the
+  /// shape-matching cache counters. RunThor fills this in from its own
+  /// observability options.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Phase-II output for one page cluster.
@@ -83,6 +91,23 @@ struct ThorOptions {
   /// cluster-rank order, so the result is identical at every thread count.
   int threads = 0;
 
+  /// Observability wiring for one pipeline run. All members optional; a
+  /// default-constructed struct means "observe into run-local sinks only"
+  /// (the run still returns a PipelineReport built from them).
+  struct Observability {
+    /// External metrics sink, e.g. shared across the sites of a corpus
+    /// run. Null: RunThor uses a run-local registry.
+    MetricsRegistry* metrics = nullptr;
+    /// External tracer; its existing spans become part of this run's
+    /// report. Null: RunThor uses a run-local tracer.
+    Tracer* tracer = nullptr;
+    /// Time source for the run-local tracer (ignored when `tracer` is
+    /// set). Null: wall time. Tests pass a SimulatedClock to make span
+    /// timestamps bit-reproducible.
+    const Clock* clock = nullptr;
+  };
+  Observability observability;
+
   /// Sets every threads knob in the pipeline — Phase-I restarts, the
   /// Phase-II cluster fan-out, candidate scanning, shape matching, and set
   /// ranking. `SetAllThreads(1)` is the fully serial escape hatch.
@@ -128,6 +153,10 @@ struct ThorResult {
   std::vector<ThorPageResult> pages;
   /// How much of the input survived to analysis (hostile-transport runs).
   ThorDiagnostics diagnostics;
+  /// Stage spans + metric snapshot of this run (see ThorOptions::
+  /// Observability). With an external registry/tracer the report reflects
+  /// everything recorded there so far, this run included.
+  PipelineReport report;
 };
 
 /// \brief Runs the complete two-phase THOR pipeline plus Stage-3 object

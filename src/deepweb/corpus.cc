@@ -52,10 +52,27 @@ LabeledPage LabelPage(const QueryResponse& response) {
   return FinishLabeledPage(response, html::ParseHtml(response.html));
 }
 
+const char* PageDropReasonName(PageDropReason reason) {
+  switch (reason) {
+    case PageDropReason::kNone:
+      return "none";
+    case PageDropReason::kBodyTooSmall:
+      return "body_too_small";
+    case PageDropReason::kParseFailed:
+      return "parse_failed";
+    case PageDropReason::kTreeTooSmall:
+      return "tree_too_small";
+  }
+  return "unknown";
+}
+
 Result<LabeledPage> LabelPageChecked(const QueryResponse& response,
                                      const PageValidationOptions& validation,
-                                     html::ParseDiagnostics* diagnostics) {
+                                     html::ParseDiagnostics* diagnostics,
+                                     PageDropReason* reason) {
+  if (reason != nullptr) *reason = PageDropReason::kNone;
   if (static_cast<int>(response.html.size()) < validation.min_html_bytes) {
+    if (reason != nullptr) *reason = PageDropReason::kBodyTooSmall;
     return Status::ParseError("page body too small (" +
                               std::to_string(response.html.size()) +
                               " bytes)");
@@ -63,8 +80,12 @@ Result<LabeledPage> LabelPageChecked(const QueryResponse& response,
   html::ParseDiagnostics local;
   auto tree = html::ParseHtmlChecked(response.html, {}, &local);
   if (diagnostics != nullptr) *diagnostics = local;
-  if (!tree.ok()) return tree.status();
+  if (!tree.ok()) {
+    if (reason != nullptr) *reason = PageDropReason::kParseFailed;
+    return tree.status();
+  }
   if (local.tag_nodes < validation.min_tag_nodes) {
+    if (reason != nullptr) *reason = PageDropReason::kTreeTooSmall;
     return Status::ParseError(
         "parsed tree too small (" + std::to_string(local.tag_nodes) +
         " tag nodes)" +
@@ -110,15 +131,20 @@ Result<SiteSample> BuildSiteSampleResilient(
   sample.pages.reserve(probe->responses.size());
   for (const QueryResponse& response : probe->responses) {
     html::ParseDiagnostics diagnostics;
-    auto page = LabelPageChecked(response, validation, &diagnostics);
+    PageDropReason reason = PageDropReason::kNone;
+    auto page = LabelPageChecked(response, validation, &diagnostics, &reason);
     if (!page.ok()) {
       // Damaged beyond use: drop the page, keep the count. The sample
       // degrades; it does not poison the pipeline.
       ++sample.diagnostics.pages_dropped;
+      AddCounter(options.metrics, "corpus.pages_dropped");
+      AddCounter(options.metrics,
+                 std::string("corpus.drop.") + PageDropReasonName(reason));
       continue;
     }
     if (diagnostics.truncated_markup) {
       ++sample.diagnostics.pages_truncated_kept;
+      AddCounter(options.metrics, "corpus.pages_truncated_kept");
     }
     sample.pages.push_back(std::move(*page));
   }
@@ -147,6 +173,7 @@ std::vector<SiteSample> BuildCorpusResilient(
     FaultInjectingTransport chaotic(&direct, per_site_faults);
     auto sample = BuildSiteSampleResilient(site.config().site_id, &chaotic,
                                            per_site, validation);
+    AddCounter(options.metrics, "corpus.sites_probed");
     if (sample.ok()) {
       if (total_stats != nullptr) {
         total_stats->Add(sample->diagnostics.probe);
@@ -155,6 +182,7 @@ std::vector<SiteSample> BuildCorpusResilient(
     } else {
       // Total collapse: keep an empty sample so the caller sees the site
       // was attempted and lost, rather than silently shrinking the fleet.
+      AddCounter(options.metrics, "corpus.sites_collapsed");
       SiteSample empty;
       empty.site_id = site.config().site_id;
       corpus.push_back(std::move(empty));

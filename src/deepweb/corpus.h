@@ -78,15 +78,28 @@ struct PageValidationOptions {
   int min_tag_nodes = 3;
 };
 
+/// Why LabelPageChecked rejected a fetched page.
+enum class PageDropReason {
+  kNone = 0,       ///< page accepted
+  kBodyTooSmall,   ///< body under PageValidationOptions::min_html_bytes
+  kParseFailed,    ///< ParseHtmlChecked refused the markup
+  kTreeTooSmall,   ///< parsed tree under min_tag_nodes
+};
+
+/// Stable metric-suffix name ("body_too_small", ...).
+const char* PageDropReasonName(PageDropReason reason);
+
 /// Validating variant of LabelPage: parses through ParseHtmlChecked and
 /// rejects degenerate pages with Status::ParseError instead of emitting an
 /// unusable LabeledPage. A truncated page that still parses into a
 /// substantial tree is accepted (with the damage visible in
-/// `diagnostics`).
+/// `diagnostics`). `reason` (optional) reports why a page was rejected —
+/// the resilient corpus build feeds it into per-reason drop counters.
 Result<LabeledPage> LabelPageChecked(
     const QueryResponse& response,
     const PageValidationOptions& validation = {},
-    html::ParseDiagnostics* diagnostics = nullptr);
+    html::ParseDiagnostics* diagnostics = nullptr,
+    PageDropReason* reason = nullptr);
 
 /// Probes `site` and labels every collected page.
 SiteSample BuildSiteSample(const DeepWebSite& site,

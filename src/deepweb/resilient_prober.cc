@@ -121,6 +121,25 @@ void ProbeStats::Add(const ProbeStats& other) {
   transport_ms += other.transport_ms;
 }
 
+void ProbeStats::ExportTo(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  AddCounter(metrics, "probe.words_planned", words_planned);
+  AddCounter(metrics, "probe.pages_collected", pages_collected);
+  AddCounter(metrics, "probe.attempts", attempts);
+  AddCounter(metrics, "probe.retries", retries);
+  AddCounter(metrics, "probe.timeouts", timeouts);
+  AddCounter(metrics, "probe.connection_resets", connection_resets);
+  AddCounter(metrics, "probe.server_errors", server_errors);
+  AddCounter(metrics, "probe.rate_limited", rate_limited);
+  AddCounter(metrics, "probe.permanent_failures", permanent_failures);
+  AddCounter(metrics, "probe.truncated_pages", truncated_pages);
+  AddCounter(metrics, "probe.abandoned_words", abandoned_words);
+  AddCounter(metrics, "probe.breaker_trips", breaker_trips);
+  AddCounter(metrics, "probe.breaker_rejections", breaker_rejections);
+  AddGauge(metrics, "probe.backoff_wait_ms", backoff_wait_ms);
+  AddGauge(metrics, "probe.transport_ms", transport_ms);
+}
+
 std::string ProbeStats::ToString() const {
   char buf[320];
   std::snprintf(
@@ -225,6 +244,7 @@ Result<ResilientProbeResult> ResilientProbeSite(
     probe_word(word, /*nonsense=*/true);
   }
   stats.breaker_trips = breaker.trips();
+  stats.ExportTo(options.metrics);
 
   if (result.responses.empty()) {
     return Status::Internal("resilient probe collected no pages: " +

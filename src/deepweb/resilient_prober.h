@@ -8,6 +8,7 @@
 #include "src/deepweb/transport.h"
 #include "src/util/backoff.h"
 #include "src/util/clock.h"
+#include "src/util/metrics.h"
 #include "src/util/status.h"
 
 namespace thor::deepweb {
@@ -104,6 +105,10 @@ struct ProbeStats {
   void Add(const ProbeStats& other);
   /// One-line human-readable summary for CLI output.
   std::string ToString() const;
+  /// Adds every tally to `metrics` as a "probe.*" counter (wait/transport
+  /// milliseconds become "probe.*_ms" gauges, accumulated with Add). Null
+  /// registry is a no-op.
+  void ExportTo(MetricsRegistry* metrics) const;
 };
 
 struct ResilientProbeOptions {
@@ -115,6 +120,10 @@ struct ResilientProbeOptions {
   /// crawler backing off) at most this many times per session before
   /// abandoning all remaining words.
   int max_breaker_waits = 3;
+  /// Optional observability sink: the session's final ProbeStats are
+  /// exported here (see ProbeStats::ExportTo) whether or not the session
+  /// succeeds, so abandoned sessions still leave their tallies behind.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct ResilientProbeResult {

@@ -1,0 +1,170 @@
+#include "src/util/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/json.h"
+
+namespace thor {
+
+int64_t HistogramSnapshot::total() const {
+  int64_t sum = 0;
+  for (int64_t c : counts) sum += c;
+  return sum;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (counts.empty()) {
+    *this = other;
+    return;
+  }
+  assert(bounds == other.bounds && "merging histograms with unequal buckets");
+  for (size_t i = 0; i < counts.size() && i < other.counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+std::vector<double> Histogram::DefaultBounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384};
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t Histogram::total() const {
+  int64_t sum = 0;
+  for (const auto& c : counts_) sum += c.load(std::memory_order_relaxed);
+  return sum;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    snapshot.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  return snapshot;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, histogram] : other.histograms) {
+    histograms[name].Merge(histogram);
+  }
+}
+
+namespace {
+
+void WriteHistogram(const HistogramSnapshot& histogram, bool with_bounds,
+                    JsonWriter* json) {
+  json->BeginObject();
+  if (with_bounds) {
+    json->Key("bounds").BeginArray();
+    for (double b : histogram.bounds) json->Double(b);
+    json->EndArray();
+  }
+  json->Key("counts").BeginArray();
+  for (int64_t c : histogram.counts) json->Int(c);
+  json->EndArray();
+  json->Key("total").Int(histogram.total());
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) json.Key(name).Int(value);
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) json.Key(name).Double(value);
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms) {
+    json.Key(name);
+    WriteHistogram(histogram, /*with_bounds=*/true, &json);
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+std::string MetricsSnapshot::StructuralJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) json.Key(name).Int(value);
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms) {
+    json.Key(name);
+    WriteHistogram(histogram, /*with_bounds=*/false, &json);
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::DefaultBounds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+}  // namespace thor

@@ -1,0 +1,155 @@
+#ifndef THOR_UTIL_METRICS_H_
+#define THOR_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace thor {
+
+/// \brief Monotonic event count. Increments are relaxed atomics, so
+/// concurrent stages may share one counter; integer addition commutes, so
+/// the total is identical at every thread count.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Last-written (Set) or serially accumulated (Add) double.
+///
+/// Unlike counters, floating-point accumulation does not commute bitwise;
+/// gauges must therefore only be written from serial code when
+/// reproducibility matters (the pipeline obeys this).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) {
+    double observed = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(observed, observed + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of one histogram: upper bounds plus one count per
+/// bucket (the last bucket is the implicit +inf overflow bucket).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;  ///< size == bounds.size() + 1
+
+  int64_t total() const;
+  /// Adds `other`'s bucket counts. Requires identical bounds. Integer
+  /// bucket counts make merging associative and commutative, so any merge
+  /// order yields the same snapshot.
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// \brief Fixed-bucket histogram.
+///
+/// Bucket boundaries are frozen at construction and every observation is
+/// one integer increment, so — unlike a mean/sum accumulator — the
+/// distribution is bit-identical regardless of the order (or thread) in
+/// which values arrive.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an observation lands in
+  /// the first bucket whose bound is >= the value, or in the overflow
+  /// bucket past the last bound.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+  int64_t total() const;
+  HistogramSnapshot Snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Power-of-two-ish default bounds covering typical pipeline counts.
+  static std::vector<double> DefaultBounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> counts_;
+};
+
+/// Point-in-time view of a whole registry, ordered by metric name (std::map
+/// keeps serialization deterministic).
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Element-wise merge (counter/histogram adds, gauge last-write of
+  /// `other`). Counter and histogram merging commutes.
+  void Merge(const MetricsSnapshot& other);
+  /// Full JSON rendering: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{"bounds":[...],"counts":[...],"total":n}}}.
+  std::string ToJson() const;
+  /// Regression-oracle view: counters, histogram counts, and metric names
+  /// only — no gauges, so nothing in it depends on floating-point
+  /// accumulation or wall time. This is what golden-trace tests pin.
+  std::string StructuralJson() const;
+};
+
+/// \brief Thread-safe registry of named metrics.
+///
+/// Lookup takes a mutex; the returned pointers are stable for the
+/// registry's lifetime and their update paths are lock-free, so hot loops
+/// should fetch the pointer once and increment many times.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `bounds` applies only when the histogram is created by this call;
+  /// later calls with the same name return the existing instance.
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Null-safe conveniences: pipeline code records metrics through these so a
+/// null registry (observability off) costs one branch.
+inline void AddCounter(MetricsRegistry* metrics, std::string_view name,
+                       int64_t n = 1) {
+  if (metrics != nullptr) metrics->GetCounter(name)->Increment(n);
+}
+inline void SetGauge(MetricsRegistry* metrics, std::string_view name,
+                     double value) {
+  if (metrics != nullptr) metrics->GetGauge(name)->Set(value);
+}
+inline void AddGauge(MetricsRegistry* metrics, std::string_view name,
+                     double value) {
+  if (metrics != nullptr) metrics->GetGauge(name)->Add(value);
+}
+inline void Observe(MetricsRegistry* metrics, std::string_view name,
+                    double value) {
+  if (metrics != nullptr) metrics->GetHistogram(name)->Observe(value);
+}
+
+}  // namespace thor
+
+#endif  // THOR_UTIL_METRICS_H_

@@ -1,0 +1,112 @@
+#include "src/util/trace.h"
+
+#include <cassert>
+#include <iterator>
+
+#include "src/util/json.h"
+
+namespace thor {
+
+Tracer::Tracer(const Clock* clock)
+    : clock_(clock != nullptr ? clock : SystemClock::Instance()) {}
+
+int Tracer::BeginSpan(std::string name) {
+  double now = clock_->NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.name = std::move(name);
+  span.start_ms = now;
+  span.duration_ms = -1.0;  // open
+  if (!open_.empty()) {
+    span.parent = open_.back();
+    span.depth = spans_[static_cast<size_t>(span.parent)].depth + 1;
+  }
+  int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(id);
+  return id;
+}
+
+void Tracer::EndSpan(int id) {
+  double now = clock_->NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  TraceSpan& span = spans_[static_cast<size_t>(id)];
+  if (span.duration_ms >= 0.0) return;  // already closed
+  span.duration_ms = now - span.start_ms;
+  // Spans close LIFO in correct code; drop the id wherever it sits so a
+  // misnested close cannot wedge the stack.
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (*it == id) {
+      open_.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+std::vector<TraceSpan> Tracer::Snapshot() const {
+  double now = clock_->NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out = spans_;
+  for (TraceSpan& span : out) {
+    if (span.duration_ms < 0.0) span.duration_ms = now - span.start_ms;
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(const std::vector<TraceSpan>& spans) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+  for (const TraceSpan& span : spans) {
+    json.BeginObject();
+    json.Key("name").String(span.name);
+    json.Key("cat").String("thor");
+    json.Key("ph").String("X");
+    // Trace-event timestamps are microseconds.
+    json.Key("ts").Double(span.start_ms * 1000.0);
+    json.Key("dur").Double(span.duration_ms * 1000.0);
+    json.Key("pid").Int(1);
+    json.Key("tid").Int(1);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit").String("ms");
+  json.EndObject();
+  return json.str();
+}
+
+std::string PipelineReport::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("spans").BeginArray();
+  for (const TraceSpan& span : spans) {
+    json.BeginObject();
+    json.Key("name").String(span.name);
+    json.Key("start_ms").Double(span.start_ms);
+    json.Key("duration_ms").Double(span.duration_ms);
+    json.Key("parent").Int(span.parent);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("metrics");
+  // Splice the snapshot's own document in rather than re-walking it here.
+  return json.str() + metrics.ToJson() + "}";
+}
+
+std::string PipelineReport::StructuralJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("spans").BeginArray();
+  for (const TraceSpan& span : spans) {
+    json.BeginObject();
+    json.Key("name").String(span.name);
+    json.Key("parent").Int(span.parent);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("metrics");
+  return json.str() + metrics.StructuralJson() + "}";
+}
+
+}  // namespace thor

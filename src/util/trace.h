@@ -1,0 +1,92 @@
+#ifndef THOR_UTIL_TRACE_H_
+#define THOR_UTIL_TRACE_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/clock.h"
+#include "src/util/metrics.h"
+
+namespace thor {
+
+/// One completed (or still-open) pipeline span.
+struct TraceSpan {
+  std::string name;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  /// Index of the enclosing span in the tracer's span list, -1 for roots.
+  int parent = -1;
+  /// Nesting depth (0 for roots); redundant with `parent` but convenient.
+  int depth = 0;
+};
+
+/// \brief Span recorder driven by an injected `Clock`.
+///
+/// Under `SimulatedClock` the recorded timestamps are part of the
+/// deterministic outcome, so traces are bit-reproducible run to run.
+/// Thread-safe, but span nesting (the parent/depth fields) follows the
+/// begin/end order, so reproducible span *trees* require beginning and
+/// ending spans from serial code — the pipeline only opens spans around
+/// whole stages, never inside parallel regions.
+class Tracer {
+ public:
+  /// A null clock means wall time (`SystemClock`).
+  explicit Tracer(const Clock* clock = nullptr);
+
+  /// Opens a span nested under the innermost still-open span. Returns an
+  /// id for `EndSpan`.
+  int BeginSpan(std::string name);
+  void EndSpan(int id);
+
+  /// Spans in begin order; still-open spans carry the duration so far.
+  std::vector<TraceSpan> Snapshot() const;
+
+  /// RAII helper; tolerates a null tracer (observability off).
+  class Scope {
+   public:
+    Scope(Tracer* tracer, std::string name)
+        : tracer_(tracer),
+          id_(tracer ? tracer->BeginSpan(std::move(name)) : -1) {}
+    ~Scope() {
+      if (tracer_ != nullptr) tracer_->EndSpan(id_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer* tracer_;
+    int id_;
+  };
+
+ private:
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::vector<int> open_;  ///< stack of span ids awaiting EndSpan
+};
+
+/// Chrome trace-event rendering ("X" complete events, microsecond
+/// timestamps) — the format about:tracing and Perfetto open directly:
+/// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+std::string ChromeTraceJson(const std::vector<TraceSpan>& spans);
+
+/// \brief Everything one pipeline run reports about itself: the stage span
+/// tree plus a metrics snapshot.
+struct PipelineReport {
+  std::vector<TraceSpan> spans;
+  MetricsSnapshot metrics;
+
+  /// Spans only, Chrome trace-event format.
+  std::string ToChromeTraceJson() const { return ChromeTraceJson(spans); }
+  /// Spans + metrics in one document.
+  std::string ToJson() const;
+  /// Deterministic regression-oracle view: span names and tree shape (no
+  /// timings) plus the structural metrics snapshot. Bit-identical at every
+  /// thread count; golden tests pin this string.
+  std::string StructuralJson() const;
+};
+
+}  // namespace thor
+
+#endif  // THOR_UTIL_TRACE_H_

@@ -1,0 +1,264 @@
+#include "src/util/metrics.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/clock.h"
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+#include "src/util/trace.h"
+
+namespace thor {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge.
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  ParallelFor(
+      1000, [&](size_t) { counter.Increment(); }, /*threads=*/4);
+  EXPECT_EQ(counter.value(), 1000);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  gauge.Add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram properties: for random value streams, bucket counts sum to the
+// number of observations, merging is order-independent, and snapshots
+// round-trip losslessly through Merge.
+// ---------------------------------------------------------------------------
+
+std::vector<double> RandomStream(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Mix of scales so every bucket (including overflow) gets traffic.
+    values.push_back(rng.UniformDouble() * 40000.0 - 100.0);
+  }
+  return values;
+}
+
+TEST(HistogramTest, CountsSumToTotalObservations) {
+  for (uint64_t seed : {1u, 7u, 99u}) {
+    Histogram histogram(Histogram::DefaultBounds());
+    auto values = RandomStream(seed, 500);
+    for (double v : values) histogram.Observe(v);
+    HistogramSnapshot snapshot = histogram.Snapshot();
+    int64_t sum = 0;
+    for (int64_t c : snapshot.counts) sum += c;
+    EXPECT_EQ(sum, 500);
+    EXPECT_EQ(snapshot.total(), 500);
+    EXPECT_EQ(histogram.total(), 500);
+    EXPECT_EQ(snapshot.counts.size(), snapshot.bounds.size() + 1);
+  }
+}
+
+TEST(HistogramTest, MergeIsOrderIndependent) {
+  auto values = RandomStream(42, 900);
+  // Split the stream into three thirds observed by separate histograms.
+  Histogram parts[3] = {Histogram(Histogram::DefaultBounds()),
+                        Histogram(Histogram::DefaultBounds()),
+                        Histogram(Histogram::DefaultBounds())};
+  for (size_t i = 0; i < values.size(); ++i) {
+    parts[i % 3].Observe(values[i]);
+  }
+  HistogramSnapshot abc = parts[0].Snapshot();
+  abc.Merge(parts[1].Snapshot());
+  abc.Merge(parts[2].Snapshot());
+  HistogramSnapshot cba = parts[2].Snapshot();
+  cba.Merge(parts[1].Snapshot());
+  cba.Merge(parts[0].Snapshot());
+  EXPECT_EQ(abc.counts, cba.counts);
+  EXPECT_EQ(abc.bounds, cba.bounds);
+
+  // And both equal the histogram that saw the whole stream at once.
+  Histogram whole(Histogram::DefaultBounds());
+  for (double v : values) whole.Observe(v);
+  EXPECT_EQ(abc.counts, whole.Snapshot().counts);
+}
+
+TEST(HistogramTest, SnapshotMergeRoundTripsLosslessly) {
+  auto values = RandomStream(5, 300);
+  Histogram histogram(Histogram::DefaultBounds());
+  for (double v : values) histogram.Observe(v);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  // Merging into an empty snapshot reproduces the original exactly.
+  HistogramSnapshot empty;
+  empty.Merge(snapshot);
+  EXPECT_EQ(empty.bounds, snapshot.bounds);
+  EXPECT_EQ(empty.counts, snapshot.counts);
+  // A second snapshot of the untouched histogram is unchanged.
+  EXPECT_EQ(histogram.Snapshot().counts, snapshot.counts);
+}
+
+TEST(HistogramTest, ObservationsLandInCorrectBuckets) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // <= 1
+  histogram.Observe(1.0);    // <= 1 (bound inclusive)
+  histogram.Observe(5.0);    // <= 10
+  histogram.Observe(1000.0); // overflow
+  auto snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.counts.size(), 4u);
+  EXPECT_EQ(snapshot.counts[0], 2);
+  EXPECT_EQ(snapshot.counts[1], 1);
+  EXPECT_EQ(snapshot.counts[2], 0);
+  EXPECT_EQ(snapshot.counts[3], 1);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreExact) {
+  Histogram histogram(Histogram::DefaultBounds());
+  auto values = RandomStream(11, 2000);
+  ParallelFor(
+      values.size(), [&](size_t i) { histogram.Observe(values[i]); },
+      /*threads=*/4);
+  // Same distribution as the serial pass: integer bucket counts commute.
+  Histogram serial(Histogram::DefaultBounds());
+  for (double v : values) serial.Observe(v);
+  EXPECT_EQ(histogram.Snapshot().counts, serial.Snapshot().counts);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + snapshot.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetReturnsStableInstances) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(registry.GetCounter("x")->value(), 3);
+  Histogram* h = registry.GetHistogram("h", {1.0, 2.0});
+  EXPECT_EQ(h, registry.GetHistogram("h"));
+  EXPECT_EQ(h->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndJsonDeterministic) {
+  MetricsRegistry registry;
+  AddCounter(&registry, "zeta", 2);
+  AddCounter(&registry, "alpha", 1);
+  SetGauge(&registry, "mid", 0.5);
+  Observe(&registry, "sizes", 3.0);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters.begin()->first, "alpha");
+  EXPECT_EQ(snapshot.ToJson(), registry.Snapshot().ToJson());
+  // Structural view drops gauges (floating point) but keeps counters and
+  // histogram counts.
+  std::string structural = snapshot.StructuralJson();
+  EXPECT_NE(structural.find("\"alpha\":1"), std::string::npos);
+  EXPECT_NE(structural.find("\"sizes\""), std::string::npos);
+  EXPECT_EQ(structural.find("mid"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, MergeAddsCountersAndHistograms) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  AddCounter(&a, "n", 2);
+  AddCounter(&b, "n", 3);
+  AddCounter(&b, "only_b", 1);
+  Observe(&a, "h", 1.0);
+  Observe(&b, "h", 1.0);
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.counters["n"], 5);
+  EXPECT_EQ(merged.counters["only_b"], 1);
+  EXPECT_EQ(merged.histograms["h"].total(), 2);
+}
+
+TEST(MetricsHelpersTest, NullRegistryIsSafe) {
+  AddCounter(nullptr, "x");
+  SetGauge(nullptr, "x", 1.0);
+  AddGauge(nullptr, "x", 1.0);
+  Observe(nullptr, "x", 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer.
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, SpansNestByBeginEndOrder) {
+  SimulatedClock clock;
+  Tracer tracer(&clock);
+  int root = tracer.BeginSpan("root");
+  clock.SleepMs(5.0);
+  {
+    Tracer::Scope child(&tracer, "child");
+    clock.SleepMs(2.0);
+  }
+  tracer.EndSpan(root);
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_DOUBLE_EQ(spans[0].duration_ms, 7.0);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_DOUBLE_EQ(spans[1].start_ms, 5.0);
+  EXPECT_DOUBLE_EQ(spans[1].duration_ms, 2.0);
+}
+
+TEST(TracerTest, NullTracerScopeIsSafe) {
+  Tracer::Scope scope(nullptr, "nothing");
+}
+
+TEST(TracerTest, SimulatedClockTracesAreBitReproducible) {
+  auto run = [] {
+    SimulatedClock clock;
+    Tracer tracer(&clock);
+    Tracer::Scope a(&tracer, "a");
+    clock.SleepMs(3.0);
+    Tracer::Scope b(&tracer, "b");
+    clock.SleepMs(4.0);
+    return ChromeTraceJson(tracer.Snapshot());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TracerTest, ChromeTraceJsonShape) {
+  SimulatedClock clock;
+  Tracer tracer(&clock);
+  {
+    Tracer::Scope span(&tracer, "stage");
+    clock.SleepMs(1.5);
+  }
+  std::string json = ChromeTraceJson(tracer.Snapshot());
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"name\":\"stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Microsecond timestamps: 1.5 ms -> dur 1500.
+  EXPECT_NE(json.find("\"dur\":1500"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(PipelineReportTest, JsonCombinesSpansAndMetrics) {
+  PipelineReport report;
+  TraceSpan span;
+  span.name = "stage";
+  report.spans.push_back(span);
+  MetricsRegistry registry;
+  AddCounter(&registry, "n", 7);
+  report.metrics = registry.Snapshot();
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":7"), std::string::npos);
+  std::string structural = report.StructuralJson();
+  EXPECT_NE(structural.find("\"stage\""), std::string::npos);
+  EXPECT_NE(structural.find("\"n\":7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace thor

@@ -1,0 +1,187 @@
+// Golden-trace regression test for the observability layer: runs the full
+// pipeline over a seeded synthetic corpus with a SimulatedClock, snapshots
+// the structural report (metric names, counter values, histogram counts,
+// span tree shape) and compares it against a checked-in golden file.
+//
+// The structural view deliberately excludes gauges and span timings, so the
+// snapshot is bit-identical across machines and thread counts. Regenerate
+// the golden after an intentional metrics change with:
+//
+//   THOR_UPDATE_GOLDEN=1 ./build/tests/pipeline_report_test
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/evaluation.h"
+#include "src/core/thor.h"
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site_generator.h"
+#include "src/util/clock.h"
+#include "src/util/json_reader.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
+
+#ifndef THOR_TESTDATA_DIR
+#define THOR_TESTDATA_DIR "tests/golden"
+#endif
+
+namespace thor::core {
+namespace {
+
+std::vector<deepweb::SiteSample> SmallCorpus(int sites) {
+  deepweb::FleetOptions fleet_options;
+  fleet_options.num_sites = sites;
+  auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+  return deepweb::BuildCorpus(fleet, deepweb::ProbeOptions{});
+}
+
+// Runs every site of the corpus through RunThor with a shared registry and
+// tracer, and returns the combined report.
+PipelineReport RunInstrumented(const std::vector<deepweb::SiteSample>& corpus,
+                               int threads) {
+  SimulatedClock clock;
+  MetricsRegistry registry;
+  Tracer tracer(&clock);
+  for (const auto& sample : corpus) {
+    auto pages = ToPages(sample);
+    ThorOptions options;
+    options.SetAllThreads(threads);
+    options.observability.metrics = &registry;
+    options.observability.tracer = &tracer;
+    options.observability.clock = &clock;
+    auto result = RunThor(pages, options);
+    EXPECT_TRUE(result.ok());
+  }
+  PipelineReport report;
+  report.spans = tracer.Snapshot();
+  report.metrics = registry.Snapshot();
+  return report;
+}
+
+std::string GoldenPath() {
+  return std::string(THOR_TESTDATA_DIR) + "/pipeline_report.json";
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) return "";
+  std::ostringstream content;
+  content << stream.rdbuf();
+  return content.str();
+}
+
+TEST(PipelineReportTest, StructuralReportMatchesGolden) {
+  auto corpus = SmallCorpus(2);
+  std::string structural = RunInstrumented(corpus, /*threads=*/1)
+                               .StructuralJson();
+  if (std::getenv("THOR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << structural << "\n";
+    GTEST_SKIP() << "golden regenerated at " << GoldenPath();
+  }
+  std::string golden = ReadFileOrEmpty(GoldenPath());
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << GoldenPath()
+      << "; regenerate with THOR_UPDATE_GOLDEN=1";
+  EXPECT_EQ(structural + "\n", golden)
+      << "structural pipeline report drifted from the golden snapshot; if "
+         "the change is intentional, rerun with THOR_UPDATE_GOLDEN=1";
+}
+
+TEST(PipelineReportTest, StructuralReportIdenticalAcrossThreadCounts) {
+  auto corpus = SmallCorpus(2);
+  std::string serial = RunInstrumented(corpus, /*threads=*/1)
+                           .StructuralJson();
+  std::string parallel = RunInstrumented(corpus, /*threads=*/4)
+                             .StructuralJson();
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(PipelineReportTest, SpanTreeHasOneRunPerSiteWithAllStages) {
+  auto corpus = SmallCorpus(2);
+  PipelineReport report = RunInstrumented(corpus, /*threads=*/1);
+  const std::vector<std::string> stages = {
+      "drop_degenerate_pages", "phase1_clustering", "cluster_ranking",
+      "phase2_extraction", "remap_results"};
+  std::vector<int> roots;
+  for (size_t i = 0; i < report.spans.size(); ++i) {
+    const TraceSpan& span = report.spans[i];
+    if (span.parent == -1) {
+      EXPECT_EQ(span.name, "run_thor");
+      roots.push_back(static_cast<int>(i));
+    }
+    EXPECT_GE(span.duration_ms, 0.0);  // every span closed
+  }
+  ASSERT_EQ(roots.size(), corpus.size());
+  for (int root : roots) {
+    std::vector<std::string> children;
+    for (const TraceSpan& span : report.spans) {
+      if (span.parent == root) children.push_back(span.name);
+    }
+    EXPECT_EQ(children, stages);
+  }
+}
+
+TEST(PipelineReportTest, ExpectedMetricFamiliesPresent) {
+  auto corpus = SmallCorpus(1);
+  PipelineReport report = RunInstrumented(corpus, /*threads=*/1);
+  const auto& counters = report.metrics.counters;
+  for (const char* name :
+       {"thor.runs", "thor.input_pages", "thor.clusters_passed",
+        "thor.pages_extracted", "phase1.kmeans.runs",
+        "phase1.kmeans.iterations_total", "phase2.clusters_analyzed",
+        "phase2.candidates_total", "phase2.pagelets_selected",
+        "shape.pair_memo_hits", "shape.distinct_paths"}) {
+    EXPECT_TRUE(counters.contains(name)) << "missing counter " << name;
+  }
+  EXPECT_EQ(counters.at("thor.runs"), 1);
+  EXPECT_EQ(counters.at("thor.input_pages"),
+            static_cast<int64_t>(corpus[0].pages.size()));
+  EXPECT_TRUE(report.metrics.histograms.contains("phase2.candidates_per_page"));
+}
+
+TEST(PipelineReportTest, ChromeTraceAndReportJsonParse) {
+  auto corpus = SmallCorpus(1);
+  PipelineReport report = RunInstrumented(corpus, /*threads=*/1);
+
+  auto trace = JsonValue::Parse(report.ToChromeTraceJson());
+  ASSERT_TRUE(trace.ok()) << trace.status().message();
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  EXPECT_EQ(events->items().size(), report.spans.size());
+  for (const JsonValue& event : events->items()) {
+    ASSERT_TRUE(event.Find("name") != nullptr);
+    EXPECT_EQ(event.Find("ph")->AsString(), "X");
+    EXPECT_GE(event.Find("dur")->AsDouble(), 0.0);
+  }
+
+  auto full = JsonValue::Parse(report.ToJson());
+  ASSERT_TRUE(full.ok()) << full.status().message();
+  EXPECT_NE(full->Find("spans"), nullptr);
+  EXPECT_NE(full->Find("metrics"), nullptr);
+
+  auto structural = JsonValue::Parse(report.StructuralJson());
+  ASSERT_TRUE(structural.ok()) << structural.status().message();
+}
+
+TEST(PipelineReportTest, ReportAttachedToThorResultWithoutExternalSinks) {
+  // Even with no observability wiring, RunThor fills result.report from its
+  // internal registry/tracer.
+  auto corpus = SmallCorpus(1);
+  auto pages = ToPages(corpus[0]);
+  auto result = RunThor(pages, ThorOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->report.spans.empty());
+  EXPECT_EQ(result->report.spans[0].name, "run_thor");
+  EXPECT_FALSE(result->report.metrics.counters.empty());
+}
+
+}  // namespace
+}  // namespace thor::core

@@ -296,6 +296,45 @@ TEST(ResilientProbeSiteTest, BreakerTripsOnFailureStorm) {
   EXPECT_LT(transport.fetches(), 20);
 }
 
+TEST(ResilientProbeSiteTest, HalfOpenFailureRetripsAndMetricCounts) {
+  // Session-level half-open -> re-trip transition: the first word fails
+  // enough to open the breaker (trip 1), the session politely waits out the
+  // cooldown, the half-open trial fails too (immediate re-trip, trip 2),
+  // and only the next trial succeeds. Everything after recovers.
+  ResilientProbeOptions options = SmallOptions(4);
+  options.retry.max_attempts_per_query = 6;
+  options.breaker.failure_threshold = 2;
+  // Cooldown far above any backoff delay, so re-entry always goes through
+  // an explicit breaker rejection + cooldown wait, never a lucky backoff.
+  options.breaker.open_duration_ms = 10000.0;
+  options.max_breaker_waits = 5;
+  MetricsRegistry registry;
+  options.metrics = &registry;
+  ProbePlan plan = MakeProbePlan(options.plan);
+  ScriptedTransport transport;
+  // Failure 1-2: trip while closed. Failure 3: the half-open trial.
+  transport.FailNext(plan.dictionary_words[0], TransportError::kConnectionReset,
+                     3);
+  auto result = ResilientProbeSite(&transport, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.breaker_trips, 2);
+  EXPECT_EQ(result->stats.breaker_rejections, 2);
+  EXPECT_EQ(result->responses.size(), 4u);
+  EXPECT_EQ(result->stats.abandoned_words, 0);
+  // Two cooldowns were waited out in full.
+  EXPECT_GE(result->stats.backoff_wait_ms, 2 * 10000.0);
+
+  // The breaker_trips metric reflects the session and keeps accumulating
+  // across sessions sharing the registry.
+  EXPECT_EQ(registry.GetCounter("probe.breaker_trips")->value(), 2);
+  EXPECT_EQ(registry.GetCounter("probe.breaker_rejections")->value(), 2);
+  ScriptedTransport transport2;
+  transport2.FailNext(plan.dictionary_words[0],
+                      TransportError::kConnectionReset, 3);
+  ASSERT_TRUE(ResilientProbeSite(&transport2, options).ok());
+  EXPECT_EQ(registry.GetCounter("probe.breaker_trips")->value(), 4);
+}
+
 TEST(ResilientProbeSiteTest, AttemptBudgetAbandonsTail) {
   ResilientProbeOptions options = SmallOptions(8);
   options.retry.total_attempt_budget = 3;

@@ -31,6 +31,8 @@
 #include "src/search/deep_web_search.h"
 #include "src/util/json.h"
 #include "src/util/json_reader.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace thor {
 namespace {
@@ -47,12 +49,18 @@ int Usage() {
                "  thorcli search DIR... --query WORDS [--by-site]\n"
                "  thorcli eval [--sites N] [--fault-rate R] "
                "[--retry-budget N] [--seed S]\n"
+               "               [--trace FILE] [--metrics]\n"
                "\n"
                "eval chaos mode: --fault-rate injects transport faults "
                "(timeouts, resets,\n5xx, 429, truncation, garbling) at "
                "overall rate R in [0,1]; --retry-budget\ncaps fetch "
                "attempts per query; --seed makes the chaos run "
-               "reproducible.\n");
+               "reproducible.\n"
+               "\n"
+               "eval observability: --trace writes a Chrome trace-event "
+               "JSON (open in\nabout:tracing or ui.perfetto.dev) with one "
+               "span per pipeline stage per site;\n--metrics prints the "
+               "full metrics registry as JSON after the run.\n");
   return 2;
 }
 
@@ -375,6 +383,8 @@ int RunEval(int argc, char** argv) {
   double fault_rate = 0.0;
   int retry_budget = 4;
   uint64_t seed = 1234;
+  std::string trace_file;
+  bool print_metrics = false;
   for (int i = 0; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--sites") && i + 1 < argc) {
       num_sites = std::atoi(argv[++i]);
@@ -384,29 +394,42 @@ int RunEval(int argc, char** argv) {
       retry_budget = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      print_metrics = true;
     }
   }
+  // One registry and tracer span the whole run — probing included — so the
+  // trace shows where the time went across every site and stage.
+  MetricsRegistry registry;
+  Tracer tracer;
   deepweb::FleetOptions fleet_options;
   fleet_options.num_sites = num_sites;
   auto fleet = deepweb::GenerateSiteFleet(fleet_options);
   std::vector<deepweb::SiteSample> corpus;
-  if (fault_rate > 0.0) {
-    deepweb::ResilientProbeOptions probe;
-    probe.plan.seed = seed;
-    probe.retry.max_attempts_per_query = retry_budget;
-    deepweb::FaultOptions faults = deepweb::FaultOptions::Uniform(
-        fault_rate, seed);
-    deepweb::ProbeStats stats;
-    corpus = deepweb::BuildCorpusResilient(fleet, probe, faults, {}, &stats);
-    std::printf("chaos probe (fault-rate %.2f, retry budget %d, seed %llu):\n"
-                "  %s\n",
-                fault_rate, retry_budget,
-                static_cast<unsigned long long>(seed),
-                stats.ToString().c_str());
-  } else {
-    deepweb::ProbeOptions probe;
-    probe.seed = seed;
-    corpus = deepweb::BuildCorpus(fleet, probe);
+  {
+    Tracer::Scope probe_span(&tracer, "probe_corpus");
+    if (fault_rate > 0.0) {
+      deepweb::ResilientProbeOptions probe;
+      probe.plan.seed = seed;
+      probe.retry.max_attempts_per_query = retry_budget;
+      probe.metrics = &registry;
+      deepweb::FaultOptions faults =
+          deepweb::FaultOptions::Uniform(fault_rate, seed);
+      deepweb::ProbeStats stats;
+      corpus =
+          deepweb::BuildCorpusResilient(fleet, probe, faults, {}, &stats);
+      std::printf(
+          "chaos probe (fault-rate %.2f, retry budget %d, seed %llu):\n"
+          "  %s\n",
+          fault_rate, retry_budget, static_cast<unsigned long long>(seed),
+          stats.ToString().c_str());
+    } else {
+      deepweb::ProbeOptions probe;
+      probe.seed = seed;
+      corpus = deepweb::BuildCorpus(fleet, probe);
+    }
   }
   core::PrecisionRecall total;
   int collapsed_sites = 0;
@@ -420,7 +443,12 @@ int RunEval(int argc, char** argv) {
     }
     dropped_pages += sample.diagnostics.pages_dropped;
     auto pages = core::ToPages(sample);
-    auto result = core::RunThor(pages, core::ThorOptions{});
+    core::ThorOptions thor_options;
+    thor_options.observability.metrics = &registry;
+    thor_options.observability.tracer = &tracer;
+    Tracer::Scope site_span(&tracer,
+                            "site" + std::to_string(sample.site_id));
+    auto result = core::RunThor(pages, thor_options);
     if (!result.ok()) continue;
     auto pr = core::EvaluatePagelets(sample, *result);
     std::printf("site %-3d P=%.3f R=%.3f (%d/%d)", sample.site_id,
@@ -441,6 +469,19 @@ int RunEval(int argc, char** argv) {
                 dropped_pages);
   }
   std::printf("\n");
+  if (!trace_file.empty()) {
+    std::ofstream out(trace_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_file.c_str());
+      return 1;
+    }
+    out << ChromeTraceJson(tracer.Snapshot()) << "\n";
+    std::printf("trace -> %s (open in about:tracing or ui.perfetto.dev)\n",
+                trace_file.c_str());
+  }
+  if (print_metrics) {
+    std::printf("%s\n", registry.Snapshot().ToJson().c_str());
+  }
   return 0;
 }
 
