@@ -113,16 +113,30 @@ TemplateRegistry TemplateRegistry::Learn(const std::vector<Page>& pages,
 
 html::NodeId TemplateRegistry::Locate(
     const html::TagTree& tree, const TemplateApplyOptions& options) const {
+  return LocateDetailed(tree, options).node;
+}
+
+double TemplateRegistry::Located::Confidence() const {
+  if (node == html::kInvalidNode) return 0.0;
+  double slack =
+      budget > 0.0 ? std::clamp(1.0 - distance / budget, 0.0, 1.0) : 1.0;
+  return exact_path ? std::max(slack, 0.5) : slack;
+}
+
+TemplateRegistry::Located TemplateRegistry::LocateDetailed(
+    const html::TagTree& tree, const TemplateApplyOptions& options) const {
+  Located located;
   std::vector<html::NodeId> candidates =
       CandidateSubtrees(tree, options.filter);
-  if (candidates.empty()) return html::kInvalidNode;
+  if (candidates.empty()) return located;
   ir::SparseVector page_tag_counts = TagCountVector(tree);
   std::vector<ShapeQuad> quads;
   quads.reserve(candidates.size());
   for (html::NodeId node : candidates) {
     quads.push_back(MakeShapeQuad(tree, node));
   }
-  for (const ExtractionTemplate& tmpl : templates_) {
+  for (size_t t = 0; t < templates_.size(); ++t) {
+    const ExtractionTemplate& tmpl = templates_[t];
     // Page-level gate first: does this page reproduce the answer class's
     // structural skeleton?
     if (StableMatchFraction(tmpl.stable_tags, tmpl.known_tags,
@@ -141,18 +155,27 @@ html::NodeId TemplateRegistry::Locate(
         best = candidates[i];
       }
     }
-    if (best != html::kInvalidNode) return best;
-    // Fall back to nearest shape (site tweaked a wrapper level).
-    for (size_t i = 0; i < quads.size(); ++i) {
-      double d = ShapeDistance(tmpl.prototype, quads[i], options.weights);
-      if (d < best_distance) {
-        best_distance = d;
-        best = candidates[i];
+    bool exact = best != html::kInvalidNode;
+    if (!exact) {
+      // Fall back to nearest shape (site tweaked a wrapper level).
+      for (size_t i = 0; i < quads.size(); ++i) {
+        double d = ShapeDistance(tmpl.prototype, quads[i], options.weights);
+        if (d < best_distance) {
+          best_distance = d;
+          best = candidates[i];
+        }
       }
     }
-    if (best != html::kInvalidNode) return best;
+    if (best != html::kInvalidNode) {
+      located.node = best;
+      located.distance = best_distance;
+      located.budget = tmpl.max_distance;
+      located.template_index = static_cast<int>(t);
+      located.exact_path = exact;
+      return located;
+    }
   }
-  return html::kInvalidNode;
+  return located;
 }
 
 

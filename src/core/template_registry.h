@@ -72,6 +72,28 @@ class TemplateRegistry {
   html::NodeId Locate(const html::TagTree& tree,
                       const TemplateApplyOptions& options = {}) const;
 
+  /// Everything Locate knows about how well the winning template fit —
+  /// what the serving layer turns into a per-response confidence.
+  struct Located {
+    html::NodeId node = html::kInvalidNode;
+    /// Shape distance between the winning candidate and the winning
+    /// template's prototype (0 when node is kInvalidNode).
+    double distance = 0.0;
+    /// That template's max_distance budget.
+    double budget = 0.0;
+    /// Index into templates() of the winning template, -1 on a miss.
+    int template_index = -1;
+    /// The winner kept the exact learned path (vs the shape fallback).
+    bool exact_path = false;
+
+    /// How comfortably the match landed inside the budget, in [0, 1];
+    /// 0 on a miss. Exact-path matches are floored at 0.5: the path
+    /// surviving verbatim is strong evidence even when the shape drifted.
+    double Confidence() const;
+  };
+  Located LocateDetailed(const html::TagTree& tree,
+                         const TemplateApplyOptions& options = {}) const;
+
   /// Locate + Stage-3 partitioning in one call.
   struct Extraction {
     html::NodeId pagelet = html::kInvalidNode;

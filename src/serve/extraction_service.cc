@@ -1,0 +1,201 @@
+#include "src/serve/extraction_service.h"
+
+#include <utility>
+
+#include "src/core/object_partition.h"
+#include "src/util/parallel.h"
+
+namespace thor::serve {
+
+const char* ExtractionService::SourceName(Source source) {
+  switch (source) {
+    case Source::kTemplate:
+      return "template";
+    case Source::kRelearn:
+      return "relearn";
+    case Source::kMiss:
+      return "miss";
+    case Source::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+ExtractionService::ExtractionService(TemplateStore* store,
+                                     ServiceOptions options,
+                                     SampleProvider sampler)
+    : store_(store),
+      options_(std::move(options)),
+      sampler_(std::move(sampler)),
+      cache_(options_.cache_capacity),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : SystemClock::Instance()) {}
+
+ExtractionService::SiteHandle ExtractionService::Resolve(
+    const std::string& site) {
+  SiteHandle handle = cache_.Get(site);
+  if (handle != nullptr) return handle;
+  auto loaded = store_->Load(site);
+  if (!loaded.ok()) {
+    // NotFound is the normal cold path; anything else is stored knowledge
+    // going bad under us — degrade to a miss and let the staleness policy
+    // relearn, but make the corruption visible.
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      AddCounter(options_.metrics, "serve.store_errors");
+    }
+    return nullptr;
+  }
+  return cache_.Put(site,
+                    CachedSite{std::move(loaded->registry),
+                               loaded->generation});
+}
+
+ExtractionService::Response ExtractionService::ExtractAgainst(
+    const SiteHandle& site_handle, const Request& request) const {
+  Response response;
+  if (site_handle == nullptr) return response;  // kMiss, generation 0
+  response.generation = site_handle->generation;
+  core::Page page = core::Page::Parse(request.site, request.html);
+  auto located =
+      site_handle->registry.LocateDetailed(page.tree, options_.apply);
+  if (located.node == html::kInvalidNode) return response;  // kMiss
+  response.source = Source::kTemplate;
+  response.confidence = located.Confidence();
+  response.pagelet_path = page.tree.PathString(located.node);
+  auto spans = core::PartitionObjects(page.tree, located.node, {},
+                                      options_.objects);
+  response.objects = core::ObjectTexts(page.tree, spans);
+  return response;
+}
+
+bool ExtractionService::ShouldRelearn(const std::string& site, bool known) {
+  if (sampler_ == nullptr) return false;
+  const SiteStats& stats = stats_[site];
+  if (!known && stats.relearn_attempts == 0) {
+    // Unknown site: the first miss is the learn-once moment.
+    return true;
+  }
+  // Known (or previously unlearnable) site: wait for a full window, then
+  // trigger on a high miss rate.
+  return stats.window_requests >= options_.relearn_min_requests &&
+         stats.window_misses >=
+             options_.relearn_miss_rate * stats.window_requests;
+}
+
+ExtractionService::SiteHandle ExtractionService::Relearn(
+    const std::string& site) {
+  SiteStats& stats = stats_[site];
+  ++stats.relearn_attempts;
+  stats.window_requests = 0;
+  stats.window_misses = 0;
+  AddCounter(options_.metrics, "serve.relearn_attempts");
+  std::vector<core::Page> pages = sampler_(site);
+  if (pages.empty()) return nullptr;
+  auto result = core::RunThor(pages, options_.relearn);
+  if (!result.ok()) return nullptr;
+  core::TemplateRegistry registry =
+      core::TemplateRegistry::Learn(pages, *result);
+  if (registry.empty()) return nullptr;
+  // Commit the new generation before serving from it; a store write
+  // failure degrades to serving the relearned registry cache-only.
+  Status put = store_->Put(site, registry);
+  if (!put.ok()) {
+    AddCounter(options_.metrics, "serve.store_errors");
+  }
+  ++stats.relearns;
+  AddCounter(options_.metrics, "serve.relearns");
+  return cache_.Put(site, CachedSite{std::move(registry),
+                                     store_->Generation(site)});
+}
+
+ExtractionService::Response ExtractionService::Extract(
+    const Request& request) {
+  return ExtractBatch({request})[0];
+}
+
+std::vector<ExtractionService::Response> ExtractionService::ExtractBatch(
+    const std::vector<Request>& requests) {
+  // Pass 1 (serial): resolve every distinct site in first-appearance
+  // order. Store reads happen here, outside the parallel region.
+  std::map<std::string, SiteHandle> resolved;
+  for (const Request& request : requests) {
+    if (!IsValidSiteName(request.site)) continue;
+    if (resolved.find(request.site) == resolved.end()) {
+      resolved[request.site] = Resolve(request.site);
+    }
+  }
+
+  // Pass 2 (parallel, pure): extract each request against its site's
+  // resolved registry snapshot. Results are index-addressed.
+  auto responses = ParallelMap(
+      requests.size(),
+      [&](size_t i) {
+        const Request& request = requests[i];
+        if (!IsValidSiteName(request.site)) {
+          Response response;
+          response.error = "invalid site name";
+          return response;
+        }
+        double start_ms = clock_->NowMs();
+        Response response =
+            ExtractAgainst(resolved.find(request.site)->second, request);
+        Observe(options_.metrics, "serve.latency_ms",
+                clock_->NowMs() - start_ms);
+        return response;
+      },
+      options_.threads);
+
+  // Pass 3 (serial, index order): accounting and staleness decisions.
+  // Because relearns only happen here, and each one deterministically
+  // re-serves the triggering request and every later request of that
+  // site, the response stream is identical at every thread count.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, SiteHandle> regenerated;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& request = requests[i];
+    Response& response = responses[i];
+    if (!response.error.empty()) continue;
+    auto regen = regenerated.find(request.site);
+    if (regen != regenerated.end()) {
+      // The site was relearned earlier in this batch; serve this request
+      // from the fresh generation instead of the stale snapshot.
+      double start_ms = clock_->NowMs();
+      response = ExtractAgainst(regen->second, request);
+      Observe(options_.metrics, "serve.latency_ms",
+              clock_->NowMs() - start_ms);
+    }
+    SiteStats& stats = stats_[request.site];
+    ++stats.requests;
+    ++stats.window_requests;
+    if (response.source == Source::kTemplate) {
+      ++stats.hits;
+      AddCounter(options_.metrics, "serve.template_hit");
+      if (response.confidence < options_.low_confidence) {
+        ++stats.low_confidence;
+        AddCounter(options_.metrics, "serve.low_confidence");
+      }
+      continue;
+    }
+    ++stats.misses;
+    ++stats.window_misses;
+    AddCounter(options_.metrics, "serve.template_miss");
+    bool known = response.generation > 0;
+    if (!ShouldRelearn(request.site, known)) continue;
+    SiteHandle fresh = Relearn(request.site);
+    if (fresh == nullptr) continue;
+    regenerated[request.site] = fresh;
+    Response reserved = ExtractAgainst(fresh, request);
+    reserved.source = Source::kRelearn;
+    response = std::move(reserved);
+  }
+  return responses;
+}
+
+ExtractionService::SiteStats ExtractionService::StatsFor(
+    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(site);
+  return it == stats_.end() ? SiteStats{} : it->second;
+}
+
+}  // namespace thor::serve

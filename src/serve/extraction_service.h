@@ -1,0 +1,163 @@
+#ifndef THOR_SERVE_EXTRACTION_SERVICE_H_
+#define THOR_SERVE_EXTRACTION_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/page.h"
+#include "src/core/template_registry.h"
+#include "src/core/thor.h"
+#include "src/serve/template_store.h"
+#include "src/util/clock.h"
+#include "src/util/lru_cache.h"
+#include "src/util/metrics.h"
+
+namespace thor::serve {
+
+/// Tuning knobs for the multi-site extraction service.
+struct ServiceOptions {
+  /// Sites whose loaded registries stay resident (LRU-evicted beyond it).
+  size_t cache_capacity = 64;
+  /// Staleness policy: once a site has served at least this many requests
+  /// since its last (re)learn, and its miss rate over that window is at
+  /// least `relearn_miss_rate`, the next miss schedules a full
+  /// Probe→Cluster→Discover relearn. The window resets after every relearn
+  /// attempt, so a site that stays unlearnable degrades to plain misses
+  /// instead of relearn-thrashing.
+  int relearn_min_requests = 20;
+  double relearn_miss_rate = 0.5;
+  /// Responses whose confidence lands below this count as low-confidence
+  /// in the per-site accounting (early staleness signal).
+  double low_confidence = 0.35;
+  /// Template application / Stage-3 partitioning knobs.
+  core::TemplateApplyOptions apply;
+  core::ObjectPartitionOptions objects;
+  /// Pipeline configuration used for relearns.
+  core::ThorOptions relearn;
+  /// Threads for the ExtractBatch fan-out (0 = process default, 1 =
+  /// serial). Responses are index-addressed, so output is identical at
+  /// every thread count.
+  int threads = 0;
+  /// Optional sinks: serve.* counters and the serve.latency_ms histogram.
+  MetricsRegistry* metrics = nullptr;
+  /// Time source for the latency histogram (null = wall clock). Tests use
+  /// a SimulatedClock to keep snapshots deterministic.
+  const Clock* clock = nullptr;
+};
+
+/// \brief Long-lived multi-site extraction front end over a TemplateStore.
+///
+/// The paper's motivating deep-web search engine cannot rerun two-phase
+/// analysis per fetched page; this service serves every request from
+/// learned templates (store-backed, LRU-cached) and falls back to the full
+/// pipeline only when per-site accounting says the stored knowledge went
+/// stale — graceful degradation, never a hard failure.
+///
+/// Thread-safe: concurrent Extract/ExtractBatch calls share the cache and
+/// the per-site accounting under internal locks. Relearns and store writes
+/// are serialized.
+class ExtractionService {
+ public:
+  /// Supplies a fresh probed sample for `site` when the service decides to
+  /// relearn it. Null/empty return means "cannot sample this site now";
+  /// the service then keeps serving (and missing) from what it has.
+  using SampleProvider =
+      std::function<std::vector<core::Page>(const std::string& site)>;
+
+  /// `store` must outlive the service. `sampler` may be null: the service
+  /// then never relearns (misses stay misses).
+  ExtractionService(TemplateStore* store, ServiceOptions options = {},
+                    SampleProvider sampler = nullptr);
+
+  /// Where a response came from.
+  enum class Source {
+    kTemplate,  ///< served from a stored/cached template
+    kRelearn,   ///< this request triggered a relearn and was re-served
+    kMiss,      ///< no template fit (or the site is unknown/unlearnable)
+    kShed,      ///< rejected by admission control before extraction
+  };
+  static const char* SourceName(Source source);
+
+  struct Request {
+    std::string site;
+    std::string html;
+  };
+
+  struct Response {
+    Source source = Source::kMiss;
+    /// Root path of the located QA-Pagelet, empty on a miss.
+    std::string pagelet_path;
+    /// QA-Object texts partitioned out of the pagelet.
+    std::vector<std::string> objects;
+    /// Match confidence in [0, 1] (see TemplateRegistry::Located).
+    double confidence = 0.0;
+    /// Store generation that served the request, 0 when none.
+    int64_t generation = 0;
+    /// Non-empty when the request itself was invalid.
+    std::string error;
+  };
+
+  Response Extract(const Request& request);
+
+  /// Extracts a whole batch, fanning the per-request work out over
+  /// util/parallel. Accounting, relearn decisions, and the response order
+  /// are all driven in request-index order, so the output (and every
+  /// relearned store generation) is byte-identical at every thread count.
+  std::vector<Response> ExtractBatch(const std::vector<Request>& requests);
+
+  /// Per-site accounting snapshot (for tests and tools).
+  struct SiteStats {
+    int64_t requests = 0;        ///< lifetime requests
+    int64_t hits = 0;            ///< lifetime template hits
+    int64_t misses = 0;          ///< lifetime misses
+    int64_t low_confidence = 0;  ///< lifetime low-confidence hits
+    int64_t relearns = 0;         ///< relearns that produced templates
+    int64_t relearn_attempts = 0; ///< relearns tried (failures included)
+    int window_requests = 0;      ///< requests since the last relearn window
+    int window_misses = 0;
+  };
+  SiteStats StatsFor(const std::string& site) const;
+
+  TemplateStore* store() { return store_; }
+
+ private:
+  /// A site's registry as resident in the cache.
+  struct CachedSite {
+    core::TemplateRegistry registry;
+    int64_t generation = 0;
+  };
+  using SiteHandle = std::shared_ptr<const CachedSite>;
+
+  /// Loads `site` through cache → store. Null when the store has nothing
+  /// (or the stored bytes are corrupt — degradation, not failure).
+  SiteHandle Resolve(const std::string& site);
+
+  /// Pure per-request work: parse + locate + partition against `site`'s
+  /// registry (null → miss). Safe to run concurrently.
+  Response ExtractAgainst(const SiteHandle& site_handle,
+                          const Request& request) const;
+
+  /// Serial-path policy: returns true when `site` should relearn now.
+  bool ShouldRelearn(const std::string& site, bool known);
+  /// Runs the full pipeline on a fresh sample and commits the new
+  /// generation. Returns the new handle, or null when relearn failed.
+  SiteHandle Relearn(const std::string& site);
+
+  TemplateStore* store_;
+  ServiceOptions options_;
+  SampleProvider sampler_;
+  LruCache<std::string, CachedSite> cache_;
+  const Clock* clock_;
+
+  mutable std::mutex mu_;  ///< guards stats_ and relearn serialization
+  std::map<std::string, SiteStats> stats_;
+};
+
+}  // namespace thor::serve
+
+#endif  // THOR_SERVE_EXTRACTION_SERVICE_H_

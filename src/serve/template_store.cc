@@ -1,0 +1,279 @@
+#include "src/serve/template_store.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/json.h"
+#include "src/util/json_reader.h"
+
+namespace thor::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST.json";
+
+std::string ChecksumHex(uint64_t checksum) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(checksum));
+  return buf;
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Internal("cannot read " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Writes `contents` to `path + ".tmp"` then renames over `path` — the
+/// atomic-commit primitive every store write goes through. `skip_rename`
+/// is the kill-between-writes test hook: the tmp file lands but the
+/// commit rename is "crashed" away.
+Status AtomicWrite(const fs::path& path, const std::string& contents,
+                   bool skip_rename = false) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot write " + tmp.string());
+    }
+    out << contents;
+    if (!out.flush()) {
+      return Status::Internal("short write to " + tmp.string());
+    }
+  }
+  if (skip_rename) return Status::OK();
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot commit " + path.string() + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsValidSiteName(const std::string& site) {
+  if (site.empty() || !std::isalnum(static_cast<unsigned char>(site[0]))) {
+    return false;
+  }
+  for (char c : site) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '_' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+Result<TemplateStore> TemplateStore::Open(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create store directory " + dir + ": " +
+                            ec.message());
+  }
+  TemplateStore store(dir);
+  fs::path manifest_path = fs::path(dir) / kManifestName;
+  if (!fs::exists(manifest_path)) return store;  // fresh (or pre-commit) dir
+  auto text = ReadFile(manifest_path);
+  if (!text.ok()) return text.status();
+  auto document = JsonValue::Parse(*text);
+  if (!document.ok()) {
+    return Status::ParseError("store manifest corrupt: " +
+                              document.status().message());
+  }
+  const JsonValue* format = document->Find("format");
+  if (format == nullptr || !format->IsString() ||
+      format->AsString() != "thor-store") {
+    return Status::ParseError("store manifest corrupt: not a thor-store");
+  }
+  const JsonValue* sites = document->Find("sites");
+  if (sites == nullptr || !sites->IsArray()) {
+    return Status::ParseError("store manifest corrupt: missing sites");
+  }
+  for (const JsonValue& entry : sites->items()) {
+    const JsonValue* site = entry.Find("site");
+    const JsonValue* generation = entry.Find("generation");
+    const JsonValue* file = entry.Find("file");
+    const JsonValue* checksum = entry.Find("checksum");
+    if (site == nullptr || !site->IsString() || generation == nullptr ||
+        !generation->IsNumber() || file == nullptr || !file->IsString() ||
+        checksum == nullptr || !checksum->IsString()) {
+      return Status::ParseError("store manifest corrupt: malformed entry");
+    }
+    ManifestEntry manifest;
+    manifest.generation = generation->AsInt();
+    manifest.file = file->AsString();
+    manifest.checksum =
+        std::strtoull(checksum->AsString().c_str(), nullptr, 16);
+    store.entries_[site->AsString()] = std::move(manifest);
+  }
+  return store;
+}
+
+std::string TemplateStore::ManifestJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("format").String("thor-store");
+  json.Key("version").Int(1);
+  json.Key("sites").BeginArray();
+  for (const auto& [site, entry] : entries_) {
+    json.BeginObject();
+    json.Key("site").String(site);
+    json.Key("generation").Int(entry.generation);
+    json.Key("file").String(entry.file);
+    json.Key("checksum").String(ChecksumHex(entry.checksum));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+Status TemplateStore::Put(const std::string& site,
+                          const core::TemplateRegistry& registry) {
+  if (!IsValidSiteName(site)) {
+    return Status::InvalidArgument("invalid site name: \"" + site + "\"");
+  }
+  std::lock_guard<std::mutex> lock(*mu_);
+  int steps_done = 0;
+  auto crashed = [&]() {
+    return crash_after_steps_ >= 0 && steps_done >= crash_after_steps_;
+  };
+
+  std::string document = registry.ToJson();
+  auto committed = entries_.find(site);
+  ManifestEntry next;
+  next.generation =
+      (committed == entries_.end() ? 0 : committed->second.generation) + 1;
+  next.file = site + ".g" + std::to_string(next.generation) + ".json";
+  next.checksum = Fnv1a64(document);
+  fs::path file_path = fs::path(dir_) / next.file;
+
+  // Step 1: the new generation's bytes land under a temp name.
+  if (crashed()) return Status::Internal("simulated crash before step 1");
+  THOR_RETURN_IF_ERROR(AtomicWrite(file_path, document,
+                                   /*skip_rename=*/crash_after_steps_ == 1));
+  if (++steps_done, crashed()) {
+    return Status::Internal("simulated crash after step 1");
+  }
+  // Step 2 happened inside AtomicWrite (the rename); from here the file
+  // exists but nothing points at it yet.
+  if (++steps_done, crashed()) {
+    return Status::Internal("simulated crash after step 2");
+  }
+
+  // Steps 3+4: commit the manifest the same way. Only the final rename
+  // flips readers from the old generation to the new one.
+  std::string previous_file;
+  ManifestEntry saved;
+  bool existed = committed != entries_.end();
+  if (existed) {
+    previous_file = committed->second.file;
+    saved = committed->second;
+  }
+  entries_[site] = next;
+  std::string manifest = ManifestJson();
+  bool manifest_tmp_only = crash_after_steps_ == 3;
+  Status st = AtomicWrite(fs::path(dir_) / kManifestName, manifest,
+                          /*skip_rename=*/manifest_tmp_only);
+  if (!st.ok() || manifest_tmp_only) {
+    // Roll the in-memory view back to the committed state.
+    if (existed) {
+      entries_[site] = saved;
+    } else {
+      entries_.erase(site);
+    }
+    if (!st.ok()) return st;
+  }
+  if (++steps_done, crashed()) {
+    return Status::Internal("simulated crash after step 3");
+  }
+  if (++steps_done, crashed()) {
+    return Status::Internal("simulated crash after step 4");
+  }
+
+  // Step 5: garbage-collect everything the commit superseded — the old
+  // generation and any orphans a previously crashed Put left behind.
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
+    std::string name = dirent.path().filename().string();
+    if (name == next.file || name == kManifestName) continue;
+    bool ours = name.rfind(site + ".g", 0) == 0;
+    if (ours || name == previous_file) {
+      fs::remove(dirent.path(), ec);
+    }
+  }
+  return Status::OK();
+}
+
+Result<TemplateStore::Loaded> TemplateStore::Load(
+    const std::string& site) const {
+  ManifestEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    auto it = entries_.find(site);
+    if (it == entries_.end()) {
+      return Status::NotFound("site \"" + site + "\" not in store");
+    }
+    entry = it->second;
+  }
+  auto document = ReadFile(fs::path(dir_) / entry.file);
+  if (!document.ok()) {
+    return Status::Internal("template file for \"" + site +
+                            "\" missing or unreadable: " +
+                            document.status().message());
+  }
+  if (Fnv1a64(*document) != entry.checksum) {
+    return Status::Internal("template file for \"" + site +
+                            "\" corrupt: checksum mismatch (" + entry.file +
+                            ")");
+  }
+  auto registry = core::TemplateRegistry::FromJson(*document);
+  if (!registry.ok()) {
+    return Status::ParseError("template file for \"" + site +
+                              "\" corrupt: " + registry.status().message());
+  }
+  Loaded loaded;
+  loaded.registry = std::move(*registry);
+  loaded.generation = entry.generation;
+  return loaded;
+}
+
+int64_t TemplateStore::Generation(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto it = entries_.find(site);
+  return it == entries_.end() ? 0 : it->second.generation;
+}
+
+std::vector<std::string> TemplateStore::Sites() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  std::vector<std::string> sites;
+  sites.reserve(entries_.size());
+  for (const auto& [site, entry] : entries_) sites.push_back(site);
+  return sites;
+}
+
+}  // namespace thor::serve

@@ -1,0 +1,110 @@
+#ifndef THOR_SERVE_TEMPLATE_STORE_H_
+#define THOR_SERVE_TEMPLATE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/template_registry.h"
+#include "src/util/status.h"
+
+namespace thor::serve {
+
+/// \brief Versioned on-disk store of learned per-site extraction templates.
+///
+/// THOR learns a site's templates once (the expensive two-phase analysis)
+/// and serves them forever; this store is the "forever" part. Layout:
+///
+///   DIR/MANIFEST.json          committed view: site -> generation,
+///                              file name, content checksum
+///   DIR/<site>.g<N>.json       TemplateRegistry::ToJson of generation N
+///
+/// Every write is temp-file + atomic rename, and a new generation's file
+/// is fully committed *before* the manifest starts pointing at it, so a
+/// process killed between any two filesystem steps leaves the store
+/// loading either the old or the new generation — never a torn one.
+/// (Renames are atomic against process death; the store does not fsync,
+/// so power-loss durability is out of scope.)
+///
+/// Corruption (a manifest that no longer parses, a template file whose
+/// checksum drifted, a file deleted behind the manifest's back) surfaces
+/// as a typed error Status from Open/Load; it never crashes and never
+/// yields a partially-built registry.
+///
+/// Thread-safe: Put serializes on an internal mutex; concurrent Loads
+/// share it only for the manifest lookup.
+class TemplateStore {
+ public:
+  /// Opens (creating the directory and an empty manifest view if needed).
+  /// A corrupt manifest is a ParseError; an unreadable directory is an
+  /// Internal error.
+  static Result<TemplateStore> Open(const std::string& dir);
+
+  TemplateStore(TemplateStore&&) = default;
+  TemplateStore& operator=(TemplateStore&&) = default;
+
+  /// Serializes `registry` as the next generation of `site` and commits it
+  /// (write file, rename, write manifest, rename, then garbage-collect the
+  /// superseded generation). Site names are restricted to
+  /// [A-Za-z0-9][A-Za-z0-9._-]* so they embed safely in file names.
+  Status Put(const std::string& site,
+             const core::TemplateRegistry& registry);
+
+  /// A committed generation loaded back from disk.
+  struct Loaded {
+    core::TemplateRegistry registry;
+    int64_t generation = 0;
+  };
+
+  /// Loads the committed generation of `site`. NotFound when the site was
+  /// never stored; Internal on checksum mismatch or a missing template
+  /// file; ParseError when the stored document no longer deserializes.
+  Result<Loaded> Load(const std::string& site) const;
+
+  /// Committed generation number of `site`, 0 when absent.
+  int64_t Generation(const std::string& site) const;
+
+  /// All stored site names, sorted.
+  std::vector<std::string> Sites() const;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Test hook for the kill-between-writes contract: the next Put aborts
+  /// (returning Internal) after completing `steps` filesystem steps,
+  /// simulating a crash at that point. Negative disables.
+  void SetCrashAfterStepsForTesting(int steps) { crash_after_steps_ = steps; }
+
+ private:
+  struct ManifestEntry {
+    int64_t generation = 0;
+    std::string file;
+    uint64_t checksum = 0;
+  };
+
+  explicit TemplateStore(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Renders the committed view as MANIFEST.json text.
+  std::string ManifestJson() const;
+
+  std::string dir_;
+  std::map<std::string, ManifestEntry> entries_;
+  int crash_after_steps_ = -1;
+  /// Heap-held so the store stays movable (Result<TemplateStore> needs it).
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+};
+
+/// FNV-1a 64-bit content checksum used by the store manifest (stable,
+/// dependency-free; this guards against corruption, not adversaries).
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Site names acceptable to TemplateStore::Put (and pre-filtered by the
+/// serving layer before any state is touched): [A-Za-z0-9][A-Za-z0-9._-]*.
+bool IsValidSiteName(const std::string& site);
+
+}  // namespace thor::serve
+
+#endif  // THOR_SERVE_TEMPLATE_STORE_H_

@@ -1,0 +1,96 @@
+#ifndef THOR_UTIL_LRU_CACHE_H_
+#define THOR_UTIL_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace thor {
+
+/// \brief Thread-safe least-recently-used cache of shared values.
+///
+/// Values are handed out as `std::shared_ptr<const V>`, which gives the
+/// cache pin-while-in-use semantics: eviction only drops the cache's own
+/// reference, so a value a caller is still working with stays alive until
+/// the last outstanding handle is released. This is what lets the
+/// extraction service evict a site's template registry mid-batch without
+/// invalidating requests already being served from it.
+///
+/// All operations are O(1) and take one internal mutex; the cache never
+/// runs user code (no factory callbacks) while holding it, so it cannot
+/// deadlock against expensive loaders — callers coordinate misses
+/// themselves (see ExtractionService).
+template <typename K, typename V>
+class LruCache {
+ public:
+  /// A capacity of 0 disables caching entirely (every Get misses).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached value and marks it most-recently-used, or nullptr
+  /// on a miss.
+  std::shared_ptr<const V> Get(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts (or replaces) `key`, marks it most-recently-used, and evicts
+  /// the least-recently-used entry if the cache is over capacity. Returns
+  /// the shared handle to the inserted value.
+  std::shared_ptr<const V> Put(const K& key, V value) {
+    auto shared = std::make_shared<const V>(std::move(value));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_ == 0) return shared;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->value = shared;
+      order_.splice(order_.begin(), order_, it->second);
+      return shared;
+    }
+    order_.push_front(Entry{key, shared});
+    index_[key] = order_.begin();
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().key);
+      order_.pop_back();
+    }
+    return shared;
+  }
+
+  /// Drops `key` if present. Outstanding handles stay valid.
+  void Erase(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    K key;
+    std::shared_ptr<const V> value;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> order_;  ///< front = most recently used
+  std::unordered_map<K, typename std::list<Entry>::iterator> index_;
+};
+
+}  // namespace thor
+
+#endif  // THOR_UTIL_LRU_CACHE_H_

@@ -1,0 +1,107 @@
+#include "src/util/lru_cache.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/parallel.h"
+
+namespace thor {
+namespace {
+
+TEST(LruCacheTest, GetReturnsNullOnMiss) {
+  LruCache<std::string, int> cache(2);
+  EXPECT_EQ(cache.Get("absent"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, PutThenGetRoundTrips) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  auto got = cache.Get("a");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 1);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  // Touch 1 so 2 becomes the LRU entry.
+  ASSERT_NE(cache.Get(1), nullptr);
+  cache.Put(4, 40);  // evicts 2
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_NE(cache.Get(4), nullptr);
+  EXPECT_EQ(cache.size(), 3u);
+  // Insertions count as use: 3 was read after 1, then 4 inserted, so the
+  // recency order is 4, 3, 1; two more inserts evict 1 then 3.
+  cache.Put(5, 50);
+  cache.Put(6, 60);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(3), nullptr);
+  EXPECT_NE(cache.Get(4), nullptr);
+}
+
+TEST(LruCacheTest, ReplacingAKeyKeepsSizeAndUpdatesValue) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("a", 2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Get("a"), 2);
+}
+
+TEST(LruCacheTest, EvictedValueStaysAliveWhileHandleHeld) {
+  LruCache<std::string, std::vector<int>> cache(1);
+  cache.Put("pinned", std::vector<int>{1, 2, 3});
+  std::shared_ptr<const std::vector<int>> handle = cache.Get("pinned");
+  ASSERT_NE(handle, nullptr);
+  cache.Put("other", std::vector<int>{9});  // evicts "pinned"
+  EXPECT_EQ(cache.Get("pinned"), nullptr);
+  // The outstanding handle still pins the evicted value.
+  EXPECT_EQ(handle->size(), 3u);
+  EXPECT_EQ((*handle)[2], 3);
+}
+
+TEST(LruCacheTest, EraseDropsEntryButNotOutstandingHandles) {
+  LruCache<std::string, int> cache(4);
+  cache.Put("a", 7);
+  auto handle = cache.Get("a");
+  cache.Erase("a");
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(*handle, 7);
+  cache.Erase("a");  // erasing an absent key is a no-op
+}
+
+TEST(LruCacheTest, ZeroCapacityCachesNothing) {
+  LruCache<int, int> cache(0);
+  auto handle = cache.Put(1, 11);
+  EXPECT_EQ(*handle, 11);  // the returned handle is still usable
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ConcurrentMixedOperationsStayConsistent) {
+  LruCache<int, int> cache(8);
+  ParallelFor(
+      1000,
+      [&](size_t i) {
+        int key = static_cast<int>(i % 16);
+        cache.Put(key, key * 100);
+        auto got = cache.Get(key);
+        if (got != nullptr) {
+          EXPECT_EQ(*got, key * 100);
+        }
+        if (i % 5 == 0) cache.Erase(static_cast<int>((i + 1) % 16));
+      },
+      /*threads=*/4);
+  EXPECT_LE(cache.size(), 8u);
+}
+
+}  // namespace
+}  // namespace thor

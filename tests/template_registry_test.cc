@@ -1,5 +1,8 @@
 #include "src/core/template_registry.h"
 
+#include <algorithm>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "src/core/evaluation.h"
@@ -147,6 +150,37 @@ TEST(TemplateRegistryTest, FromJsonRejectsGarbage) {
       R"({"format":"thor-templates","version":1,"templates":[]})");
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty->empty());
+}
+
+TEST(TemplateRegistryTest, FromJsonRejectsEveryTruncatedPrefix) {
+  // The template store's corruption-recovery contract: a registry document
+  // cut off at ANY byte (a torn write, a truncated download) must come
+  // back as an error Result — no crash, no partially-built registry. A
+  // hand-written document keeps this exhaustive sweep fast while covering
+  // every structural position (mid-key, mid-string, mid-number, mid-array).
+  const std::string document =
+      R"({"format":"thor-templates","version":1,"templates":[)"
+      R"({"path_symbols":"html>body>table",)"
+      R"("prototype":{"path_symbols":"html>body>table","fanout":4,)"
+      R"("depth":3,"num_nodes":20},"support":5,"max_distance":0.35,)"
+      R"("min_stable_match":0.93,"stable_tags":[["html",1],["body",1]],)"
+      R"("known_tags":["html","body","table","tr","td"]}]})";
+  auto complete = TemplateRegistry::FromJson(document);
+  ASSERT_TRUE(complete.ok()) << complete.status();
+  ASSERT_EQ(complete->templates().size(), 1u);
+  for (size_t len = 0; len < document.size(); ++len) {
+    auto truncated = TemplateRegistry::FromJson(document.substr(0, len));
+    EXPECT_FALSE(truncated.ok()) << "prefix of length " << len
+                                 << " produced a registry";
+  }
+  // The same holds for a registry produced by a real pipeline run.
+  Fixture fixture = Fixture::Make();
+  const std::string learned = fixture.registry.ToJson();
+  for (size_t len = 0; len < learned.size();
+       len += std::max<size_t>(1, learned.size() / 257)) {
+    EXPECT_FALSE(TemplateRegistry::FromJson(learned.substr(0, len)).ok())
+        << "prefix of length " << len << "/" << learned.size();
+  }
 }
 
 TEST(TemplateRegistryTest, TemplatesTransferAcrossFreshProbeRounds) {

@@ -1,0 +1,248 @@
+#include "src/serve/template_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace thor::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Two small, distinct, hand-written registries: store tests never need the
+// full pipeline, just documents that round-trip through FromJson/ToJson.
+constexpr const char* kRegistryV1 = R"({"format":"thor-templates",
+"version":1,"templates":[{"path_symbols":"html>body>table",
+"prototype":{"path_symbols":"html>body>table","fanout":4,"depth":3,
+"num_nodes":20},"support":5,"max_distance":0.3,"min_stable_match":0.9,
+"stable_tags":[["html",1],["body",1]],
+"known_tags":["html","body","table"]}]})";
+
+constexpr const char* kRegistryV2 = R"({"format":"thor-templates",
+"version":1,"templates":[{"path_symbols":"html>body>div>ul",
+"prototype":{"path_symbols":"html>body>div>ul","fanout":9,"depth":4,
+"num_nodes":44},"support":12,"max_distance":0.4,"min_stable_match":0.93,
+"stable_tags":[["html",1],["ul",1]],
+"known_tags":["html","body","div","ul","li"]}]})";
+
+core::TemplateRegistry ParseRegistry(const char* json) {
+  auto registry = core::TemplateRegistry::FromJson(json);
+  EXPECT_TRUE(registry.ok()) << registry.status();
+  return std::move(*registry);
+}
+
+// Canonical serialized form, for comparing loaded registries.
+std::string Canonical(const char* json) {
+  return ParseRegistry(json).ToJson();
+}
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("thor_store_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(TemplateStoreTest, OpensEmptyStoreAndReportsNotFound) {
+  auto store = TemplateStore::Open(FreshDir("empty"));
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_TRUE(store->Sites().empty());
+  EXPECT_EQ(store->Generation("site0"), 0);
+  auto loaded = store->Load("site0");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TemplateStoreTest, PutLoadRoundTripsAcrossReopen) {
+  std::string dir = FreshDir("roundtrip");
+  {
+    auto store = TemplateStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
+    EXPECT_EQ(store->Generation("site0"), 1);
+    auto loaded = store->Load("site0");
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(loaded->generation, 1);
+    EXPECT_EQ(loaded->registry.ToJson(), Canonical(kRegistryV1));
+  }
+  // A second process opening the same directory sees the committed state.
+  auto reopened = TemplateStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->Sites(), std::vector<std::string>{"site0"});
+  auto loaded = reopened->Load("site0");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->registry.ToJson(), Canonical(kRegistryV1));
+}
+
+TEST(TemplateStoreTest, GenerationsAdvanceAndOldFilesAreCollected) {
+  std::string dir = FreshDir("generations");
+  auto store = TemplateStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
+  ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV2)).ok());
+  EXPECT_EQ(store->Generation("site0"), 2);
+  auto loaded = store->Load("site0");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->generation, 2);
+  EXPECT_EQ(loaded->registry.ToJson(), Canonical(kRegistryV2));
+  // Only the live generation and the manifest remain on disk.
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++files;
+    std::string name = entry.path().filename().string();
+    EXPECT_TRUE(name == "MANIFEST.json" || name == "site0.g2.json") << name;
+  }
+  EXPECT_EQ(files, 2);
+}
+
+TEST(TemplateStoreTest, StoresManySitesIndependently) {
+  auto store = TemplateStore::Open(FreshDir("multi"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("alpha", ParseRegistry(kRegistryV1)).ok());
+  ASSERT_TRUE(store->Put("beta", ParseRegistry(kRegistryV2)).ok());
+  EXPECT_EQ(store->Sites(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(store->Load("alpha")->registry.ToJson(), Canonical(kRegistryV1));
+  EXPECT_EQ(store->Load("beta")->registry.ToJson(), Canonical(kRegistryV2));
+}
+
+TEST(TemplateStoreTest, RejectsHostileSiteNames) {
+  auto store = TemplateStore::Open(FreshDir("names"));
+  ASSERT_TRUE(store.ok());
+  for (const char* name :
+       {"", "../evil", "a/b", "/abs", ".hidden", "sp ace", "tab\tname"}) {
+    Status st = store->Put(name, ParseRegistry(kRegistryV1));
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << "\"" << name
+                                                       << "\"";
+  }
+  EXPECT_FALSE(IsValidSiteName("../evil"));
+  EXPECT_TRUE(IsValidSiteName("site0.example-com_1"));
+}
+
+TEST(TemplateStoreTest, DetectsTamperedTemplateFile) {
+  std::string dir = FreshDir("tamper");
+  auto store = TemplateStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
+  // Flip bytes behind the manifest's back (still valid JSON is fine — the
+  // checksum catches it before FromJson even runs).
+  {
+    std::ofstream out(fs::path(dir) / "site0.g1.json",
+                      std::ios::binary | std::ios::trunc);
+    out << R"({"format":"thor-templates","version":1,"templates":[]})";
+  }
+  auto reopened = TemplateStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  auto loaded = reopened->Load("site0");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(TemplateStoreTest, DetectsTruncatedTemplateFile) {
+  std::string dir = FreshDir("truncate");
+  auto store = TemplateStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
+  std::string document = ParseRegistry(kRegistryV1).ToJson();
+  {
+    std::ofstream out(fs::path(dir) / "site0.g1.json",
+                      std::ios::binary | std::ios::trunc);
+    out << document.substr(0, document.size() / 2);
+  }
+  auto loaded = TemplateStore::Open(dir)->Load("site0");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+}
+
+TEST(TemplateStoreTest, MissingTemplateFileIsATypedErrorNotACrash) {
+  std::string dir = FreshDir("missing");
+  auto store = TemplateStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
+  fs::remove(fs::path(dir) / "site0.g1.json");
+  auto loaded = store->Load("site0");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+}
+
+TEST(TemplateStoreTest, CorruptManifestIsATypedErrorNotACrash) {
+  std::string dir = FreshDir("manifest");
+  {
+    auto store = TemplateStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
+  }
+  for (const char* garbage :
+       {"not json at all", "{\"format\":\"other\"}", "{\"format\":",
+        "{\"format\":\"thor-store\",\"sites\":[{\"site\":42}]}"}) {
+    std::ofstream out(fs::path(dir) / "MANIFEST.json",
+                      std::ios::binary | std::ios::trunc);
+    out << garbage;
+    out.close();
+    auto reopened = TemplateStore::Open(dir);
+    ASSERT_FALSE(reopened.ok()) << garbage;
+    EXPECT_EQ(reopened.status().code(), StatusCode::kParseError) << garbage;
+  }
+}
+
+// The acceptance contract: a process killed between any two filesystem
+// steps of Put leaves the store loading either the old or the new
+// generation — never a torn or partial one.
+TEST(TemplateStoreTest, KillBetweenWritesLoadsOldOrNewNeverTorn) {
+  const std::string old_json = Canonical(kRegistryV1);
+  const std::string new_json = Canonical(kRegistryV2);
+  for (int crash_step = 0; crash_step <= 5; ++crash_step) {
+    std::string dir =
+        FreshDir("kill_step" + std::to_string(crash_step));
+    {
+      auto store = TemplateStore::Open(dir);
+      ASSERT_TRUE(store.ok());
+      ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
+      store->SetCrashAfterStepsForTesting(crash_step);
+      Status st = store->Put("site0", ParseRegistry(kRegistryV2));
+      if (crash_step <= 4) {
+        EXPECT_FALSE(st.ok()) << "step " << crash_step;
+      } else {
+        EXPECT_TRUE(st.ok()) << st;
+      }
+    }
+    // "Reboot": a fresh process opens whatever survived on disk.
+    auto reopened = TemplateStore::Open(dir);
+    ASSERT_TRUE(reopened.ok())
+        << "step " << crash_step << ": " << reopened.status();
+    auto loaded = reopened->Load("site0");
+    ASSERT_TRUE(loaded.ok())
+        << "step " << crash_step << ": " << loaded.status();
+    std::string got = loaded->registry.ToJson();
+    EXPECT_TRUE(got == old_json || got == new_json)
+        << "step " << crash_step << " loaded a torn registry";
+    // Once the manifest rename (step 4) completed, the new generation is
+    // committed; before it, the old one must still be served.
+    if (crash_step <= 3) {
+      EXPECT_EQ(got, old_json) << "step " << crash_step;
+      EXPECT_EQ(loaded->generation, 1);
+    } else {
+      EXPECT_EQ(got, new_json) << "step " << crash_step;
+      EXPECT_EQ(loaded->generation, 2);
+    }
+    // A later Put on the recovered store works and collects any orphans.
+    ASSERT_TRUE(reopened->Put("site0", ParseRegistry(kRegistryV2)).ok());
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      std::string name = entry.path().filename().string();
+      EXPECT_TRUE(name == "MANIFEST.json" ||
+                  name.rfind("site0.g", 0) == 0)
+          << name;
+    }
+  }
+}
+
+TEST(Fnv1a64Test, MatchesKnownVectorsAndSeparatesInputs) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a64("a"), 12638187200555641996ull);
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("acb"));
+}
+
+}  // namespace
+}  // namespace thor::serve

@@ -29,6 +29,8 @@
 #include "src/deepweb/site_generator.h"
 #include "src/deepweb/transport.h"
 #include "src/search/deep_web_search.h"
+#include "src/serve/extraction_service.h"
+#include "src/serve/template_store.h"
 #include "src/util/json.h"
 #include "src/util/json_reader.h"
 #include "src/util/metrics.h"
@@ -46,6 +48,9 @@ int Usage() {
                "  thorcli extract DIR [--json]\n"
                "  thorcli analyze DIR --templates FILE\n"
                "  thorcli apply FILE.html... --templates FILE [--json]\n"
+               "  thorcli learn DIR... --store STOREDIR [--site NAME]\n"
+               "  thorcli extract-from-store FILE.html... --store STOREDIR"
+               " --site NAME [--json]\n"
                "  thorcli search DIR... --query WORDS [--by-site]\n"
                "  thorcli eval [--sites N] [--fault-rate R] "
                "[--retry-budget N] [--seed S]\n"
@@ -60,7 +65,14 @@ int Usage() {
                "eval observability: --trace writes a Chrome trace-event "
                "JSON (open in\nabout:tracing or ui.perfetto.dev) with one "
                "span per pipeline stage per site;\n--metrics prints the "
-               "full metrics registry as JSON after the run.\n");
+               "full metrics registry as JSON after the run.\n"
+               "\n"
+               "serving: `learn` runs the full pipeline over each page "
+               "directory and commits\nthe learned templates to a "
+               "versioned template store (site name defaults to the\n"
+               "directory basename); `extract-from-store` serves single "
+               "pages from that store\nthrough the same cached service "
+               "the thord daemon uses.\n");
   return 2;
 }
 
@@ -211,6 +223,129 @@ int RunApply(int argc, char** argv) {
       std::printf("%-24s pagelet=%-28s objects=%zu\n", input.c_str(),
                   page.tree.PathString(extraction.pagelet).c_str(),
                   extraction.objects.size());
+    }
+  }
+  if (as_json) {
+    json.EndArray(), json.EndObject();
+    std::printf("%s\n", json.str().c_str());
+  }
+  return 0;
+}
+
+// --- learn: full THOR run -> versioned template store --------------------
+
+int RunLearn(int argc, char** argv) {
+  std::string store_dir;
+  std::string site_override;
+  std::vector<std::string> dirs;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--store") && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--site") && i + 1 < argc) {
+      site_override = argv[++i];
+    } else {
+      dirs.push_back(argv[i]);
+    }
+  }
+  if (dirs.empty() || store_dir.empty()) return Usage();
+  if (!site_override.empty() && dirs.size() > 1) {
+    std::fprintf(stderr, "--site only applies to a single directory\n");
+    return 2;
+  }
+  auto store = serve::TemplateStore::Open(store_dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "cannot open store: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& dir : dirs) {
+    std::vector<core::Page> pages;
+    std::vector<std::string> names;
+    if (!LoadPagesFromDir(dir, &pages, &names)) return 1;
+    if (pages.empty()) {
+      std::fprintf(stderr, "no .html files in %s\n", dir.c_str());
+      return 1;
+    }
+    auto result = core::RunThor(pages, core::ThorOptions{});
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: analysis failed: %s\n", dir.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    core::TemplateRegistry registry =
+        core::TemplateRegistry::Learn(pages, *result);
+    std::string site = !site_override.empty()
+                           ? site_override
+                           : fs::path(dir).filename().string();
+    Status put = store->Put(site, registry);
+    if (!put.ok()) {
+      std::fprintf(stderr, "%s: store write failed: %s\n", dir.c_str(),
+                   put.ToString().c_str());
+      return 1;
+    }
+    std::printf("learned %zu template(s) from %zu pages -> %s (site %s, "
+                "generation %lld)\n",
+                registry.templates().size(), pages.size(),
+                store_dir.c_str(), site.c_str(),
+                static_cast<long long>(store->Generation(site)));
+  }
+  return 0;
+}
+
+// --- extract-from-store: cached service -> extraction on single pages ----
+
+int RunExtractFromStore(int argc, char** argv) {
+  std::string store_dir;
+  std::string site;
+  bool as_json = false;
+  std::vector<std::string> inputs;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--store") && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--site") && i + 1 < argc) {
+      site = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json")) {
+      as_json = true;
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty() || store_dir.empty() || site.empty()) return Usage();
+  auto store = serve::TemplateStore::Open(store_dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "cannot open store: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  serve::ExtractionService service(&*store, serve::ServiceOptions{});
+  JsonWriter json;
+  if (as_json) json.BeginObject(), json.Key("pages").BeginArray();
+  for (const std::string& input : inputs) {
+    std::ifstream in(input);
+    std::string html((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    auto response = service.Extract({site, std::move(html)});
+    if (as_json) {
+      json.BeginObject();
+      json.Key("file").String(input);
+      json.Key("source")
+          .String(serve::ExtractionService::SourceName(response.source));
+      json.Key("pagelet_path").String(response.pagelet_path);
+      json.Key("confidence").Double(response.confidence);
+      json.Key("objects").BeginArray();
+      for (const std::string& text : response.objects) json.String(text);
+      json.EndArray();
+      json.EndObject();
+    } else if (response.source ==
+               serve::ExtractionService::Source::kTemplate) {
+      std::printf("%-24s pagelet=%-28s objects=%zu confidence=%.2f\n",
+                  input.c_str(), response.pagelet_path.c_str(),
+                  response.objects.size(), response.confidence);
+    } else {
+      std::printf("%-24s no QA-Pagelet (%s)\n", input.c_str(),
+                  response.error.empty()
+                      ? serve::ExtractionService::SourceName(response.source)
+                      : response.error.c_str());
     }
   }
   if (as_json) {
@@ -492,6 +627,10 @@ int Main(int argc, char** argv) {
   if (command == "extract") return RunExtract(argc - 2, argv + 2);
   if (command == "analyze") return RunAnalyze(argc - 2, argv + 2);
   if (command == "apply") return RunApply(argc - 2, argv + 2);
+  if (command == "learn") return RunLearn(argc - 2, argv + 2);
+  if (command == "extract-from-store") {
+    return RunExtractFromStore(argc - 2, argv + 2);
+  }
   if (command == "search") return RunSearch(argc - 2, argv + 2);
   if (command == "eval") return RunEval(argc - 2, argv + 2);
   return Usage();

@@ -1,0 +1,276 @@
+// thord — long-lived multi-site extraction daemon.
+//
+// Speaks newline-delimited JSON over stdin/stdout: each request line is
+//
+//   {"site": "site0", "html": "<html>...</html>"}
+//   {"site": "site0", "file": "page.html"}          (html loaded from disk)
+//
+// and each response line is
+//
+//   {"site":"site0","source":"template","pagelet":"html>body>table",
+//    "objects":4,"confidence":0.97,"generation":1}
+//
+// `source` is "template" (served from the store/cache), "relearn" (this
+// request triggered a full Probe→Cluster→Discover relearn), "miss" (no
+// template fit), or "shed" (rejected by admission control). Requests are
+// processed in bounded batches — the daemon never holds more than --batch
+// requests in memory — and oversized lines are shed instead of buffered.
+//
+// Responses are emitted in request order, and every stage (batch fan-out,
+// relearn, store commits) is deterministic, so the response stream is
+// byte-identical at every THOR_THREADS setting for a fixed --seed.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/evaluation.h"
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site_generator.h"
+#include "src/serve/extraction_service.h"
+#include "src/serve/template_store.h"
+#include "src/util/json.h"
+#include "src/util/json_reader.h"
+#include "src/util/metrics.h"
+
+namespace thor {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: thord --store DIR [options] < requests.ndjson\n"
+      "\n"
+      "options:\n"
+      "  --store DIR             template store directory (required)\n"
+      "  --cache N               resident site registries (default 64)\n"
+      "  --threads N             batch fan-out threads (default: "
+      "THOR_THREADS)\n"
+      "  --batch N               max requests per batch / backlog bound "
+      "(default 32)\n"
+      "  --max-request-bytes N   larger request lines are shed "
+      "(default 4194304)\n"
+      "  --fleet N               enable relearning against N simulated "
+      "sites\n"
+      "  --probe-queries N       probe words per relearn sample "
+      "(default 40)\n"
+      "  --relearn-window N      requests per staleness window "
+      "(default 20)\n"
+      "  --relearn-miss-rate R   window miss rate that triggers relearn "
+      "(default 0.5)\n"
+      "  --seed S                probe seed for relearn samples "
+      "(default 1234)\n"
+      "  --metrics               print the metrics registry to stderr at "
+      "EOF\n");
+  return 2;
+}
+
+struct DaemonOptions {
+  std::string store_dir;
+  size_t cache = 64;
+  int threads = 0;
+  int batch = 32;
+  size_t max_request_bytes = 4u << 20;
+  int fleet = 0;
+  int probe_queries = 40;
+  int relearn_window = 20;
+  double relearn_miss_rate = 0.5;
+  uint64_t seed = 1234;
+  bool print_metrics = false;
+};
+
+/// One stdin line: either a parsed request (index into the batch) or an
+/// immediately-formed response (parse error, shed). Keeping both in one
+/// stream preserves response order.
+struct LineItem {
+  bool immediate = false;
+  serve::ExtractionService::Response response;  ///< when immediate
+  std::string site;                             ///< echoed back
+  size_t request_index = 0;                     ///< when !immediate
+};
+
+void PrintResponse(const std::string& site,
+                   const serve::ExtractionService::Response& response) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("site").String(site);
+  json.Key("source")
+      .String(serve::ExtractionService::SourceName(response.source));
+  json.Key("pagelet").String(response.pagelet_path);
+  json.Key("objects").Int(static_cast<long long>(response.objects.size()));
+  json.Key("confidence").Double(response.confidence);
+  json.Key("generation").Int(response.generation);
+  if (!response.error.empty()) json.Key("error").String(response.error);
+  json.EndObject();
+  std::fputs(json.str().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+/// Parses one request line into (site, html). Returns an error message for
+/// the response on failure.
+std::string ParseRequestLine(const std::string& line, std::string* site,
+                             std::string* html) {
+  auto document = JsonValue::Parse(line);
+  if (!document.ok()) return "bad request: " + document.status().message();
+  const JsonValue* site_value = document->Find("site");
+  if (site_value == nullptr || !site_value->IsString()) {
+    return "bad request: missing \"site\"";
+  }
+  *site = site_value->AsString();
+  const JsonValue* html_value = document->Find("html");
+  if (html_value != nullptr && html_value->IsString()) {
+    *html = html_value->AsString();
+    return "";
+  }
+  const JsonValue* file_value = document->Find("file");
+  if (file_value != nullptr && file_value->IsString()) {
+    std::ifstream in(file_value->AsString(), std::ios::binary);
+    if (!in) return "bad request: cannot read " + file_value->AsString();
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    *html = buffer.str();
+    return "";
+  }
+  return "bad request: need \"html\" or \"file\"";
+}
+
+void DrainBatch(serve::ExtractionService* service,
+                std::vector<LineItem>* items,
+                std::vector<serve::ExtractionService::Request>* requests) {
+  if (items->empty()) return;
+  auto responses = service->ExtractBatch(*requests);
+  for (const LineItem& item : *items) {
+    PrintResponse(item.site, item.immediate
+                                 ? item.response
+                                 : responses[item.request_index]);
+  }
+  std::fflush(stdout);
+  items->clear();
+  requests->clear();
+}
+
+int Main(int argc, char** argv) {
+  DaemonOptions options;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--store")) {
+      options.store_dir = next("--store");
+    } else if (!std::strcmp(argv[i], "--cache")) {
+      options.cache = static_cast<size_t>(std::atoll(next("--cache")));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      options.threads = std::atoi(next("--threads"));
+    } else if (!std::strcmp(argv[i], "--batch")) {
+      options.batch = std::atoi(next("--batch"));
+    } else if (!std::strcmp(argv[i], "--max-request-bytes")) {
+      options.max_request_bytes =
+          static_cast<size_t>(std::atoll(next("--max-request-bytes")));
+    } else if (!std::strcmp(argv[i], "--fleet")) {
+      options.fleet = std::atoi(next("--fleet"));
+    } else if (!std::strcmp(argv[i], "--probe-queries")) {
+      options.probe_queries = std::atoi(next("--probe-queries"));
+    } else if (!std::strcmp(argv[i], "--relearn-window")) {
+      options.relearn_window = std::atoi(next("--relearn-window"));
+    } else if (!std::strcmp(argv[i], "--relearn-miss-rate")) {
+      options.relearn_miss_rate = std::atof(next("--relearn-miss-rate"));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      options.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      options.print_metrics = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.store_dir.empty() || options.batch < 1) return Usage();
+
+  auto store = serve::TemplateStore::Open(options.store_dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "cannot open store: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+
+  MetricsRegistry metrics;
+  serve::ServiceOptions service_options;
+  service_options.cache_capacity = options.cache;
+  service_options.threads = options.threads;
+  service_options.relearn_min_requests = options.relearn_window;
+  service_options.relearn_miss_rate = options.relearn_miss_rate;
+  service_options.metrics = &metrics;
+
+  // With --fleet, sites named "site<K>" can be relearned by probing the
+  // simulated fleet — the stand-in for re-crawling a live source.
+  serve::ExtractionService::SampleProvider sampler;
+  std::vector<deepweb::DeepWebSite> fleet;
+  if (options.fleet > 0) {
+    deepweb::FleetOptions fleet_options;
+    fleet_options.num_sites = options.fleet;
+    fleet = deepweb::GenerateSiteFleet(fleet_options);
+    sampler = [&options, &fleet](const std::string& site)
+        -> std::vector<core::Page> {
+      if (site.rfind("site", 0) != 0) return {};
+      int id = std::atoi(site.c_str() + 4);
+      if (id < 0 || id >= static_cast<int>(fleet.size())) return {};
+      deepweb::ProbeOptions probe;
+      probe.num_dictionary_words = options.probe_queries;
+      probe.seed = options.seed + static_cast<uint64_t>(id);
+      return core::ToPages(
+          deepweb::BuildSiteSample(fleet[static_cast<size_t>(id)], probe));
+    };
+  }
+  serve::ExtractionService service(&*store, service_options,
+                                   std::move(sampler));
+
+  Counter* shed = metrics.GetCounter("serve.shed");
+  std::vector<LineItem> items;
+  std::vector<serve::ExtractionService::Request> requests;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    LineItem item;
+    if (line.size() > options.max_request_bytes) {
+      shed->Increment();
+      item.immediate = true;
+      item.response.source = serve::ExtractionService::Source::kShed;
+      item.response.error = "request too large";
+      items.push_back(std::move(item));
+    } else {
+      std::string site, html;
+      std::string error = ParseRequestLine(line, &site, &html);
+      item.site = site;
+      if (!error.empty()) {
+        item.immediate = true;
+        item.response.error = error;
+        items.push_back(std::move(item));
+      } else {
+        item.request_index = requests.size();
+        requests.push_back({std::move(site), std::move(html)});
+        items.push_back(std::move(item));
+      }
+    }
+    // The backlog is bounded: a full batch drains before the next read.
+    if (requests.size() >= static_cast<size_t>(options.batch) ||
+        items.size() >= 4 * static_cast<size_t>(options.batch)) {
+      DrainBatch(&service, &items, &requests);
+    }
+  }
+  DrainBatch(&service, &items, &requests);
+  if (options.print_metrics) {
+    std::fprintf(stderr, "%s\n", metrics.Snapshot().ToJson().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace thor
+
+int main(int argc, char** argv) { return thor::Main(argc, argv); }
