@@ -97,15 +97,19 @@ ExtractionService::SiteHandle ExtractionService::Relearn(
       core::TemplateRegistry::Learn(pages, *result);
   if (registry.empty()) return nullptr;
   // Commit the new generation before serving from it; a store write
-  // failure degrades to serving the relearned registry cache-only.
+  // failure degrades to serving the relearned registry cache-only, with
+  // generation 0 marking the entry as uncommitted (a committed older
+  // generation on disk does not describe this registry).
   Status put = store_->Put(site, registry);
-  if (!put.ok()) {
+  int64_t generation = 0;
+  if (put.ok()) {
+    generation = store_->Generation(site);
+    ++stats.relearns;
+    AddCounter(options_.metrics, "serve.relearns");
+  } else {
     AddCounter(options_.metrics, "serve.store_errors");
   }
-  ++stats.relearns;
-  AddCounter(options_.metrics, "serve.relearns");
-  return cache_.Put(site, CachedSite{std::move(registry),
-                                     store_->Generation(site)});
+  return cache_.Put(site, CachedSite{std::move(registry), generation});
 }
 
 ExtractionService::Response ExtractionService::Extract(
@@ -185,7 +189,11 @@ std::vector<ExtractionService::Response> ExtractionService::ExtractBatch(
     if (fresh == nullptr) continue;
     regenerated[request.site] = fresh;
     Response reserved = ExtractAgainst(fresh, request);
-    reserved.source = Source::kRelearn;
+    // Only a request the fresh registry actually serves is a "relearn"
+    // response; a miss against the new generation stays a miss.
+    if (reserved.source == Source::kTemplate) {
+      reserved.source = Source::kRelearn;
+    }
     response = std::move(reserved);
   }
   return responses;

@@ -116,7 +116,7 @@ class ExtractionService {
     int64_t hits = 0;            ///< lifetime template hits
     int64_t misses = 0;          ///< lifetime misses
     int64_t low_confidence = 0;  ///< lifetime low-confidence hits
-    int64_t relearns = 0;         ///< relearns that produced templates
+    int64_t relearns = 0;         ///< relearns committed to the store
     int64_t relearn_attempts = 0; ///< relearns tried (failures included)
     int window_requests = 0;      ///< requests since the last relearn window
     int window_misses = 0;

@@ -63,6 +63,29 @@ Status AtomicWrite(const fs::path& path, const std::string& contents,
   return Status::OK();
 }
 
+/// True when `name` is a generation file (or its in-flight tmp) belonging
+/// to exactly `site`: `<site>.g<digits>.json[.tmp]`. Site names may contain
+/// dots, so a bare prefix test would also match other sites ("example"
+/// vs "example.gov.g1.json") — the digits+suffix check pins the owner.
+bool IsGenerationFileFor(const std::string& site, const std::string& name) {
+  const size_t prefix_size = site.size() + 2;  // "<site>.g"
+  if (name.size() <= prefix_size ||
+      name.compare(0, site.size(), site) != 0 ||
+      name[site.size()] != '.' || name[site.size() + 1] != 'g') {
+    return false;
+  }
+  std::string_view rest(name);
+  rest.remove_prefix(prefix_size);
+  size_t digits = 0;
+  while (digits < rest.size() &&
+         std::isdigit(static_cast<unsigned char>(rest[digits]))) {
+    ++digits;
+  }
+  if (digits == 0) return false;
+  rest.remove_prefix(digits);
+  return rest == ".json" || rest == ".json.tmp";
+}
+
 }  // namespace
 
 bool IsValidSiteName(const std::string& site) {
@@ -221,8 +244,7 @@ Status TemplateStore::Put(const std::string& site,
   for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
     std::string name = dirent.path().filename().string();
     if (name == next.file || name == kManifestName) continue;
-    bool ours = name.rfind(site + ".g", 0) == 0;
-    if (ours || name == previous_file) {
+    if (IsGenerationFileFor(site, name) || name == previous_file) {
       fs::remove(dirent.path(), ec);
     }
   }
@@ -240,26 +262,46 @@ Result<TemplateStore::Loaded> TemplateStore::Load(
     }
     entry = it->second;
   }
-  auto document = ReadFile(fs::path(dir_) / entry.file);
-  if (!document.ok()) {
-    return Status::Internal("template file for \"" + site +
-                            "\" missing or unreadable: " +
-                            document.status().message());
+  // The file read happens outside the lock, so a concurrent Put can commit
+  // a newer generation and GC `entry.file` under us. That is not
+  // corruption: on a read/checksum failure, re-check the manifest and
+  // retry against the newer generation (the old-or-new contract). Only an
+  // entry that is *still current* yet unreadable is a real store error.
+  for (int attempt = 0;; ++attempt) {
+    Status failure = Status::OK();
+    auto document = ReadFile(fs::path(dir_) / entry.file);
+    if (!document.ok()) {
+      failure = Status::Internal("template file for \"" + site +
+                                 "\" missing or unreadable: " +
+                                 document.status().message());
+    } else if (Fnv1a64(*document) != entry.checksum) {
+      failure = Status::Internal("template file for \"" + site +
+                                 "\" corrupt: checksum mismatch (" +
+                                 entry.file + ")");
+    } else {
+      auto registry = core::TemplateRegistry::FromJson(*document);
+      if (!registry.ok()) {
+        return Status::ParseError("template file for \"" + site +
+                                  "\" corrupt: " +
+                                  registry.status().message());
+      }
+      Loaded loaded;
+      loaded.registry = std::move(*registry);
+      loaded.generation = entry.generation;
+      return loaded;
+    }
+    constexpr int kMaxLoadRetries = 4;
+    std::lock_guard<std::mutex> lock(*mu_);
+    auto it = entries_.find(site);
+    if (it == entries_.end()) {
+      return Status::NotFound("site \"" + site + "\" not in store");
+    }
+    if (it->second.generation == entry.generation ||
+        attempt >= kMaxLoadRetries) {
+      return failure;
+    }
+    entry = it->second;
   }
-  if (Fnv1a64(*document) != entry.checksum) {
-    return Status::Internal("template file for \"" + site +
-                            "\" corrupt: checksum mismatch (" + entry.file +
-                            ")");
-  }
-  auto registry = core::TemplateRegistry::FromJson(*document);
-  if (!registry.ok()) {
-    return Status::ParseError("template file for \"" + site +
-                              "\" corrupt: " + registry.status().message());
-  }
-  Loaded loaded;
-  loaded.registry = std::move(*registry);
-  loaded.generation = entry.generation;
-  return loaded;
 }
 
 int64_t TemplateStore::Generation(const std::string& site) const {

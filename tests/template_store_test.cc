@@ -106,6 +106,27 @@ TEST(TemplateStoreTest, StoresManySitesIndependently) {
   EXPECT_EQ(store->Load("beta")->registry.ToJson(), Canonical(kRegistryV2));
 }
 
+// Regression: site names may contain dots, so Put("example")'s GC used to
+// prefix-match (and delete) "example.gov.g1.json" — another site's
+// committed generation — leaving the manifest pointing at a missing file.
+TEST(TemplateStoreTest, PutGcSparesOtherSitesSharingADottedPrefix) {
+  std::string dir = FreshDir("dotted");
+  auto store = TemplateStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("example.gov", ParseRegistry(kRegistryV2)).ok());
+  ASSERT_TRUE(store->Put("example", ParseRegistry(kRegistryV1)).ok());
+  ASSERT_TRUE(store->Put("example", ParseRegistry(kRegistryV2)).ok());
+  auto victim = store->Load("example.gov");
+  ASSERT_TRUE(victim.ok()) << victim.status();
+  EXPECT_EQ(victim->generation, 1);
+  EXPECT_EQ(victim->registry.ToJson(), Canonical(kRegistryV2));
+  // A cold reopen (fresh manifest parse) still serves both sites.
+  auto reopened = TemplateStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened->Load("example.gov").ok());
+  EXPECT_TRUE(reopened->Load("example").ok());
+}
+
 TEST(TemplateStoreTest, RejectsHostileSiteNames) {
   auto store = TemplateStore::Open(FreshDir("names"));
   ASSERT_TRUE(store.ok());

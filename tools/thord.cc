@@ -217,9 +217,17 @@ int Main(int argc, char** argv) {
     fleet = deepweb::GenerateSiteFleet(fleet_options);
     sampler = [&options, &fleet](const std::string& site)
         -> std::vector<core::Page> {
+      // Only "site<digits>" (no leading zeros) names a fleet member;
+      // anything else ("site", "sitex", "site007") is unsampleable.
       if (site.rfind("site", 0) != 0) return {};
-      int id = std::atoi(site.c_str() + 4);
-      if (id < 0 || id >= static_cast<int>(fleet.size())) return {};
+      std::string suffix = site.substr(4);
+      if (suffix.empty() || suffix.size() > 9 ||
+          suffix.find_first_not_of("0123456789") != std::string::npos ||
+          (suffix.size() > 1 && suffix[0] == '0')) {
+        return {};
+      }
+      int id = std::atoi(suffix.c_str());
+      if (id >= static_cast<int>(fleet.size())) return {};
       deepweb::ProbeOptions probe;
       probe.num_dictionary_words = options.probe_queries;
       probe.seed = options.seed + static_cast<uint64_t>(id);
