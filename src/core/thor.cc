@@ -84,6 +84,15 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
   AddCounter(metrics, "thor.input_pages",
              static_cast<int64_t>(all_pages.size()));
 
+  // Stage-boundary deadline checks: expiry aborts the whole run with a
+  // typed error (see ThorOptions::deadline), counted for observability.
+  auto check_deadline = [&](const char* stage) -> Status {
+    Status st = options.deadline.Check(stage);
+    if (!st.ok()) AddCounter(metrics, "thor.deadline_exceeded");
+    return st;
+  };
+  THOR_RETURN_IF_ERROR(check_deadline("run_thor entry"));
+
   ThorResult result;
   result.diagnostics.input_pages = static_cast<int>(all_pages.size());
 
@@ -132,6 +141,7 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
   }
   SetGauge(metrics, "phase1.internal_similarity",
            result.clustering.internal_similarity);
+  THOR_RETURN_IF_ERROR(check_deadline("phase1_clustering"));
 
   // No early return between here and the matching EndSpan, so explicit
   // begin/end is safe and keeps the stage boundary exact.
@@ -221,6 +231,8 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
   AddCounter(metrics, "thor.clusters_passed",
              static_cast<int64_t>(result.passed_clusters.size()));
 
+  THOR_RETURN_IF_ERROR(check_deadline("cluster_ranking"));
+
   Phase2Options phase2_options = options.phase2;
   if (phase2_options.metrics == nullptr) phase2_options.metrics = metrics;
   int phase2_span = tracer->BeginSpan("phase2_extraction");
@@ -233,6 +245,11 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
       result.passed_clusters.size(),
       [&](size_t ci) {
         int cluster_id = result.passed_clusters[ci];
+        std::vector<ThorPageResult> cluster_results;
+        // A deadline that fires mid-Phase-II skips the remaining clusters'
+        // work; the run still ends in the typed error below, this just
+        // stops burning the thread pool on a result nobody will see.
+        if (options.deadline.expired()) return cluster_results;
         // Collect this cluster's pages, remembering original indices.
         std::vector<const html::TagTree*> trees;
         std::vector<int> original_index;
@@ -242,7 +259,6 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
             original_index.push_back(static_cast<int>(i));
           }
         }
-        std::vector<ThorPageResult> cluster_results;
         if (trees.empty()) return cluster_results;
         Phase2Result phase2 = RunPhase2(trees, phase2_options);
         for (const ExtractedPagelet& pagelet : phase2.pagelets) {
@@ -279,6 +295,7 @@ Result<ThorResult> RunThor(const std::vector<Page>& all_pages,
     }
   }
   tracer->EndSpan(phase2_span);
+  THOR_RETURN_IF_ERROR(check_deadline("phase2_extraction"));
   AddCounter(metrics, "thor.pages_extracted",
              static_cast<int64_t>(result.pages.size()));
 

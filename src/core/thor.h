@@ -12,6 +12,7 @@
 #include "src/core/subtree_filter.h"
 #include "src/core/subtree_ranking.h"
 #include "src/util/clock.h"
+#include "src/util/deadline.h"
 #include "src/util/metrics.h"
 #include "src/util/status.h"
 #include "src/util/trace.h"
@@ -90,6 +91,14 @@ struct ThorOptions {
   /// (0 = process default, 1 = serial). Per-cluster outputs are merged in
   /// cluster-rank order, so the result is identical at every thread count.
   int threads = 0;
+
+  /// Deadline / stop token for the whole run, checked at every stage
+  /// boundary (after the drop pass, clustering, ranking, and before each
+  /// Phase-II cluster). Expiry aborts the run with a typed
+  /// kDeadlineExceeded error — never a partial ThorResult, so a caller
+  /// like the serving layer's relearn can never commit a half-analyzed
+  /// generation. Default: infinite (no deadline).
+  Deadline deadline;
 
   /// Observability wiring for one pipeline run. All members optional; a
   /// default-constructed struct means "observe into run-local sinks only"

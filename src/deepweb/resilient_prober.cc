@@ -115,6 +115,7 @@ void ProbeStats::Add(const ProbeStats& other) {
   permanent_failures += other.permanent_failures;
   truncated_pages += other.truncated_pages;
   abandoned_words += other.abandoned_words;
+  deadline_abandoned += other.deadline_abandoned;
   breaker_trips += other.breaker_trips;
   breaker_rejections += other.breaker_rejections;
   backoff_wait_ms += other.backoff_wait_ms;
@@ -134,6 +135,7 @@ void ProbeStats::ExportTo(MetricsRegistry* metrics) const {
   AddCounter(metrics, "probe.permanent_failures", permanent_failures);
   AddCounter(metrics, "probe.truncated_pages", truncated_pages);
   AddCounter(metrics, "probe.abandoned_words", abandoned_words);
+  AddCounter(metrics, "probe.deadline_abandoned", deadline_abandoned);
   AddCounter(metrics, "probe.breaker_trips", breaker_trips);
   AddCounter(metrics, "probe.breaker_rejections", breaker_rejections);
   AddGauge(metrics, "probe.backoff_wait_ms", backoff_wait_ms);
@@ -144,13 +146,13 @@ std::string ProbeStats::ToString() const {
   char buf[320];
   std::snprintf(
       buf, sizeof(buf),
-      "words=%d pages=%d attempts=%d retries=%d abandoned=%d "
+      "words=%d pages=%d attempts=%d retries=%d abandoned=%d deadline=%d "
       "(timeout=%d reset=%d 5xx=%d 429=%d 4xx=%d truncated=%d) "
       "breaker[trips=%d rejections=%d] wait=%.0fms transport=%.0fms",
       words_planned, pages_collected, attempts, retries, abandoned_words,
-      timeouts, connection_resets, server_errors, rate_limited,
-      permanent_failures, truncated_pages, breaker_trips, breaker_rejections,
-      backoff_wait_ms, transport_ms);
+      deadline_abandoned, timeouts, connection_resets, server_errors,
+      rate_limited, permanent_failures, truncated_pages, breaker_trips,
+      breaker_rejections, backoff_wait_ms, transport_ms);
   return buf;
 }
 
@@ -178,6 +180,11 @@ Result<ResilientProbeResult> ResilientProbeSite(
   };
 
   auto probe_word = [&](const std::string& word, bool nonsense) {
+    if (options.deadline.expired()) {
+      ++stats.abandoned_words;
+      ++stats.deadline_abandoned;
+      return;
+    }
     if (session_abandoned || budget_exhausted()) {
       ++stats.abandoned_words;
       return;
@@ -186,6 +193,11 @@ Result<ResilientProbeResult> ResilientProbeSite(
     int attempt = 0;
     while (true) {
       while (!breaker.AllowRequest()) {
+        if (options.deadline.expired()) {
+          ++stats.abandoned_words;
+          ++stats.deadline_abandoned;
+          return;
+        }
         ++stats.breaker_rejections;
         if (breaker_waits >= options.max_breaker_waits) {
           // The site looks down for good; stop hammering it.
@@ -234,6 +246,13 @@ Result<ResilientProbeResult> ResilientProbeSite(
       delay = std::max(delay, fetch.retry_after_ms);
       clock->SleepMs(delay);
       stats.backoff_wait_ms += delay;
+      // A backoff wait may have consumed what was left of the deadline;
+      // give the word up rather than issue a fetch past it.
+      if (options.deadline.expired()) {
+        ++stats.abandoned_words;
+        ++stats.deadline_abandoned;
+        return;
+      }
     }
   };
 
@@ -247,6 +266,11 @@ Result<ResilientProbeResult> ResilientProbeSite(
   stats.ExportTo(options.metrics);
 
   if (result.responses.empty()) {
+    if (stats.deadline_abandoned > 0 && options.deadline.expired()) {
+      return Status::DeadlineExceeded(
+          "resilient probe deadline expired before any page arrived: " +
+          stats.ToString());
+    }
     return Status::Internal("resilient probe collected no pages: " +
                             stats.ToString());
   }

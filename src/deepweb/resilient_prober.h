@@ -8,6 +8,7 @@
 #include "src/deepweb/transport.h"
 #include "src/util/backoff.h"
 #include "src/util/clock.h"
+#include "src/util/deadline.h"
 #include "src/util/metrics.h"
 #include "src/util/status.h"
 
@@ -94,6 +95,9 @@ struct ProbeStats {
   /// Words given up on (retries exhausted, budget spent, or breaker open
   /// past its patience).
   int abandoned_words = 0;
+  /// Subset of abandoned_words dropped because the session deadline (or a
+  /// stop request) fired before they could be fetched.
+  int deadline_abandoned = 0;
   int breaker_trips = 0;
   /// Fetches the breaker refused to issue.
   int breaker_rejections = 0;
@@ -120,6 +124,11 @@ struct ResilientProbeOptions {
   /// crawler backing off) at most this many times per session before
   /// abandoning all remaining words.
   int max_breaker_waits = 3;
+  /// Session deadline / stop token, checked before every fetch and every
+  /// backoff wait. Expiry degrades the session to the pages collected so
+  /// far (remaining words counted in stats.deadline_abandoned); only a
+  /// session that expires with zero pages returns kDeadlineExceeded.
+  Deadline deadline;
   /// Optional observability sink: the session's final ProbeStats are
   /// exported here (see ProbeStats::ExportTo) whether or not the session
   /// succeeds, so abandoned sessions still leave their tallies behind.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/core/object_partition.h"
+#include "src/util/failpoint.h"
 #include "src/util/parallel.h"
 
 namespace thor::serve {
@@ -17,6 +18,8 @@ const char* ExtractionService::SourceName(Source source) {
       return "miss";
     case Source::kShed:
       return "shed";
+    case Source::kDeadline:
+      return "deadline";
   }
   return "unknown";
 }
@@ -83,16 +86,39 @@ bool ExtractionService::ShouldRelearn(const std::string& site, bool known) {
 }
 
 ExtractionService::SiteHandle ExtractionService::Relearn(
-    const std::string& site) {
+    const std::string& site, const Deadline& batch_deadline) {
   SiteStats& stats = stats_[site];
   ++stats.relearn_attempts;
   stats.window_requests = 0;
   stats.window_misses = 0;
   AddCounter(options_.metrics, "serve.relearn_attempts");
+  if (!THOR_FAILPOINT("serve.relearn.begin").ok()) return nullptr;
+  // The relearn runs under the sooner of its own budget and whatever is
+  // left of the batch deadline: a relearn must never outlive the request
+  // that triggered it.
+  Deadline deadline = batch_deadline;
+  if (options_.relearn_deadline_ms > 0.0) {
+    deadline = Deadline::Sooner(
+        deadline, Deadline::After(clock_, options_.relearn_deadline_ms));
+  }
+  if (deadline.expired()) {
+    AddCounter(options_.metrics, "serve.deadline_exceeded");
+    return nullptr;
+  }
   std::vector<core::Page> pages = sampler_(site);
   if (pages.empty()) return nullptr;
-  auto result = core::RunThor(pages, options_.relearn);
-  if (!result.ok()) return nullptr;
+  core::ThorOptions relearn_options = options_.relearn;
+  relearn_options.deadline = deadline;
+  auto result = core::RunThor(pages, relearn_options);
+  if (!result.ok()) {
+    // A deadline-aborted relearn commits nothing: no Put, no generation
+    // bump, `serve.relearns` untouched — the store cannot be poisoned by
+    // a half-analyzed sample.
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      AddCounter(options_.metrics, "serve.deadline_exceeded");
+    }
+    return nullptr;
+  }
   core::TemplateRegistry registry =
       core::TemplateRegistry::Learn(pages, *result);
   if (registry.empty()) return nullptr;
@@ -100,7 +126,8 @@ ExtractionService::SiteHandle ExtractionService::Relearn(
   // failure degrades to serving the relearned registry cache-only, with
   // generation 0 marking the entry as uncommitted (a committed older
   // generation on disk does not describe this registry).
-  Status put = store_->Put(site, registry);
+  Status put = THOR_FAILPOINT("serve.relearn.commit");
+  if (put.ok()) put = store_->Put(site, registry);
   int64_t generation = 0;
   if (put.ok()) {
     generation = store_->Generation(site);
@@ -118,31 +145,51 @@ ExtractionService::Response ExtractionService::Extract(
 }
 
 std::vector<ExtractionService::Response> ExtractionService::ExtractBatch(
-    const std::vector<Request>& requests) {
+    const std::vector<Request>& requests, const Deadline& deadline) {
   // Pass 1 (serial): resolve every distinct site in first-appearance
-  // order. Store reads happen here, outside the parallel region.
+  // order. Store reads happen here, outside the parallel region. A
+  // deadline that fires mid-resolve leaves the remaining sites
+  // unresolved; their requests degrade to kDeadline responses below. A
+  // boundary-failpoint error degrades the whole batch to shed responses.
+  Status boundary = THOR_FAILPOINT("serve.batch.resolve");
   std::map<std::string, SiteHandle> resolved;
-  for (const Request& request : requests) {
-    if (!IsValidSiteName(request.site)) continue;
-    if (resolved.find(request.site) == resolved.end()) {
-      resolved[request.site] = Resolve(request.site);
+  if (boundary.ok()) {
+    for (const Request& request : requests) {
+      if (deadline.expired()) break;
+      if (!IsValidSiteName(request.site)) continue;
+      if (resolved.find(request.site) == resolved.end()) {
+        resolved[request.site] = Resolve(request.site);
+      }
     }
+    boundary = THOR_FAILPOINT("serve.batch.extract");
   }
 
   // Pass 2 (parallel, pure): extract each request against its site's
-  // resolved registry snapshot. Results are index-addressed.
+  // resolved registry snapshot. Results are index-addressed. The deadline
+  // is re-checked per request: once it fires, remaining requests cost one
+  // branch each instead of a parse + locate.
   auto responses = ParallelMap(
       requests.size(),
       [&](size_t i) {
         const Request& request = requests[i];
+        Response response;
+        if (!boundary.ok()) {
+          response.source = Source::kShed;
+          response.error = boundary.message();
+          return response;
+        }
         if (!IsValidSiteName(request.site)) {
-          Response response;
           response.error = "invalid site name";
           return response;
         }
+        auto it = resolved.find(request.site);
+        if (it == resolved.end() || deadline.expired()) {
+          response.source = Source::kDeadline;
+          response.error = "deadline exceeded";
+          return response;
+        }
         double start_ms = clock_->NowMs();
-        Response response =
-            ExtractAgainst(resolved.find(request.site)->second, request);
+        response = ExtractAgainst(it->second, request);
         Observe(options_.metrics, "serve.latency_ms",
                 clock_->NowMs() - start_ms);
         return response;
@@ -152,12 +199,23 @@ std::vector<ExtractionService::Response> ExtractionService::ExtractBatch(
   // Pass 3 (serial, index order): accounting and staleness decisions.
   // Because relearns only happen here, and each one deterministically
   // re-serves the triggering request and every later request of that
-  // site, the response stream is identical at every thread count.
+  // site, the response stream is identical at every thread count. The
+  // account failpoint supports delay/crash chaos at the last boundary; an
+  // error action here is ignored (the work is already done).
+  (void)THOR_FAILPOINT("serve.batch.account");
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, SiteHandle> regenerated;
   for (size_t i = 0; i < requests.size(); ++i) {
     const Request& request = requests[i];
     Response& response = responses[i];
+    if (response.source == Source::kDeadline) {
+      AddCounter(options_.metrics, "serve.deadline_exceeded");
+      continue;
+    }
+    if (response.source == Source::kShed) {
+      AddCounter(options_.metrics, "serve.shed");
+      continue;
+    }
     if (!response.error.empty()) continue;
     auto regen = regenerated.find(request.site);
     if (regen != regenerated.end()) {
@@ -185,7 +243,14 @@ std::vector<ExtractionService::Response> ExtractionService::ExtractBatch(
     AddCounter(options_.metrics, "serve.template_miss");
     bool known = response.generation > 0;
     if (!ShouldRelearn(request.site, known)) continue;
-    SiteHandle fresh = Relearn(request.site);
+    // A deadline that fired between extraction and accounting must not
+    // start a relearn: the miss stands, the window stays reset-free, and
+    // the batch returns instead of sinking into a full pipeline run.
+    if (deadline.expired()) {
+      AddCounter(options_.metrics, "serve.deadline_exceeded");
+      continue;
+    }
+    SiteHandle fresh = Relearn(request.site, deadline);
     if (fresh == nullptr) continue;
     regenerated[request.site] = fresh;
     Response reserved = ExtractAgainst(fresh, request);

@@ -14,6 +14,7 @@
 #include "src/core/thor.h"
 #include "src/serve/template_store.h"
 #include "src/util/clock.h"
+#include "src/util/deadline.h"
 #include "src/util/lru_cache.h"
 #include "src/util/metrics.h"
 
@@ -39,6 +40,12 @@ struct ServiceOptions {
   core::ObjectPartitionOptions objects;
   /// Pipeline configuration used for relearns.
   core::ThorOptions relearn;
+  /// Upper bound on one relearn's full pipeline run, in milliseconds on
+  /// `clock` (0 = unbounded). A relearn that overruns aborts with a typed
+  /// kDeadlineExceeded — no generation is committed, `serve.relearns` and
+  /// the store stay untouched — and the triggering request degrades to a
+  /// plain miss. Intersected with the batch deadline when both are set.
+  double relearn_deadline_ms = 0.0;
   /// Threads for the ExtractBatch fan-out (0 = process default, 1 =
   /// serial). Responses are index-addressed, so output is identical at
   /// every thread count.
@@ -80,6 +87,7 @@ class ExtractionService {
     kRelearn,   ///< this request triggered a relearn and was re-served
     kMiss,      ///< no template fit (or the site is unknown/unlearnable)
     kShed,      ///< rejected by admission control before extraction
+    kDeadline,  ///< dropped because the batch deadline expired first
   };
   static const char* SourceName(Source source);
 
@@ -108,7 +116,15 @@ class ExtractionService {
   /// util/parallel. Accounting, relearn decisions, and the response order
   /// are all driven in request-index order, so the output (and every
   /// relearned store generation) is byte-identical at every thread count.
-  std::vector<Response> ExtractBatch(const std::vector<Request>& requests);
+  ///
+  /// `deadline` bounds the batch: requests the deadline overtakes degrade
+  /// to Source::kDeadline responses (error set, `serve.deadline_exceeded`
+  /// counted) instead of occupying the serving thread, and no relearn is
+  /// started past the deadline. The default deadline is infinite, which
+  /// preserves exact thread-count determinism; an expiring deadline is
+  /// deterministic only under a SimulatedClock.
+  std::vector<Response> ExtractBatch(const std::vector<Request>& requests,
+                                     const Deadline& deadline = {});
 
   /// Per-site accounting snapshot (for tests and tools).
   struct SiteStats {
@@ -145,8 +161,10 @@ class ExtractionService {
   /// Serial-path policy: returns true when `site` should relearn now.
   bool ShouldRelearn(const std::string& site, bool known);
   /// Runs the full pipeline on a fresh sample and commits the new
-  /// generation. Returns the new handle, or null when relearn failed.
-  SiteHandle Relearn(const std::string& site);
+  /// generation. Returns the new handle, or null when relearn failed
+  /// (including a relearn overtaken by `batch_deadline` or the configured
+  /// relearn_deadline_ms).
+  SiteHandle Relearn(const std::string& site, const Deadline& batch_deadline);
 
   TemplateStore* store_;
   ServiceOptions options_;

@@ -1,0 +1,187 @@
+#include "src/serve/server_loop.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/util/failpoint.h"
+
+namespace thor::serve {
+
+ServerLoop::ServerLoop(ExtractionService* service, ServerLoopOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : SystemClock::Instance()) {
+  if (options_.batch < 1) options_.batch = 1;
+}
+
+void ServerLoop::UpdateQueueGauge() {
+  SetGauge(options_.metrics, "serve.queue_depth",
+           static_cast<double>(queued_requests_));
+}
+
+bool ServerLoop::Submit(std::string site, std::string html) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_backlog > 0 && queued_requests_ >= options_.max_backlog) {
+    // Admission control: answer now, in stream position, instead of letting
+    // the backlog (and the client's wait) grow without bound.
+    Item item;
+    item.immediate = true;
+    item.site = std::move(site);
+    item.response.source = ExtractionService::Source::kShed;
+    item.response.error = "server overloaded";
+    queue_.push_back(std::move(item));
+    ++counters_.shed;
+    AddCounter(options_.metrics, "serve.shed");
+    cv_.notify_all();
+    return false;
+  }
+  Item item;
+  item.site = std::move(site);
+  item.html = std::move(html);
+  queue_.push_back(std::move(item));
+  ++queued_requests_;
+  ++counters_.submitted;
+  UpdateQueueGauge();
+  cv_.notify_all();
+  return true;
+}
+
+void ServerLoop::SubmitImmediate(std::string site, Response response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Item item;
+  item.immediate = true;
+  item.site = std::move(site);
+  item.response = std::move(response);
+  queue_.push_back(std::move(item));
+  cv_.notify_all();
+}
+
+void ServerLoop::FinishInput() {
+  std::lock_guard<std::mutex> lock(mu_);
+  input_done_ = true;
+  cv_.notify_all();
+}
+
+void ServerLoop::RequestDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  drain_requested_ = true;
+  cv_.notify_all();
+}
+
+void ServerLoop::CancelInFlight() { cancel_.RequestStop(); }
+
+void ServerLoop::Run(const EmitFn& emit, const std::function<void()>& flush) {
+  const double start_ms = clock_->NowMs();
+  for (;;) {
+    std::vector<Item> taken;
+    bool draining = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Wait for a full batch of requests so batch boundaries follow the
+      // input stream, not producer/consumer timing; only end-of-input or a
+      // drain releases a short batch. Immediates ride along with whichever
+      // batch releases the request after them.
+      cv_.wait(lock, [&] {
+        return drain_requested_ || input_done_ ||
+               queued_requests_ >= static_cast<size_t>(options_.batch);
+      });
+      draining = drain_requested_;
+      if (draining) {
+        // Take everything: queued requests become draining shed responses.
+        taken.assign(std::make_move_iterator(queue_.begin()),
+                     std::make_move_iterator(queue_.end()));
+        queue_.clear();
+        queued_requests_ = 0;
+      } else {
+        int requests_taken = 0;
+        while (!queue_.empty() && requests_taken < options_.batch) {
+          if (!queue_.front().immediate) {
+            ++requests_taken;
+            --queued_requests_;
+          }
+          taken.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        if (taken.empty() && input_done_) {
+          UpdateQueueGauge();
+          break;  // queue fully drained, producer finished
+        }
+      }
+      UpdateQueueGauge();
+    }
+
+    if (draining) {
+      for (Item& item : taken) {
+        if (!item.immediate) {
+          item.response.source = ExtractionService::Source::kShed;
+          item.response.error = "draining";
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.drained;
+          AddCounter(options_.metrics, "serve.drained");
+        }
+        emit(item.site, item.response);
+      }
+      flush();
+      break;
+    }
+
+    // The in-flight batch. The drain failpoint sits between dequeue and
+    // extraction — a crash here loses exactly one un-responded batch, the
+    // case the recovery suite proves the store survives.
+    std::vector<ExtractionService::Request> requests;
+    std::vector<size_t> request_slots;
+    for (size_t i = 0; i < taken.size(); ++i) {
+      if (taken[i].immediate) continue;
+      requests.push_back({taken[i].site, std::move(taken[i].html)});
+      request_slots.push_back(i);
+    }
+    if (!requests.empty()) {
+      Status gate = THOR_FAILPOINT("thord.batch.drain");
+      std::vector<Response> responses;
+      if (gate.ok()) {
+        Deadline deadline = Deadline::Stoppable(cancel_);
+        if (options_.batch_deadline_ms > 0.0) {
+          deadline = Deadline::After(clock_, options_.batch_deadline_ms)
+                         .WithStop(cancel_);
+        }
+        responses = service_->ExtractBatch(requests, deadline);
+      } else {
+        // Batch-level failure degrades every request in it to a typed
+        // shed response; the stream stays complete.
+        responses.resize(requests.size());
+        for (Response& response : responses) {
+          response.source = ExtractionService::Source::kShed;
+          response.error = gate.message();
+        }
+      }
+      for (size_t r = 0; r < request_slots.size(); ++r) {
+        taken[request_slots[r]].response = std::move(responses[r]);
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.processed += static_cast<int64_t>(requests.size());
+      ++counters_.batches;
+    }
+    for (const Item& item : taken) emit(item.site, item.response);
+
+    // The flush failpoint is the other chaos boundary: a crash after
+    // extraction but before the responses reach the client. Recovery must
+    // re-serve them byte-identically from the committed store.
+    (void)THOR_FAILPOINT("thord.batch.flush");
+    flush();
+    SetGauge(options_.metrics, "serve.uptime_ms", clock_->NowMs() - start_ms);
+  }
+  SetGauge(options_.metrics, "serve.uptime_ms", clock_->NowMs() - start_ms);
+}
+
+ServerLoop::Counters ServerLoop::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+size_t ServerLoop::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_requests_;
+}
+
+}  // namespace thor::serve

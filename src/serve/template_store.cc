@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/failpoint.h"
 #include "src/util/json.h"
 #include "src/util/json_reader.h"
 
@@ -36,11 +37,12 @@ Result<std::string> ReadFile(const fs::path& path) {
 }
 
 /// Writes `contents` to `path + ".tmp"` then renames over `path` — the
-/// atomic-commit primitive every store write goes through. `skip_rename`
-/// is the kill-between-writes test hook: the tmp file lands but the
-/// commit rename is "crashed" away.
+/// atomic-commit primitive every store write goes through. The
+/// `rename_failpoint` sits between the two filesystem steps: a crash
+/// there leaves the tmp file without the commit rename, the exact torn
+/// state the old-or-new contract must survive.
 Status AtomicWrite(const fs::path& path, const std::string& contents,
-                   bool skip_rename = false) {
+                   const char* rename_failpoint) {
   fs::path tmp = path;
   tmp += ".tmp";
   {
@@ -53,7 +55,7 @@ Status AtomicWrite(const fs::path& path, const std::string& contents,
       return Status::Internal("short write to " + tmp.string());
     }
   }
-  if (skip_rename) return Status::OK();
+  THOR_RETURN_IF_ERROR(THOR_FAILPOINT(rename_failpoint));
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
@@ -181,11 +183,8 @@ Status TemplateStore::Put(const std::string& site,
     return Status::InvalidArgument("invalid site name: \"" + site + "\"");
   }
   std::lock_guard<std::mutex> lock(*mu_);
-  int steps_done = 0;
-  auto crashed = [&]() {
-    return crash_after_steps_ >= 0 && steps_done >= crash_after_steps_;
-  };
 
+  THOR_RETURN_IF_ERROR(THOR_FAILPOINT("store.put.serialize"));
   std::string document = registry.ToJson();
   auto committed = entries_.find(site);
   ManifestEntry next;
@@ -195,21 +194,15 @@ Status TemplateStore::Put(const std::string& site,
   next.checksum = Fnv1a64(document);
   fs::path file_path = fs::path(dir_) / next.file;
 
-  // Step 1: the new generation's bytes land under a temp name.
-  if (crashed()) return Status::Internal("simulated crash before step 1");
-  THOR_RETURN_IF_ERROR(AtomicWrite(file_path, document,
-                                   /*skip_rename=*/crash_after_steps_ == 1));
-  if (++steps_done, crashed()) {
-    return Status::Internal("simulated crash after step 1");
-  }
-  // Step 2 happened inside AtomicWrite (the rename); from here the file
-  // exists but nothing points at it yet.
-  if (++steps_done, crashed()) {
-    return Status::Internal("simulated crash after step 2");
-  }
+  // The new generation's bytes land under a temp name, then rename. A
+  // failure at either step leaves at worst an orphaned file that nothing
+  // points at (GC'd by the next successful Put).
+  THOR_RETURN_IF_ERROR(
+      AtomicWrite(file_path, document, "store.put.template_rename"));
+  THOR_RETURN_IF_ERROR(THOR_FAILPOINT("store.put.template_committed"));
 
-  // Steps 3+4: commit the manifest the same way. Only the final rename
-  // flips readers from the old generation to the new one.
+  // Commit the manifest the same way. Only the final rename flips readers
+  // from the old generation to the new one.
   std::string previous_file;
   ManifestEntry saved;
   bool existed = committed != entries_.end();
@@ -219,26 +212,23 @@ Status TemplateStore::Put(const std::string& site,
   }
   entries_[site] = next;
   std::string manifest = ManifestJson();
-  bool manifest_tmp_only = crash_after_steps_ == 3;
   Status st = AtomicWrite(fs::path(dir_) / kManifestName, manifest,
-                          /*skip_rename=*/manifest_tmp_only);
-  if (!st.ok() || manifest_tmp_only) {
+                          "store.put.manifest_rename");
+  if (!st.ok()) {
     // Roll the in-memory view back to the committed state.
     if (existed) {
       entries_[site] = saved;
     } else {
       entries_.erase(site);
     }
-    if (!st.ok()) return st;
+    return st;
   }
-  if (++steps_done, crashed()) {
-    return Status::Internal("simulated crash after step 3");
-  }
-  if (++steps_done, crashed()) {
-    return Status::Internal("simulated crash after step 4");
-  }
+  // From here the commit is durable: an error below (or a crash) leaves a
+  // fully committed new generation, with only GC debt outstanding.
+  THOR_RETURN_IF_ERROR(THOR_FAILPOINT("store.put.manifest_committed"));
+  THOR_RETURN_IF_ERROR(THOR_FAILPOINT("store.put.gc"));
 
-  // Step 5: garbage-collect everything the commit superseded — the old
+  // Garbage-collect everything the commit superseded — the old
   // generation and any orphans a previously crashed Put left behind.
   std::error_code ec;
   for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
@@ -269,6 +259,7 @@ Result<TemplateStore::Loaded> TemplateStore::Load(
   // entry that is *still current* yet unreadable is a real store error.
   for (int attempt = 0;; ++attempt) {
     Status failure = Status::OK();
+    THOR_RETURN_IF_ERROR(THOR_FAILPOINT("store.load.read"));
     auto document = ReadFile(fs::path(dir_) / entry.file);
     if (!document.ok()) {
       failure = Status::Internal("template file for \"" + site +
@@ -279,6 +270,7 @@ Result<TemplateStore::Loaded> TemplateStore::Load(
                                  "\" corrupt: checksum mismatch (" +
                                  entry.file + ")");
     } else {
+      THOR_RETURN_IF_ERROR(THOR_FAILPOINT("store.load.deserialize"));
       auto registry = core::TemplateRegistry::FromJson(*document);
       if (!registry.ok()) {
         return Status::ParseError("template file for \"" + site +

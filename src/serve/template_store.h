@@ -35,6 +35,11 @@ namespace thor::serve {
 /// as a typed error Status from Open/Load; it never crashes and never
 /// yields a partially-built registry.
 ///
+/// Every commit step and load step crosses a named failpoint
+/// (`store.put.*`, `store.load.*` — see util/failpoint.h), which is how
+/// the kill-between-writes test and the thord crash-recovery chaos suite
+/// prove the old-or-new contract at every boundary.
+///
 /// Thread-safe: Put serializes on an internal mutex; concurrent Loads
 /// share it only for the manifest lookup.
 class TemplateStore {
@@ -73,11 +78,6 @@ class TemplateStore {
 
   const std::string& dir() const { return dir_; }
 
-  /// Test hook for the kill-between-writes contract: the next Put aborts
-  /// (returning Internal) after completing `steps` filesystem steps,
-  /// simulating a crash at that point. Negative disables.
-  void SetCrashAfterStepsForTesting(int steps) { crash_after_steps_ = steps; }
-
  private:
   struct ManifestEntry {
     int64_t generation = 0;
@@ -92,7 +92,6 @@ class TemplateStore {
 
   std::string dir_;
   std::map<std::string, ManifestEntry> entries_;
-  int crash_after_steps_ = -1;
   /// Heap-held so the store stays movable (Result<TemplateStore> needs it).
   std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
 };

@@ -1,0 +1,50 @@
+#include "src/util/deadline.h"
+
+#include <limits>
+
+namespace thor {
+
+Deadline Deadline::After(const Clock* clock, double ms) {
+  Deadline deadline;
+  deadline.clock_ = clock != nullptr ? clock : SystemClock::Instance();
+  deadline.expires_at_ms_ = deadline.clock_->NowMs() + ms;
+  return deadline;
+}
+
+Deadline Deadline::Stoppable(const StopSource& stop) {
+  Deadline deadline;
+  deadline.stopped_ = stop.stopped_;
+  return deadline;
+}
+
+Deadline Deadline::WithStop(const StopSource& stop) const {
+  Deadline deadline = *this;
+  deadline.stopped_ = stop.stopped_;
+  return deadline;
+}
+
+double Deadline::RemainingMs() const {
+  if (stopped_ != nullptr && stopped_->load(std::memory_order_relaxed)) {
+    return 0.0;
+  }
+  if (clock_ == nullptr) return std::numeric_limits<double>::infinity();
+  double remaining = expires_at_ms_ - clock_->NowMs();
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+Status Deadline::Check(std::string_view what) const {
+  if (!expired()) return Status::OK();
+  if (stopped_ != nullptr && stopped_->load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded(std::string(what) + ": stop requested");
+  }
+  return Status::DeadlineExceeded(std::string(what) +
+                                  ": deadline exceeded");
+}
+
+Deadline Deadline::Sooner(const Deadline& a, const Deadline& b) {
+  if (!a.active()) return b;
+  if (!b.active()) return a;
+  return a.RemainingMs() <= b.RemainingMs() ? a : b;
+}
+
+}  // namespace thor

@@ -1,0 +1,95 @@
+#ifndef THOR_UTIL_DEADLINE_H_
+#define THOR_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/util/clock.h"
+#include "src/util/status.h"
+
+namespace thor {
+
+class Deadline;
+
+/// \brief Cancellation handle paired with Deadline (a minimal stop token).
+///
+/// A StopSource is owned by whoever can decide to abandon work — thord's
+/// signal handler path, a test — and every Deadline derived from it
+/// reports expiry once RequestStop is called, regardless of the clock.
+/// Copyable; copies share the flag. Thread-safe.
+class StopSource {
+ public:
+  StopSource() : stopped_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void RequestStop() { stopped_->store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stopped_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Deadline;
+  std::shared_ptr<std::atomic<bool>> stopped_;
+};
+
+/// \brief Clock-driven deadline propagated through the pipeline.
+///
+/// A Deadline is a cheap value (clock pointer + absolute expiry + optional
+/// stop flag) passed down RunThor, the resilient prober, and the serving
+/// layer so a slow stage degrades to a typed kDeadlineExceeded outcome at
+/// the next stage boundary instead of hanging its thread. Checks are
+/// cooperative: granularity is the distance between Check call sites, so a
+/// deadline bounds stages, not individual instructions.
+///
+/// The default-constructed Deadline is infinite (never expires) and costs
+/// one branch per check — "no deadline" stays free. The clock an expiring
+/// deadline reads is injected, so tests drive expiry with a SimulatedClock
+/// (virtual time advanced by sleeps and delay failpoints) and stay
+/// bit-reproducible.
+class Deadline {
+ public:
+  /// Infinite: never expires, never stopped.
+  Deadline() = default;
+
+  /// Expires `ms` from now on `clock` (non-positive ms: already expired).
+  /// Null clock falls back to the system clock.
+  static Deadline After(const Clock* clock, double ms);
+
+  /// Infinite deadline that still honors `stop` — pure cancellation.
+  static Deadline Stoppable(const StopSource& stop);
+
+  /// This deadline, additionally cancelled whenever `stop` fires.
+  Deadline WithStop(const StopSource& stop) const;
+
+  /// True when this deadline can ever expire or be stopped.
+  bool active() const { return clock_ != nullptr || stopped_ != nullptr; }
+
+  bool expired() const {
+    if (stopped_ != nullptr && stopped_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return clock_ != nullptr && clock_->NowMs() >= expires_at_ms_;
+  }
+
+  /// Milliseconds until expiry; +infinity when inactive, 0 when expired.
+  double RemainingMs() const;
+
+  /// OK while live; Status::DeadlineExceeded("`what`: ...") once expired
+  /// or stopped. `what` names the stage for the error message.
+  Status Check(std::string_view what) const;
+
+  /// Whichever of the two expires sooner (by remaining time; the operands
+  /// may read different clocks). Stop flags are not merged — the sooner
+  /// deadline keeps its own.
+  static Deadline Sooner(const Deadline& a, const Deadline& b);
+
+ private:
+  const Clock* clock_ = nullptr;
+  double expires_at_ms_ = 0.0;
+  std::shared_ptr<std::atomic<bool>> stopped_;
+};
+
+}  // namespace thor
+
+#endif  // THOR_UTIL_DEADLINE_H_

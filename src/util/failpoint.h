@@ -1,0 +1,124 @@
+#ifndef THOR_UTIL_FAILPOINT_H_
+#define THOR_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/clock.h"
+#include "src/util/status.h"
+
+namespace thor {
+
+/// What an armed failpoint does when its call site is reached.
+enum class FailpointAction {
+  kOff = 0,
+  kError,  ///< the call site returns Status::Internal
+  kCrash,  ///< the process dies immediately (std::_Exit, like kill -9)
+  kDelay,  ///< the call site blocks on the registry clock, then proceeds
+};
+
+const char* FailpointActionName(FailpointAction action);
+
+/// \brief Named, deterministic failure-injection points.
+///
+/// Every place the system can meaningfully fail mid-operation — a store
+/// commit between its filesystem steps, a relearn between sample and
+/// commit, a batch between its passes — declares a failpoint by evaluating
+/// `THOR_FAILPOINT("name")`. Disarmed failpoints cost one relaxed atomic
+/// load; armed ones perform their action at the call site:
+///
+///   kError  the site sees a non-OK Status and takes its normal error path
+///   kCrash  the process exits instantly without flushing or unwinding —
+///           the in-process equivalent of kill -9, used by the
+///           crash-recovery chaos suite
+///   kDelay  the site waits `delay_ms` on the registry clock — with a
+///           SimulatedClock this advances virtual time instantly, letting
+///           tests fire a deadline at an exact internal boundary
+///
+/// Arming happens through the API (tests) or the THOR_FAILPOINTS
+/// environment variable (chaos harnesses driving whole binaries):
+///
+///   THOR_FAILPOINTS=store.put.manifest_rename:crash
+///   THOR_FAILPOINTS=serve.batch.extract:delay=250,store.load.read:error
+///   THOR_FAILPOINTS=thord.batch.drain:crash@2      (fire on the 2nd hit)
+///
+/// The registry knows every failpoint name up front (a static catalog, not
+/// lazy call-site registration), so chaos suites can enumerate and
+/// exhaustively iterate them — `thord --list-failpoints` prints this list.
+///
+/// Thread-safe. Arming an unknown name is an error (catching typos);
+/// tests may Register extra names first.
+class FailpointRegistry {
+ public:
+  /// Process-wide registry. On first use it arms itself from the
+  /// THOR_FAILPOINTS environment variable (malformed specs are reported to
+  /// stderr and skipped, never fatal).
+  static FailpointRegistry* Global();
+
+  /// All known failpoint names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Adds a name to the catalog (idempotent). Built-in failpoints are
+  /// pre-registered; this is for tests exercising the registry itself.
+  void Register(std::string_view name);
+
+  /// Arms `name` with an action spec: "error", "crash", "delay=MS", each
+  /// optionally suffixed "@N" to fire on the Nth hit (1-based; earlier
+  /// hits pass through). Error/crash specs fire once then disarm; delay
+  /// fires on every hit from the Nth on.
+  Status Arm(std::string_view name, std::string_view action_spec);
+
+  /// Arms a comma-separated list of `name:action` specs (the
+  /// THOR_FAILPOINTS grammar). Stops at the first malformed entry.
+  Status ArmFromSpec(std::string_view spec);
+
+  void Disarm(std::string_view name);
+  void DisarmAll();
+
+  /// Lifetime hits of `name`, for tests asserting a path actually crossed
+  /// its failpoint. Hits are only tracked while at least one failpoint is
+  /// armed anywhere (the disarmed fast path skips the accounting entirely);
+  /// unknown names count zero.
+  int64_t HitCount(std::string_view name) const;
+
+  /// Clock used by kDelay actions (default: the system clock). Tests point
+  /// this at a SimulatedClock so delays advance virtual time instantly.
+  void SetClock(Clock* clock);
+
+  /// Evaluates the failpoint: cheap no-op when nothing is armed anywhere;
+  /// otherwise performs the armed action. Call sites propagate the
+  /// returned Status exactly like any other fallible step.
+  Status Evaluate(std::string_view name);
+
+ private:
+  FailpointRegistry();
+
+  struct Entry {
+    FailpointAction action = FailpointAction::kOff;
+    double delay_ms = 0.0;
+    /// Hits remaining before the action fires (the "@N" countdown).
+    int hits_before_fire = 0;
+    int64_t hits = 0;
+  };
+
+  Status EvaluateSlow(std::string_view name);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  /// Number of armed entries; zero keeps Evaluate on the fast path.
+  std::atomic<int> armed_{0};
+  std::atomic<Clock*> clock_;
+};
+
+/// Call-site shorthand: `THOR_RETURN_IF_ERROR(THOR_FAILPOINT("name"));`
+#define THOR_FAILPOINT(name) \
+  (::thor::FailpointRegistry::Global()->Evaluate(name))
+
+}  // namespace thor
+
+#endif  // THOR_UTIL_FAILPOINT_H_

@@ -19,6 +19,7 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,
 };
 
 /// \brief Lightweight error-or-success result used instead of exceptions.
@@ -51,6 +52,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,92 @@
+#include "src/util/deadline.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/clock.h"
+
+namespace thor {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfiniteAndFree) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.active());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(std::isinf(deadline.RemainingMs()));
+  EXPECT_TRUE(deadline.Check("stage").ok());
+}
+
+TEST(DeadlineTest, AfterExpiresOnTheInjectedClock) {
+  SimulatedClock clock(500.0);
+  Deadline deadline = Deadline::After(&clock, 100.0);
+  EXPECT_TRUE(deadline.active());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_DOUBLE_EQ(deadline.RemainingMs(), 100.0);
+  clock.SleepMs(99.0);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_DOUBLE_EQ(deadline.RemainingMs(), 1.0);
+  clock.SleepMs(1.0);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_DOUBLE_EQ(deadline.RemainingMs(), 0.0);
+  Status st = deadline.Check("phase2");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("phase2"), std::string::npos);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  SimulatedClock clock;
+  EXPECT_TRUE(Deadline::After(&clock, 0.0).expired());
+  EXPECT_TRUE(Deadline::After(&clock, -5.0).expired());
+}
+
+TEST(DeadlineTest, NullClockFallsBackToWallTime) {
+  Deadline deadline = Deadline::After(nullptr, 1e9);
+  EXPECT_TRUE(deadline.active());
+  EXPECT_FALSE(deadline.expired());
+}
+
+TEST(DeadlineTest, StopSourceCancelsRegardlessOfClock) {
+  StopSource stop;
+  Deadline pure_cancel = Deadline::Stoppable(stop);
+  EXPECT_TRUE(pure_cancel.active());
+  EXPECT_FALSE(pure_cancel.expired());
+
+  SimulatedClock clock;
+  Deadline timed = Deadline::After(&clock, 1000.0).WithStop(stop);
+  EXPECT_FALSE(timed.expired());
+
+  stop.RequestStop();
+  EXPECT_TRUE(pure_cancel.expired());
+  EXPECT_TRUE(timed.expired());
+  EXPECT_DOUBLE_EQ(timed.RemainingMs(), 0.0);
+  Status st = timed.Check("batch");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("stop requested"), std::string::npos);
+}
+
+TEST(DeadlineTest, StopSourceCopiesShareTheFlag) {
+  StopSource stop;
+  StopSource copy = stop;
+  Deadline deadline = Deadline::Stoppable(copy);
+  stop.RequestStop();
+  EXPECT_TRUE(copy.stop_requested());
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(DeadlineTest, SoonerPicksByRemainingTimeAcrossClocks) {
+  SimulatedClock clock_a(0.0);
+  SimulatedClock clock_b(9000.0);
+  Deadline a = Deadline::After(&clock_a, 100.0);
+  Deadline b = Deadline::After(&clock_b, 50.0);
+  EXPECT_DOUBLE_EQ(Deadline::Sooner(a, b).RemainingMs(), 50.0);
+  EXPECT_DOUBLE_EQ(Deadline::Sooner(b, a).RemainingMs(), 50.0);
+
+  Deadline infinite;
+  EXPECT_DOUBLE_EQ(Deadline::Sooner(infinite, a).RemainingMs(), 100.0);
+  EXPECT_DOUBLE_EQ(Deadline::Sooner(a, infinite).RemainingMs(), 100.0);
+  EXPECT_FALSE(Deadline::Sooner(infinite, Deadline()).active());
+}
+
+}  // namespace
+}  // namespace thor

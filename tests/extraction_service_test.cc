@@ -9,6 +9,7 @@
 #include "src/core/evaluation.h"
 #include "src/deepweb/corpus.h"
 #include "src/deepweb/site_generator.h"
+#include "src/util/failpoint.h"
 #include "src/util/json.h"
 
 namespace thor::serve {
@@ -303,6 +304,173 @@ TEST(ExtractionServiceTest, EvictedSitesReloadFromStoreTransparently) {
   }
   EXPECT_EQ(service.StatsFor("alpha").hits, 3);
   EXPECT_EQ(service.StatsFor("beta").hits, 3);
+}
+
+// --- deadline edge cases -------------------------------------------------
+
+TEST(ExtractionServiceTest, BatchExpiredAtEntryDegradesEveryRequest) {
+  SiteWorld world = SiteWorld::Make();
+  auto store = TemplateStore::Open(FreshDir("dl_entry"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("site0", world.registry).ok());
+
+  MetricsRegistry metrics;
+  SimulatedClock clock;
+  ServiceOptions options;
+  options.metrics = &metrics;
+  options.clock = &clock;
+  options.threads = 1;
+  ExtractionService service(&*store, options);
+
+  auto requests = world.FreshRequests(0, "site0");
+  ASSERT_GE(requests.size(), 2u);
+  auto responses =
+      service.ExtractBatch(requests, Deadline::After(&clock, 0.0));
+  ASSERT_EQ(responses.size(), requests.size());
+  for (const auto& response : responses) {
+    EXPECT_EQ(response.source, ExtractionService::Source::kDeadline);
+    EXPECT_EQ(response.error, "deadline exceeded");
+  }
+  EXPECT_EQ(metrics.Snapshot().counters["serve.deadline_exceeded"],
+            static_cast<int64_t>(requests.size()));
+  // Dropped requests never reach accounting; the staleness window and the
+  // per-site tallies are exactly as if the batch had not arrived.
+  EXPECT_EQ(service.StatsFor("site0").requests, 0);
+  // The service itself is unharmed: the same batch without a deadline is
+  // served normally.
+  auto retried = service.ExtractBatch(requests);
+  EXPECT_EQ(retried[0].source, ExtractionService::Source::kTemplate);
+}
+
+TEST(ExtractionServiceTest, DeadlineFiringBetweenPassesDropsTheBatch) {
+  SiteWorld world = SiteWorld::Make();
+  auto store = TemplateStore::Open(FreshDir("dl_mid"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("site0", world.registry).ok());
+
+  MetricsRegistry metrics;
+  SimulatedClock clock;
+  ServiceOptions options;
+  options.metrics = &metrics;
+  options.clock = &clock;
+  options.threads = 1;
+  ExtractionService service(&*store, options);
+
+  // A delay failpoint at the resolve/extract boundary advances the shared
+  // simulated clock past the deadline after the sites are resolved — the
+  // deterministic stand-in for a slow store read eating the budget.
+  auto* failpoints = FailpointRegistry::Global();
+  failpoints->SetClock(&clock);
+  ASSERT_TRUE(failpoints->Arm("serve.batch.extract", "delay=200").ok());
+  auto requests = world.FreshRequests(0, "site0");
+  ASSERT_GE(requests.size(), 2u);
+  auto responses =
+      service.ExtractBatch(requests, Deadline::After(&clock, 100.0));
+  failpoints->Disarm("serve.batch.extract");
+  failpoints->SetClock(nullptr);
+
+  for (const auto& response : responses) {
+    EXPECT_EQ(response.source, ExtractionService::Source::kDeadline);
+  }
+  EXPECT_EQ(metrics.Snapshot().counters["serve.deadline_exceeded"],
+            static_cast<int64_t>(requests.size()));
+  EXPECT_EQ(service.StatsFor("site0").requests, 0);
+}
+
+TEST(ExtractionServiceTest,
+     DeadlineBeforeAccountingSkipsRelearnLeavingCountersUntouched) {
+  // Stale store: site 1 pages served against site 0 templates would
+  // normally relearn mid-batch. With the deadline expiring between
+  // extraction and accounting, the misses must stand and no relearn may
+  // start — a slow batch must not sink into a full pipeline run.
+  SiteWorld world = SiteWorld::Make(/*num_sites=*/2);
+  auto store = TemplateStore::Open(FreshDir("dl_account"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("site0", world.registry).ok());
+
+  MetricsRegistry metrics;
+  SimulatedClock clock;
+  ServiceOptions options;
+  options.metrics = &metrics;
+  options.clock = &clock;
+  options.threads = 1;
+  options.relearn_min_requests = 2;
+  options.relearn_miss_rate = 0.5;
+  int samples_taken = 0;
+  ExtractionService service(&*store, options, [&](const std::string&) {
+    ++samples_taken;
+    return world.Sample(1);
+  });
+
+  auto* failpoints = FailpointRegistry::Global();
+  failpoints->SetClock(&clock);
+  ASSERT_TRUE(failpoints->Arm("serve.batch.account", "delay=200").ok());
+  auto requests = world.FreshRequests(1, "site0");
+  ASSERT_GE(requests.size(), 3u);
+  auto responses =
+      service.ExtractBatch(requests, Deadline::After(&clock, 100.0));
+  failpoints->Disarm("serve.batch.account");
+  failpoints->SetClock(nullptr);
+
+  // Extraction itself finished (the deadline fired after pass 2), so the
+  // responses are ordinary misses — but the relearn was withheld.
+  EXPECT_EQ(samples_taken, 0);
+  EXPECT_EQ(store->Generation("site0"), 1);
+  auto stats = service.StatsFor("site0");
+  EXPECT_EQ(stats.relearns, 0);
+  EXPECT_EQ(stats.relearn_attempts, 0);
+  EXPECT_EQ(stats.requests, static_cast<int64_t>(requests.size()));
+  auto snapshot = metrics.Snapshot();
+  EXPECT_GE(snapshot.counters["serve.deadline_exceeded"], 1);
+  EXPECT_EQ(snapshot.counters.count("serve.relearns"), 0u);
+  for (const auto& response : responses) {
+    EXPECT_NE(response.source, ExtractionService::Source::kRelearn);
+  }
+}
+
+TEST(ExtractionServiceTest, RelearnDeadlineAbortsWithoutCommitting) {
+  // The sampler itself is the slow stage: it burns the whole relearn
+  // budget on the simulated clock before returning pages, so RunThor's
+  // entry check fails — typed error, nothing committed, no generation.
+  SiteWorld world = SiteWorld::Make(/*num_sites=*/2);
+  auto store = TemplateStore::Open(FreshDir("dl_relearn"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("site0", world.registry).ok());
+
+  MetricsRegistry metrics;
+  SimulatedClock clock;
+  ServiceOptions options;
+  options.metrics = &metrics;
+  options.clock = &clock;
+  options.threads = 1;
+  options.relearn_min_requests = 2;
+  options.relearn_miss_rate = 0.5;
+  options.relearn_deadline_ms = 50.0;
+  ExtractionService service(&*store, options, [&](const std::string&) {
+    clock.SleepMs(500.0);  // probing overruns the relearn budget
+    return world.Sample(1);
+  });
+
+  auto requests = world.FreshRequests(1, "site0");
+  ASSERT_GE(requests.size(), 3u);
+  auto responses = service.ExtractBatch(requests);
+
+  // Relearns were attempted (the window trips, refills, and trips again
+  // since nothing commits) but none may have taken: same generation, no
+  // serve.relearns, misses stay misses.
+  auto stats = service.StatsFor("site0");
+  EXPECT_GE(stats.relearn_attempts, 1);
+  EXPECT_EQ(stats.relearns, 0);
+  EXPECT_EQ(store->Generation("site0"), 1);
+  auto snapshot = metrics.Snapshot();
+  EXPECT_GE(snapshot.counters["serve.deadline_exceeded"], 1);
+  EXPECT_EQ(snapshot.counters.count("serve.relearns"), 0u);
+  EXPECT_EQ(snapshot.counters["serve.relearn_attempts"],
+            stats.relearn_attempts);
+  for (const auto& response : responses) {
+    EXPECT_NE(response.source, ExtractionService::Source::kRelearn);
+    EXPECT_EQ(response.generation, 1);
+  }
 }
 
 }  // namespace

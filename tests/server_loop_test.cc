@@ -1,0 +1,169 @@
+#include "src/serve/server_loop.h"
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/template_store.h"
+#include "src/util/metrics.h"
+
+namespace thor::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("thor_loop_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+constexpr const char* kPage = "<html><body><p>x</p></body></html>";
+
+// The loop's contract is ordering and accounting, not extraction quality:
+// an empty store turns every request into a deterministic kMiss.
+struct LoopWorld {
+  explicit LoopWorld(const std::string& name, ServerLoopOptions options = {})
+      : store(TemplateStore::Open(FreshDir(name))) {
+    EXPECT_TRUE(store.ok());
+    ServiceOptions service_options;
+    service_options.metrics = &metrics;
+    service.emplace(&*store, service_options);
+    options.metrics = &metrics;
+    loop.emplace(&*service, options);
+  }
+
+  void Run() {
+    loop->Run(
+        [&](const std::string& site,
+            const ServerLoop::Response& response) {
+          emitted.push_back(site + ":" +
+                            ExtractionService::SourceName(response.source));
+          errors.push_back(response.error);
+        },
+        [&] { ++flushes; });
+  }
+
+  Result<TemplateStore> store;
+  std::optional<ExtractionService> service;
+  MetricsRegistry metrics;
+  std::optional<ServerLoop> loop;
+  std::vector<std::string> emitted;
+  std::vector<std::string> errors;
+  int flushes = 0;
+};
+
+TEST(ServerLoopTest, EmitsEveryItemInSubmissionOrder) {
+  ServerLoopOptions options;
+  options.batch = 2;
+  LoopWorld world("order", options);
+  EXPECT_TRUE(world.loop->Submit("alpha", kPage));
+  ServerLoop::Response parse_error;
+  parse_error.error = "bad request";
+  world.loop->SubmitImmediate("beta", parse_error);
+  EXPECT_TRUE(world.loop->Submit("gamma", kPage));
+  EXPECT_TRUE(world.loop->Submit("delta", kPage));
+  world.loop->FinishInput();
+  world.Run();
+
+  EXPECT_EQ(world.emitted,
+            (std::vector<std::string>{"alpha:miss", "beta:miss",
+                                      "gamma:miss", "delta:miss"}));
+  EXPECT_EQ(world.errors[1], "bad request");
+  auto counters = world.loop->counters();
+  EXPECT_EQ(counters.submitted, 3);
+  EXPECT_EQ(counters.processed, 3);
+  EXPECT_EQ(counters.batches, 2);  // 2 requests, then the end-of-input tail
+  EXPECT_EQ(counters.shed, 0);
+  EXPECT_GE(world.flushes, 2);
+  EXPECT_EQ(world.loop->QueueDepth(), 0u);
+}
+
+TEST(ServerLoopTest, AdmissionControlShedsBeyondTheBacklogBound) {
+  ServerLoopOptions options;
+  options.batch = 8;
+  options.max_backlog = 2;
+  LoopWorld world("backlog", options);
+  EXPECT_TRUE(world.loop->Submit("s0", kPage));
+  EXPECT_TRUE(world.loop->Submit("s1", kPage));
+  EXPECT_FALSE(world.loop->Submit("s2", kPage));
+  EXPECT_FALSE(world.loop->Submit("s3", kPage));
+  EXPECT_EQ(world.loop->QueueDepth(), 2u);
+  world.loop->FinishInput();
+  world.Run();
+
+  // Shed requests still occupy their stream position, answered in order.
+  EXPECT_EQ(world.emitted,
+            (std::vector<std::string>{"s0:miss", "s1:miss", "s2:shed",
+                                      "s3:shed"}));
+  EXPECT_EQ(world.errors[2], "server overloaded");
+  auto counters = world.loop->counters();
+  EXPECT_EQ(counters.submitted, 2);
+  EXPECT_EQ(counters.shed, 2);
+  EXPECT_EQ(counters.processed, 2);
+  EXPECT_EQ(world.metrics.Snapshot().counters["serve.shed"], 2);
+}
+
+TEST(ServerLoopTest, RequestDrainAnswersTheQueueWithDrainingSheds) {
+  LoopWorld world("drain");
+  EXPECT_TRUE(world.loop->Submit("s0", kPage));
+  EXPECT_TRUE(world.loop->Submit("s1", kPage));
+  world.loop->RequestDrain();
+  world.Run();
+
+  EXPECT_EQ(world.emitted,
+            (std::vector<std::string>{"s0:shed", "s1:shed"}));
+  EXPECT_EQ(world.errors[0], "draining");
+  auto counters = world.loop->counters();
+  EXPECT_EQ(counters.drained, 2);
+  EXPECT_EQ(counters.processed, 0);
+  EXPECT_EQ(world.metrics.Snapshot().counters["serve.drained"], 2);
+  EXPECT_GE(world.flushes, 1);  // the drain still flushes the stream
+}
+
+TEST(ServerLoopTest, CancelDegradesTheBatchToDeadlineResponses) {
+  LoopWorld world("cancel");
+  EXPECT_TRUE(world.loop->Submit("s0", kPage));
+  EXPECT_TRUE(world.loop->Submit("s1", kPage));
+  world.loop->FinishInput();
+  // A cancel before (or during) the batch expires its stop-token deadline:
+  // requests degrade to typed deadline responses instead of extracting.
+  world.loop->CancelInFlight();
+  world.Run();
+
+  EXPECT_EQ(world.emitted,
+            (std::vector<std::string>{"s0:deadline", "s1:deadline"}));
+  EXPECT_EQ(world.metrics.Snapshot().counters["serve.deadline_exceeded"],
+            2);
+}
+
+TEST(ServerLoopTest, ConcurrentProducerStreamStaysCompleteAndOrdered) {
+  ServerLoopOptions options;
+  options.batch = 4;
+  LoopWorld world("threads", options);
+  constexpr int kRequests = 64;
+  std::thread producer([&] {
+    for (int i = 0; i < kRequests; ++i) {
+      EXPECT_TRUE(world.loop->Submit("s" + std::to_string(i), kPage));
+    }
+    world.loop->FinishInput();
+  });
+  world.Run();
+  producer.join();
+
+  ASSERT_EQ(world.emitted.size(), static_cast<size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(world.emitted[static_cast<size_t>(i)],
+              "s" + std::to_string(i) + ":miss");
+  }
+  auto counters = world.loop->counters();
+  EXPECT_EQ(counters.submitted, kRequests);
+  EXPECT_EQ(counters.processed, kRequests);
+}
+
+}  // namespace
+}  // namespace thor::serve

@@ -1,10 +1,15 @@
 #include "src/serve/template_store.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "src/util/failpoint.h"
 
 namespace thor::serve {
 namespace {
@@ -207,44 +212,63 @@ TEST(TemplateStoreTest, CorruptManifestIsATypedErrorNotACrash) {
   }
 }
 
-// The acceptance contract: a process killed between any two filesystem
-// steps of Put leaves the store loading either the old or the new
-// generation — never a torn or partial one.
+// The acceptance contract: a process killed at any failpoint inside Put
+// leaves the store loading either the old or the new generation — never a
+// torn or partial one. Each store.put.* failpoint is armed as an error
+// (the in-process stand-in for a crash at that boundary: the remaining
+// steps never run), followed by an unarmed control Put.
 TEST(TemplateStoreTest, KillBetweenWritesLoadsOldOrNewNeverTorn) {
   const std::string old_json = Canonical(kRegistryV1);
   const std::string new_json = Canonical(kRegistryV2);
-  for (int crash_step = 0; crash_step <= 5; ++crash_step) {
-    std::string dir =
-        FreshDir("kill_step" + std::to_string(crash_step));
+  struct Step {
+    const char* failpoint;  ///< null: clean control Put
+    bool committed;         ///< is the new generation durable at this point?
+  };
+  const Step steps[] = {
+      {"store.put.serialize", false},
+      {"store.put.template_rename", false},
+      {"store.put.template_committed", false},
+      {"store.put.manifest_rename", false},
+      {"store.put.manifest_committed", true},
+      {"store.put.gc", true},
+      {nullptr, true},
+  };
+  auto* failpoints = FailpointRegistry::Global();
+  int step_index = 0;
+  for (const Step& step : steps) {
+    SCOPED_TRACE(step.failpoint == nullptr ? "(clean)" : step.failpoint);
+    std::string dir = FreshDir("kill_step" + std::to_string(step_index++));
     {
       auto store = TemplateStore::Open(dir);
       ASSERT_TRUE(store.ok());
       ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
-      store->SetCrashAfterStepsForTesting(crash_step);
-      Status st = store->Put("site0", ParseRegistry(kRegistryV2));
-      if (crash_step <= 4) {
-        EXPECT_FALSE(st.ok()) << "step " << crash_step;
+      if (step.failpoint != nullptr) {
+        int64_t hits_before = failpoints->HitCount(step.failpoint);
+        ASSERT_TRUE(failpoints->Arm(step.failpoint, "error").ok());
+        Status st = store->Put("site0", ParseRegistry(kRegistryV2));
+        failpoints->Disarm(step.failpoint);
+        EXPECT_FALSE(st.ok());
+        // The Put must actually have crossed this failpoint.
+        EXPECT_GT(failpoints->HitCount(step.failpoint), hits_before);
       } else {
-        EXPECT_TRUE(st.ok()) << st;
+        ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV2)).ok());
       }
     }
     // "Reboot": a fresh process opens whatever survived on disk.
     auto reopened = TemplateStore::Open(dir);
-    ASSERT_TRUE(reopened.ok())
-        << "step " << crash_step << ": " << reopened.status();
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
     auto loaded = reopened->Load("site0");
-    ASSERT_TRUE(loaded.ok())
-        << "step " << crash_step << ": " << loaded.status();
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
     std::string got = loaded->registry.ToJson();
     EXPECT_TRUE(got == old_json || got == new_json)
-        << "step " << crash_step << " loaded a torn registry";
-    // Once the manifest rename (step 4) completed, the new generation is
+        << "loaded a torn registry";
+    // Once the manifest rename completed, the new generation is
     // committed; before it, the old one must still be served.
-    if (crash_step <= 3) {
-      EXPECT_EQ(got, old_json) << "step " << crash_step;
+    if (!step.committed) {
+      EXPECT_EQ(got, old_json);
       EXPECT_EQ(loaded->generation, 1);
     } else {
-      EXPECT_EQ(got, new_json) << "step " << crash_step;
+      EXPECT_EQ(got, new_json);
       EXPECT_EQ(loaded->generation, 2);
     }
     // A later Put on the recovered store works and collects any orphans.
@@ -256,6 +280,48 @@ TEST(TemplateStoreTest, KillBetweenWritesLoadsOldOrNewNeverTorn) {
           << name;
     }
   }
+}
+
+// Readers racing a writer that Puts (and GCs old generations) must always
+// observe a complete old-or-new registry. Run under TSAN this also proves
+// the store's internal locking: Load deliberately reads the template file
+// outside the lock and recovers via the manifest when GC wins the race.
+TEST(TemplateStoreTest, ConcurrentLoadsDuringPutServeOldOrNew) {
+  auto store = TemplateStore::Open(FreshDir("stress"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
+  const std::string old_json = Canonical(kRegistryV1);
+  const std::string new_json = Canonical(kRegistryV2);
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn_loads{0};
+  std::atomic<int> successful_loads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto loaded = store->Load("site0");
+        // A Load may lose the retry race against a fast writer (a typed
+        // error, not corruption); what it must never do is return bytes
+        // that are neither the old nor the new generation.
+        if (!loaded.ok()) continue;
+        ++successful_loads;
+        std::string got = loaded->registry.ToJson();
+        if (got != old_json && got != new_json) ++torn_loads;
+      }
+    });
+  }
+  constexpr int kPuts = 40;
+  for (int i = 0; i < kPuts; ++i) {
+    const char* next = (i % 2 == 0) ? kRegistryV2 : kRegistryV1;
+    ASSERT_TRUE(store->Put("site0", ParseRegistry(next)).ok()) << i;
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(torn_loads.load(), 0);
+  EXPECT_GT(successful_loads.load(), 0);
+  EXPECT_EQ(store->Generation("site0"), kPuts + 1);
+  auto final_load = store->Load("site0");
+  ASSERT_TRUE(final_load.ok()) << final_load.status();
 }
 
 TEST(Fnv1a64Test, MatchesKnownVectorsAndSeparatesInputs) {

@@ -1,0 +1,118 @@
+#!/bin/sh
+# thord crash-recovery chaos suite.
+#
+# Part 1 (graceful): SIGTERM mid-stream must drain — finish the in-flight
+# batch, answer everything accepted, flush, exit 0.
+#
+# Part 2 (crash matrix): for every registered failpoint, kill -9 the daemon
+# (THOR_FAILPOINTS=<fp>:crash → std::_Exit(137)) mid-batch, restart against
+# the same store, and prove (a) the store is uncorrupted — the restarted
+# daemon serves the full request stream, template hits included — and
+# (b) recovery is deterministic: the restarted stream is byte-identical at
+# THOR_THREADS=1 and THOR_THREADS=4.
+#
+# usage: thord_crash_recovery.sh THORD THORCLI WORKDIR
+
+THORD=$1
+THORCLI=$2
+WORK=$3
+fail=0
+
+rm -rf "$WORK" || exit 1
+mkdir -p "$WORK" || exit 1
+
+# Probe two sites once; the pages are reused by every scenario. site0 is
+# pre-learned into each store (exercising the store.load.* paths), site1 is
+# left unknown so its first request drives the full relearn machinery
+# (store.put.* and serve.relearn.* paths).
+"$THORCLI" probe --sites 2 --queries 30 --out "$WORK/probe" >/dev/null || {
+  echo "FAIL: probe"; exit 1;
+}
+for page in "$WORK"/probe/site0/*.html "$WORK"/probe/site1/*.html; do
+  site=$(basename "$(dirname "$page")")
+  printf '{"site":"%s","file":"%s"}\n' "$site" "$page"
+done > "$WORK/requests.ndjson"
+total_requests=$(wc -l < "$WORK/requests.ndjson")
+
+seed_store() {
+  rm -rf "$1"
+  "$THORCLI" learn "$WORK/probe/site0" --store "$1" --site site0 >/dev/null
+}
+
+# --- part 1: graceful shutdown ------------------------------------------
+
+seed_store "$WORK/store_term" || { echo "FAIL: seed store_term"; exit 1; }
+fifo="$WORK/term.fifo"
+mkfifo "$fifo" || exit 1
+"$THORD" --store "$WORK/store_term" --fleet 2 --seed 77 --batch 4 \
+  < "$fifo" > "$WORK/term.out" &
+daemon=$!
+exec 3> "$fifo"
+head -n 6 "$WORK/requests.ndjson" >&3
+sleep 1
+kill -TERM "$daemon"
+status=0
+wait "$daemon" || status=$?
+exec 3>&-
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: graceful: SIGTERM exit status $status (want 0)"
+  fail=1
+fi
+term_lines=$(wc -l < "$WORK/term.out")
+if [ "$term_lines" -lt 4 ]; then
+  echo "FAIL: graceful: only $term_lines responses before shutdown (want >= 4)"
+  fail=1
+fi
+if ! grep -q '"source":"template"' "$WORK/term.out"; then
+  echo "FAIL: graceful: no template hit before shutdown"
+  fail=1
+fi
+
+# --- part 2: kill -9 at every failpoint, then recover --------------------
+
+failpoints=$("$THORD" --list-failpoints) || { echo "FAIL: list"; exit 1; }
+for fp in $failpoints; do
+  for threads in 1 4; do
+    store="$WORK/store_${fp}_t${threads}"
+    seed_store "$store" || { echo "FAIL: seed $store"; fail=1; continue; }
+
+    status=0
+    THOR_FAILPOINTS="$fp:crash" THOR_THREADS=$threads \
+      "$THORD" --store "$store" --fleet 2 --seed 77 --batch 4 \
+      < "$WORK/requests.ndjson" \
+      > "$WORK/$fp.t$threads.crash.out" \
+      2> "$WORK/$fp.t$threads.crash.err" || status=$?
+    if [ "$status" -ne 137 ]; then
+      echo "FAIL: $fp t$threads: crash run exited $status (want 137 — did the failpoint fire?)"
+      fail=1
+    fi
+
+    # Restart against the surviving store and re-send the whole stream.
+    recover="$WORK/$fp.t$threads.recover.out"
+    if ! THOR_THREADS=$threads \
+        "$THORD" --store "$store" --fleet 2 --seed 77 --batch 4 \
+        < "$WORK/requests.ndjson" > "$recover"; then
+      echo "FAIL: $fp t$threads: recovery run failed"
+      fail=1
+      continue
+    fi
+    recover_lines=$(wc -l < "$recover")
+    if [ "$recover_lines" -ne "$total_requests" ]; then
+      echo "FAIL: $fp t$threads: $recover_lines/$total_requests responses after recovery"
+      fail=1
+    fi
+    if ! grep -q '"source":"template"' "$recover"; then
+      echo "FAIL: $fp t$threads: no template hits after recovery (store corrupt?)"
+      fail=1
+    fi
+  done
+  if ! cmp -s "$WORK/$fp.t1.recover.out" "$WORK/$fp.t4.recover.out"; then
+    echo "FAIL: $fp: recovery streams differ between THOR_THREADS=1 and 4"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "thord_crash_recovery: all scenarios passed"
+fi
+exit "$fail"

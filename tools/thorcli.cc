@@ -54,7 +54,8 @@ int Usage() {
                "  thorcli search DIR... --query WORDS [--by-site]\n"
                "  thorcli eval [--sites N] [--fault-rate R] "
                "[--retry-budget N] [--seed S]\n"
-               "               [--trace FILE] [--metrics]\n"
+               "               [--deadline-ms MS] [--trace FILE] "
+               "[--metrics]\n"
                "\n"
                "eval chaos mode: --fault-rate injects transport faults "
                "(timeouts, resets,\n5xx, 429, truncation, garbling) at "
@@ -517,6 +518,7 @@ int RunEval(int argc, char** argv) {
   int num_sites = 10;
   double fault_rate = 0.0;
   int retry_budget = 4;
+  double deadline_ms = 0.0;
   uint64_t seed = 1234;
   std::string trace_file;
   bool print_metrics = false;
@@ -527,6 +529,8 @@ int RunEval(int argc, char** argv) {
       fault_rate = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--retry-budget") && i + 1 < argc) {
       retry_budget = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--deadline-ms") && i + 1 < argc) {
+      deadline_ms = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
@@ -581,10 +585,19 @@ int RunEval(int argc, char** argv) {
     core::ThorOptions thor_options;
     thor_options.observability.metrics = &registry;
     thor_options.observability.tracer = &tracer;
+    if (deadline_ms > 0.0) {
+      // Each site gets its own wall-clock budget; an overrun aborts that
+      // site with a typed error instead of stalling the whole eval.
+      thor_options.deadline = Deadline::After(nullptr, deadline_ms);
+    }
     Tracer::Scope site_span(&tracer,
                             "site" + std::to_string(sample.site_id));
     auto result = core::RunThor(pages, thor_options);
-    if (!result.ok()) continue;
+    if (!result.ok()) {
+      std::printf("site %-3d pipeline error: %s\n", sample.site_id,
+                  result.status().ToString().c_str());
+      continue;
+    }
     auto pr = core::EvaluatePagelets(sample, *result);
     std::printf("site %-3d P=%.3f R=%.3f (%d/%d)", sample.site_id,
                 pr.Precision(), pr.Recall(), pr.correct, pr.truth);

@@ -12,33 +12,54 @@
 //
 // `source` is "template" (served from the store/cache), "relearn" (this
 // request triggered a full Probe→Cluster→Discover relearn), "miss" (no
-// template fit), or "shed" (rejected by admission control). Requests are
-// processed in bounded batches — the daemon never holds more than --batch
-// requests in memory — and oversized lines are shed instead of buffered.
+// template fit), "shed" (rejected by admission control or a draining
+// shutdown), or "deadline" (the batch deadline overtook the request).
 //
-// Responses are emitted in request order, and every stage (batch fan-out,
-// relearn, store commits) is deterministic, so the response stream is
-// byte-identical at every THOR_THREADS setting for a fixed --seed.
+// A reader thread parses stdin while a worker thread batches requests
+// through the extraction service (see serve/server_loop.h); responses are
+// emitted in request order and every stage is deterministic, so with an
+// unbounded backlog (the default) the response stream is byte-identical
+// at every THOR_THREADS setting for a fixed --seed. --max-backlog bounds
+// the queue instead: overflow requests are answered with a "shed"
+// response in stream position rather than buffered without limit.
+//
+// Shutdown: SIGTERM/SIGINT finishes the in-flight batch, answers every
+// queued request with a draining "shed" response, flushes, and exits 0 —
+// the response stream is always complete. A second signal additionally
+// cancels the in-flight batch (its unfinished requests degrade to typed
+// "deadline" responses). The crash-recovery chaos suite covers the
+// ungraceful paths through THOR_FAILPOINTS (see --list-failpoints).
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/evaluation.h"
 #include "src/deepweb/corpus.h"
 #include "src/deepweb/site_generator.h"
+#include "src/deepweb/transport.h"
 #include "src/serve/extraction_service.h"
+#include "src/serve/server_loop.h"
 #include "src/serve/template_store.h"
+#include "src/util/failpoint.h"
 #include "src/util/json.h"
 #include "src/util/json_reader.h"
 #include "src/util/metrics.h"
 
 namespace thor {
 namespace {
+
+volatile std::sig_atomic_t g_signals = 0;
+
+void OnSignal(int /*signum*/) { g_signals = g_signals + 1; }
 
 int Usage() {
   std::fprintf(
@@ -50,12 +71,21 @@ int Usage() {
       "  --cache N               resident site registries (default 64)\n"
       "  --threads N             batch fan-out threads (default: "
       "THOR_THREADS)\n"
-      "  --batch N               max requests per batch / backlog bound "
-      "(default 32)\n"
+      "  --batch N               max requests per batch (default 32)\n"
+      "  --max-backlog N         shed requests once N are queued "
+      "(default 0 = unbounded)\n"
+      "  --deadline-ms MS        per-batch extraction deadline "
+      "(default 0 = none)\n"
+      "  --relearn-deadline-ms MS  per-relearn pipeline deadline "
+      "(default 0 = none)\n"
       "  --max-request-bytes N   larger request lines are shed "
       "(default 4194304)\n"
       "  --fleet N               enable relearning against N simulated "
       "sites\n"
+      "  --fault-rate R          inject transport faults at rate R into "
+      "relearn probes\n"
+      "  --retry-budget N        cap fetch attempts per relearn probe "
+      "session\n"
       "  --probe-queries N       probe words per relearn sample "
       "(default 40)\n"
       "  --relearn-window N      requests per staleness window "
@@ -65,7 +95,8 @@ int Usage() {
       "  --seed S                probe seed for relearn samples "
       "(default 1234)\n"
       "  --metrics               print the metrics registry to stderr at "
-      "EOF\n");
+      "exit\n"
+      "  --list-failpoints       print every failpoint name and exit\n");
   return 2;
 }
 
@@ -74,23 +105,18 @@ struct DaemonOptions {
   size_t cache = 64;
   int threads = 0;
   int batch = 32;
+  size_t max_backlog = 0;
+  double deadline_ms = 0.0;
+  double relearn_deadline_ms = 0.0;
   size_t max_request_bytes = 4u << 20;
   int fleet = 0;
+  double fault_rate = 0.0;
+  int retry_budget = 0;
   int probe_queries = 40;
   int relearn_window = 20;
   double relearn_miss_rate = 0.5;
   uint64_t seed = 1234;
   bool print_metrics = false;
-};
-
-/// One stdin line: either a parsed request (index into the batch) or an
-/// immediately-formed response (parse error, shed). Keeping both in one
-/// stream preserves response order.
-struct LineItem {
-  bool immediate = false;
-  serve::ExtractionService::Response response;  ///< when immediate
-  std::string site;                             ///< echoed back
-  size_t request_index = 0;                     ///< when !immediate
 };
 
 void PrintResponse(const std::string& site,
@@ -138,19 +164,17 @@ std::string ParseRequestLine(const std::string& line, std::string* site,
   return "bad request: need \"html\" or \"file\"";
 }
 
-void DrainBatch(serve::ExtractionService* service,
-                std::vector<LineItem>* items,
-                std::vector<serve::ExtractionService::Request>* requests) {
-  if (items->empty()) return;
-  auto responses = service->ExtractBatch(*requests);
-  for (const LineItem& item : *items) {
-    PrintResponse(item.site, item.immediate
-                                 ? item.response
-                                 : responses[item.request_index]);
+/// Fleet member id for "site<digits>" (no leading zeros), else -1.
+int FleetSiteId(const std::string& site, size_t fleet_size) {
+  if (site.rfind("site", 0) != 0) return -1;
+  std::string suffix = site.substr(4);
+  if (suffix.empty() || suffix.size() > 9 ||
+      suffix.find_first_not_of("0123456789") != std::string::npos ||
+      (suffix.size() > 1 && suffix[0] == '0')) {
+    return -1;
   }
-  std::fflush(stdout);
-  items->clear();
-  requests->clear();
+  int id = std::atoi(suffix.c_str());
+  return id < static_cast<int>(fleet_size) ? id : -1;
 }
 
 int Main(int argc, char** argv) {
@@ -171,11 +195,23 @@ int Main(int argc, char** argv) {
       options.threads = std::atoi(next("--threads"));
     } else if (!std::strcmp(argv[i], "--batch")) {
       options.batch = std::atoi(next("--batch"));
+    } else if (!std::strcmp(argv[i], "--max-backlog")) {
+      options.max_backlog =
+          static_cast<size_t>(std::atoll(next("--max-backlog")));
+    } else if (!std::strcmp(argv[i], "--deadline-ms")) {
+      options.deadline_ms = std::atof(next("--deadline-ms"));
+    } else if (!std::strcmp(argv[i], "--relearn-deadline-ms")) {
+      options.relearn_deadline_ms =
+          std::atof(next("--relearn-deadline-ms"));
     } else if (!std::strcmp(argv[i], "--max-request-bytes")) {
       options.max_request_bytes =
           static_cast<size_t>(std::atoll(next("--max-request-bytes")));
     } else if (!std::strcmp(argv[i], "--fleet")) {
       options.fleet = std::atoi(next("--fleet"));
+    } else if (!std::strcmp(argv[i], "--fault-rate")) {
+      options.fault_rate = std::atof(next("--fault-rate"));
+    } else if (!std::strcmp(argv[i], "--retry-budget")) {
+      options.retry_budget = std::atoi(next("--retry-budget"));
     } else if (!std::strcmp(argv[i], "--probe-queries")) {
       options.probe_queries = std::atoi(next("--probe-queries"));
     } else if (!std::strcmp(argv[i], "--relearn-window")) {
@@ -186,6 +222,11 @@ int Main(int argc, char** argv) {
       options.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
     } else if (!std::strcmp(argv[i], "--metrics")) {
       options.print_metrics = true;
+    } else if (!std::strcmp(argv[i], "--list-failpoints")) {
+      for (const std::string& name : FailpointRegistry::Global()->Names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
     } else {
       return Usage();
     }
@@ -205,73 +246,121 @@ int Main(int argc, char** argv) {
   service_options.threads = options.threads;
   service_options.relearn_min_requests = options.relearn_window;
   service_options.relearn_miss_rate = options.relearn_miss_rate;
+  service_options.relearn_deadline_ms = options.relearn_deadline_ms;
   service_options.metrics = &metrics;
 
   // With --fleet, sites named "site<K>" can be relearned by probing the
-  // simulated fleet — the stand-in for re-crawling a live source.
+  // simulated fleet — the stand-in for re-crawling a live source. With
+  // --fault-rate the probe runs through a fault-injecting transport and
+  // the resilient prober (retries, backoff, circuit breaker), so relearn
+  // inherits the same hostile-transport degradation as batch evaluation.
   serve::ExtractionService::SampleProvider sampler;
   std::vector<deepweb::DeepWebSite> fleet;
   if (options.fleet > 0) {
     deepweb::FleetOptions fleet_options;
     fleet_options.num_sites = options.fleet;
     fleet = deepweb::GenerateSiteFleet(fleet_options);
-    sampler = [&options, &fleet](const std::string& site)
+    sampler = [&options, &fleet, &metrics](const std::string& site)
         -> std::vector<core::Page> {
-      // Only "site<digits>" (no leading zeros) names a fleet member;
-      // anything else ("site", "sitex", "site007") is unsampleable.
-      if (site.rfind("site", 0) != 0) return {};
-      std::string suffix = site.substr(4);
-      if (suffix.empty() || suffix.size() > 9 ||
-          suffix.find_first_not_of("0123456789") != std::string::npos ||
-          (suffix.size() > 1 && suffix[0] == '0')) {
-        return {};
+      int id = FleetSiteId(site, fleet.size());
+      if (id < 0) return {};
+      const deepweb::DeepWebSite& member = fleet[static_cast<size_t>(id)];
+      if (options.fault_rate <= 0.0 && options.retry_budget <= 0) {
+        deepweb::ProbeOptions probe;
+        probe.num_dictionary_words = options.probe_queries;
+        probe.seed = options.seed + static_cast<uint64_t>(id);
+        return core::ToPages(deepweb::BuildSiteSample(member, probe));
       }
-      int id = std::atoi(suffix.c_str());
-      if (id >= static_cast<int>(fleet.size())) return {};
-      deepweb::ProbeOptions probe;
-      probe.num_dictionary_words = options.probe_queries;
-      probe.seed = options.seed + static_cast<uint64_t>(id);
-      return core::ToPages(
-          deepweb::BuildSiteSample(fleet[static_cast<size_t>(id)], probe));
+      deepweb::ResilientProbeOptions probe;
+      probe.plan.num_dictionary_words = options.probe_queries;
+      probe.plan.seed = options.seed + static_cast<uint64_t>(id);
+      probe.retry.total_attempt_budget = options.retry_budget;
+      probe.metrics = &metrics;
+      deepweb::FaultOptions faults = deepweb::FaultOptions::Uniform(
+          options.fault_rate,
+          options.seed + 0x9e37u * static_cast<uint64_t>(id));
+      deepweb::DirectTransport direct(&member);
+      deepweb::FaultInjectingTransport chaotic(&direct, faults);
+      auto sample = deepweb::BuildSiteSampleResilient(id, &chaotic, probe);
+      if (!sample.ok()) return {};
+      return core::ToPages(*sample);
     };
   }
   serve::ExtractionService service(&*store, service_options,
                                    std::move(sampler));
 
+  serve::ServerLoopOptions loop_options;
+  loop_options.batch = options.batch;
+  loop_options.max_backlog = options.max_backlog;
+  loop_options.batch_deadline_ms = options.deadline_ms;
+  loop_options.metrics = &metrics;
+  serve::ServerLoop loop(&service, loop_options);
+
+  // SIGTERM/SIGINT are delivered to the reader thread only (the worker
+  // inherits a blocking mask) and installed without SA_RESTART, so a
+  // signal interrupts the blocking stdin read instead of waiting for the
+  // next request line.
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  sigset_t drain_signals;
+  sigemptyset(&drain_signals);
+  sigaddset(&drain_signals, SIGTERM);
+  sigaddset(&drain_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &drain_signals, nullptr);
+  std::atomic<bool> worker_done{false};
+  std::thread worker([&] {
+    loop.Run(PrintResponse, [] { std::fflush(stdout); });
+    worker_done.store(true);
+  });
+  pthread_sigmask(SIG_UNBLOCK, &drain_signals, nullptr);
+
   Counter* shed = metrics.GetCounter("serve.shed");
-  std::vector<LineItem> items;
-  std::vector<serve::ExtractionService::Request> requests;
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (g_signals == 0 && std::getline(std::cin, line)) {
     if (line.empty()) continue;
-    LineItem item;
     if (line.size() > options.max_request_bytes) {
       shed->Increment();
-      item.immediate = true;
-      item.response.source = serve::ExtractionService::Source::kShed;
-      item.response.error = "request too large";
-      items.push_back(std::move(item));
-    } else {
-      std::string site, html;
-      std::string error = ParseRequestLine(line, &site, &html);
-      item.site = site;
-      if (!error.empty()) {
-        item.immediate = true;
-        item.response.error = error;
-        items.push_back(std::move(item));
-      } else {
-        item.request_index = requests.size();
-        requests.push_back({std::move(site), std::move(html)});
-        items.push_back(std::move(item));
-      }
+      serve::ExtractionService::Response response;
+      response.source = serve::ExtractionService::Source::kShed;
+      response.error = "request too large";
+      loop.SubmitImmediate("", std::move(response));
+      continue;
     }
-    // The backlog is bounded: a full batch drains before the next read.
-    if (requests.size() >= static_cast<size_t>(options.batch) ||
-        items.size() >= 4 * static_cast<size_t>(options.batch)) {
-      DrainBatch(&service, &items, &requests);
+    std::string site, html;
+    std::string error = ParseRequestLine(line, &site, &html);
+    if (!error.empty()) {
+      serve::ExtractionService::Response response;
+      response.error = error;
+      loop.SubmitImmediate(std::move(site), std::move(response));
+      continue;
     }
+    loop.Submit(std::move(site), std::move(html));
   }
-  DrainBatch(&service, &items, &requests);
+
+  if (g_signals > 0) {
+    loop.RequestDrain();
+  } else {
+    loop.FinishInput();
+  }
+  // Watch for a second signal while the worker finishes the in-flight
+  // batch: it cancels the batch deadline so shutdown stays prompt even
+  // mid-relearn.
+  bool cancelled = false;
+  while (!worker_done.load()) {
+    if (!cancelled && g_signals >= 2) {
+      loop.CancelInFlight();
+      cancelled = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  worker.join();
+
   if (options.print_metrics) {
     std::fprintf(stderr, "%s\n", metrics.Snapshot().ToJson().c_str());
   }
