@@ -1,0 +1,192 @@
+// Template drift: miss-rate over time while the served site redesigns
+// itself on a fixed schedule, with and without background relearning.
+//
+// The stream is E epochs of the same drifting site (drift seed fixed, so
+// the schedule is replayable); both runs start from the same epoch-0
+// generation. The static run can only serve what it learned at epoch 0 —
+// its miss rate jumps at every drift event and never recovers. The
+// background run detects the drift, relearns off the request path, and
+// canaries the fresh generation in; its miss rate recovers within a few
+// batches of each event.
+//
+// Writes BENCH_template_drift.json with the per-batch series.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/evaluation.h"
+#include "src/core/template_registry.h"
+#include "src/core/thor.h"
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site_generator.h"
+#include "src/serve/extraction_service.h"
+#include "src/serve/relearn_manager.h"
+#include "src/serve/template_store.h"
+#include "src/util/json.h"
+
+namespace thor {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kDriftSeed = 4242;
+constexpr double kDriftRate = 0.9;
+constexpr int kEpochs = 4;
+constexpr int kBatch = 8;
+
+std::vector<deepweb::DeepWebSite> MakeFleet() {
+  deepweb::FleetOptions options;
+  options.num_sites = 1;
+  options.drift.seed = kDriftSeed;
+  options.drift.mutation_rate = kDriftRate;
+  return deepweb::GenerateSiteFleet(options);
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = argc > 1 ? argv[1] : "BENCH_template_drift.json";
+
+  // The serving stream: the same probe plan replayed at each drift epoch.
+  auto stream_fleet = MakeFleet();
+  deepweb::ProbeOptions serve_probe;
+  serve_probe.seed = 99;
+  std::vector<serve::ExtractionService::Request> requests;
+  int segment = 0;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    deepweb::SetFleetEpoch(&stream_fleet, epoch);
+    auto sample = deepweb::BuildSiteSample(stream_fleet[0], serve_probe);
+    segment = static_cast<int>(sample.pages.size());
+    for (const auto& page : sample.pages) {
+      requests.push_back({"site0", page.html});
+    }
+  }
+
+  // Both runs start with the epoch-0 generation already learned.
+  deepweb::SetFleetEpoch(&stream_fleet, 0);
+  deepweb::ProbeOptions train_probe;
+  train_probe.seed = 7;
+  auto train_pages =
+      core::ToPages(deepweb::BuildSiteSample(stream_fleet[0], train_probe));
+  auto analysis = core::RunThor(train_pages, core::ThorOptions{});
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "training run failed: %s\n",
+                 analysis.status().ToString().c_str());
+    return 1;
+  }
+  auto registry = core::TemplateRegistry::Learn(train_pages, *analysis);
+
+  // One relearn probe per drift epoch, derived from the enqueuing ticket
+  // exactly like thord does it — the sampler sees the redesign the stream
+  // was on when the job was scheduled.
+  auto sampler_fleet = MakeFleet();
+  serve::RelearnManager::SampleProvider sampler =
+      [&](const std::string&, uint64_t ticket) {
+        int epoch = static_cast<int>((ticket - 1) * kBatch) / segment;
+        if (epoch >= kEpochs) epoch = kEpochs - 1;
+        deepweb::SetFleetEpoch(&sampler_fleet, epoch);
+        deepweb::ProbeOptions probe;
+        probe.seed = 1234;
+        return core::ToPages(
+            deepweb::BuildSiteSample(sampler_fleet[0], probe));
+      };
+
+  // Per-batch miss counts for one serving mode.
+  auto run = [&](bool background) {
+    fs::path dir = fs::temp_directory_path() /
+                   (background ? "thor_bench_drift_bg" : "thor_bench_drift_st");
+    fs::remove_all(dir);
+    auto store = serve::TemplateStore::Open(dir.string());
+    if (!store.ok() || !store->Put("site0", registry).ok()) {
+      std::fprintf(stderr, "store setup failed\n");
+      std::exit(1);
+    }
+    serve::RelearnManagerOptions manager_options;
+    serve::RelearnManager manager(&*store, manager_options, sampler);
+    serve::ServiceOptions options;
+    if (background) options.relearn_manager = &manager;
+    serve::ExtractionService service(&*store, options);
+    std::vector<double> miss_rates;
+    for (size_t start = 0; start < requests.size();
+         start += static_cast<size_t>(kBatch)) {
+      size_t end = std::min(requests.size(),
+                            start + static_cast<size_t>(kBatch));
+      std::vector<serve::ExtractionService::Request> batch(
+          requests.begin() + static_cast<long>(start),
+          requests.begin() + static_cast<long>(end));
+      auto responses = service.ExtractBatch(batch);
+      int misses = 0;
+      for (const auto& response : responses) {
+        if (response.source != serve::ExtractionService::Source::kTemplate) {
+          ++misses;
+        }
+      }
+      miss_rates.push_back(static_cast<double>(misses) /
+                           static_cast<double>(responses.size()));
+    }
+    manager.Stop();
+    fs::remove_all(dir);
+    return miss_rates;
+  };
+
+  auto static_rates = run(/*background=*/false);
+  auto relearn_rates = run(/*background=*/true);
+
+  bench::PrintHeader("Miss rate per batch under scheduled template drift");
+  bench::PrintRow("", {"batch", "epoch", "static", "background"});
+  double static_total = 0.0;
+  double relearn_total = 0.0;
+  for (size_t b = 0; b < static_rates.size(); ++b) {
+    int epoch = static_cast<int>(b * kBatch) / segment;
+    bench::PrintRow("", {std::to_string(b), std::to_string(epoch),
+                         bench::Fmt(static_rates[b], 2),
+                         bench::Fmt(relearn_rates[b], 2)});
+    static_total += static_rates[b];
+    relearn_total += relearn_rates[b];
+  }
+  double batches = static_cast<double>(static_rates.size());
+  std::printf("\nmean miss rate: static %.3f, background relearn %.3f\n",
+              static_total / batches, relearn_total / batches);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("template_drift");
+  json.Key("drift_seed").Int(static_cast<long long>(kDriftSeed));
+  json.Key("drift_rate").Double(kDriftRate);
+  json.Key("epochs").Int(kEpochs);
+  json.Key("segment_requests").Int(segment);
+  json.Key("batch").Int(kBatch);
+  json.Key("mean_miss_rate_static").Double(static_total / batches);
+  json.Key("mean_miss_rate_background").Double(relearn_total / batches);
+  json.Key("series").BeginArray();
+  for (size_t b = 0; b < static_rates.size(); ++b) {
+    json.BeginObject();
+    json.Key("batch").Int(static_cast<long long>(b));
+    json.Key("epoch").Int(static_cast<int>(b * kBatch) / segment);
+    json.Key("static_miss_rate").Double(static_rates[b]);
+    json.Key("background_miss_rate").Double(relearn_rates[b]);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out != nullptr) {
+    std::fprintf(out, "%s\n", json.str().c_str());
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  std::printf(
+      "shape check: both modes start near zero; after each drift event the\n"
+      "static line stays high while the background line recovers within a\n"
+      "few batches (the relearn is enqueued, canaried, and adopted at a\n"
+      "batch rendezvous — never on the request path).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace thor
+
+int main(int argc, char** argv) { return thor::Main(argc, argv); }

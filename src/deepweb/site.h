@@ -27,6 +27,29 @@ inline bool ClassHasPagelet(PageClass c) {
   return c == PageClass::kMultiMatch || c == PageClass::kSingleMatch;
 }
 
+/// \brief Deterministic template-drift schedule for one site.
+///
+/// Drift is a pure function of (seed, epoch): epoch 0 is the pristine
+/// presentation genome, and every later epoch applies one seeded mutation
+/// step on top of the previous one. Tests and benches replay an exact
+/// drift history by setting the same seed and stepping through the same
+/// epochs — there is no hidden wall-clock dependence.
+struct DriftSchedule {
+  /// 0 disables drift entirely (SetEpoch becomes a no-op and the site
+  /// renders byte-identically to a schedule-free site).
+  uint64_t seed = 0;
+  /// Per-knob probability that one epoch step mutates a presentation knob
+  /// (gradual drift; 1.0 approximates a full redesign per epoch).
+  double mutation_rate = 0.35;
+  /// Fraction of queries served by a per-epoch B-arm redesign (an A/B
+  /// template split: part of the traffic sees a candidate new template
+  /// while the rest still gets the drifted A arm). 0 disables the split.
+  double ab_fraction = 0.0;
+  /// Re-roll the ad block's presence probability and position each epoch
+  /// (ad-region churn on top of the per-page ad rotation).
+  bool ad_churn = true;
+};
+
 /// Configuration of one simulated deep-web source.
 struct SiteConfig {
   int site_id = 0;
@@ -40,6 +63,8 @@ struct SiteConfig {
   int catalog_size = 800;
   /// Probability that a query hits a transient server error page.
   double error_rate = 0.02;
+  /// Template-drift schedule (seed 0 = static site).
+  DriftSchedule drift;
 };
 
 /// A dynamically generated answer page plus its ground truth.
@@ -71,6 +96,16 @@ class DeepWebSite {
   /// Answers a single-keyword probe query.
   QueryResponse Query(std::string_view keyword) const;
 
+  /// Advances (or rewinds) the site to drift epoch `epoch`: the current
+  /// style becomes the base genome mutated `epoch` times under the
+  /// config's DriftSchedule, and — when the schedule has an A/B split —
+  /// the epoch's B-arm redesign is resampled. Deterministic: the same
+  /// (config, epoch) always renders byte-identical pages, regardless of
+  /// the epochs visited in between. No-op without a drift schedule.
+  /// Not thread-safe against concurrent Query on the *same* site.
+  void SetEpoch(int epoch);
+  int epoch() const { return epoch_; }
+
   const SiteConfig& config() const { return config_; }
   const SiteStyle& style() const { return style_; }
   const RecordCatalog& catalog() const { return catalog_; }
@@ -79,7 +114,11 @@ class DeepWebSite {
  private:
   SiteConfig config_;
   RecordCatalog catalog_;
-  SiteStyle style_;
+  SiteStyle style_;       ///< current (epoch-drifted) A-arm style
+  SiteStyle base_style_;  ///< pristine epoch-0 genome
+  SiteStyle style_b_;     ///< current epoch's B-arm redesign (if split)
+  bool has_b_arm_ = false;
+  int epoch_ = 0;
   std::string base_url_;
 };
 

@@ -14,9 +14,20 @@ std::vector<SiteConfig> GenerateFleetConfigs(const FleetOptions& options) {
     config.catalog_size = static_cast<int>(rng.UniformRange(
         options.min_catalog_size, options.max_catalog_size));
     config.error_rate = options.error_rate;
+    if (options.drift.seed != 0) {
+      config.drift = options.drift;
+      // Derive the per-site seed outside the fleet rng stream so turning
+      // drift on does not reshuffle the sites themselves.
+      uint64_t t = options.drift.seed + static_cast<uint64_t>(i) + 1;
+      config.drift.seed = SplitMix64(&t);
+    }
     configs.push_back(config);
   }
   return configs;
+}
+
+void SetFleetEpoch(std::vector<DeepWebSite>* fleet, int epoch) {
+  for (DeepWebSite& site : *fleet) site.SetEpoch(epoch);
 }
 
 std::vector<DeepWebSite> GenerateSiteFleet(const FleetOptions& options) {

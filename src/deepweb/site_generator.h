@@ -16,6 +16,13 @@ struct FleetOptions {
   int min_catalog_size = 400;
   int max_catalog_size = 1200;
   double error_rate = 0.02;
+  /// Fleet-wide drift schedule. With a non-zero seed every site gets the
+  /// same rate/split knobs but an independent seed derived from it, so
+  /// sites redesign differently while the whole fleet's drift history
+  /// stays replayable from one number. Derivation is independent of the
+  /// fleet rng stream: enabling drift changes nothing else about the
+  /// generated sites.
+  DriftSchedule drift;
 };
 
 /// Generates the per-site configurations for a diverse fleet: domains
@@ -24,6 +31,10 @@ std::vector<SiteConfig> GenerateFleetConfigs(const FleetOptions& options);
 
 /// Instantiates the whole fleet (convenience wrapper).
 std::vector<DeepWebSite> GenerateSiteFleet(const FleetOptions& options);
+
+/// Moves every site of `fleet` to drift epoch `epoch` (no-op for sites
+/// without a drift schedule).
+void SetFleetEpoch(std::vector<DeepWebSite>* fleet, int epoch);
 
 }  // namespace thor::deepweb
 

@@ -414,6 +414,39 @@ SiteStyle SiteStyle::Sample(Domain domain, std::string site_name, Rng* rng) {
   return style;
 }
 
+SiteStyle DriftStyle(SiteStyle style, double mutation_rate, Rng* rng) {
+  // Every knob draws its mutation coin and replacement value
+  // unconditionally, so the rng stream shape is independent of the
+  // outcomes and a schedule replays byte-identically from its seed.
+  auto mutate = [&](auto* knob, auto fresh) {
+    bool fire = rng->Bernoulli(mutation_rate);
+    auto value = fresh();
+    if (fire) *knob = value;
+  };
+  mutate(&style.header, [&] {
+    return static_cast<HeaderMarkup>(rng->UniformInt(3));
+  });
+  mutate(&style.nav, [&] { return static_cast<NavMarkup>(rng->UniformInt(3)); });
+  mutate(&style.layout, [&] {
+    return rng->Bernoulli(0.4) ? PageLayout::kTableGrid : PageLayout::kLinear;
+  });
+  mutate(&style.results, [&] {
+    return static_cast<ResultsMarkup>(rng->UniformInt(4));
+  });
+  mutate(&style.has_sidebar, [&] { return rng->Bernoulli(0.5); });
+  mutate(&style.has_ad_block, [&] { return rng->Bernoulli(0.7); });
+  mutate(&style.ad_before_results, [&] { return rng->Bernoulli(0.5); });
+  mutate(&style.use_font_tags, [&] { return rng->Bernoulli(0.3); });
+  mutate(&style.wrapper_depth,
+         [&] { return static_cast<int>(rng->UniformInt(4)); });
+  mutate(&style.results_show_image, [&] { return rng->Bernoulli(0.6); });
+  mutate(&style.results_show_rating, [&] { return rng->Bernoulli(0.6); });
+  mutate(&style.results_show_snippet, [&] { return rng->Bernoulli(0.7); });
+  mutate(&style.single_uses_table, [&] { return rng->Bernoulli(0.5); });
+  mutate(&style.sloppy_markup, [&] { return rng->Bernoulli(0.35); });
+  return style;
+}
+
 std::string DropOptionalEndTags(std::string html) {
   static constexpr const char* kOptional[] = {"</li>", "</td>", "</tr>",
                                               "</p>",  "</dd>", "</dt>"};

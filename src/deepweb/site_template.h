@@ -77,6 +77,15 @@ struct SiteStyle {
   static SiteStyle Sample(Domain domain, std::string site_name, Rng* rng);
 };
 
+/// One gradual-drift step: re-rolls each presentation knob of `style` with
+/// probability `mutation_rate`, deterministic in `*rng`. Content identity
+/// (site name, css token, tagline, boilerplate) is preserved — drift is
+/// the site changing how it *renders* its database, the paper's
+/// template-change robustness scenario, not the database changing. A fixed
+/// number of rng draws is consumed regardless of which knobs mutate, so a
+/// drift schedule replays exactly from its seed.
+SiteStyle DriftStyle(SiteStyle style, double mutation_rate, Rng* rng);
+
 /// Ground-truth marker attribute names emitted by the renderers. The THOR
 /// algorithms never read attributes; only the evaluation harness does.
 inline constexpr std::string_view kQaMarkerAttr = "data-qa";

@@ -1,5 +1,6 @@
 #include "src/serve/extraction_service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/core/object_partition.h"
@@ -7,6 +8,18 @@
 #include "src/util/parallel.h"
 
 namespace thor::serve {
+
+const char* DriftStateName(DriftState state) {
+  switch (state) {
+    case DriftState::kHealthy:
+      return "healthy";
+    case DriftState::kDrifting:
+      return "drifting";
+    case DriftState::kBroken:
+      return "broken";
+  }
+  return "unknown";
+}
 
 const char* ExtractionService::SourceName(Source source) {
   switch (source) {
@@ -72,10 +85,23 @@ ExtractionService::Response ExtractionService::ExtractAgainst(
 }
 
 bool ExtractionService::ShouldRelearn(const std::string& site, bool known) {
-  if (sampler_ == nullptr) return false;
+  if (sampler_ == nullptr && options_.relearn_manager == nullptr) {
+    return false;
+  }
   const SiteStats& stats = stats_[site];
   if (!known && stats.relearn_attempts == 0) {
     // Unknown site: the first miss is the learn-once moment.
+    return true;
+  }
+  // Background mode only: a site the drift detector has flagged relearns
+  // eagerly, after half a window of evidence. The cumulative window test
+  // below almost never fires after a long healthy run (window_requests
+  // keeps growing, diluting a fresh burst of misses), so without this a
+  // mid-stream redesign would take an entire miss-heavy window to notice.
+  if (options_.relearn_manager != nullptr &&
+      stats.drift != DriftState::kHealthy &&
+      stats.window_requests >=
+          std::max(1, options_.relearn_min_requests / 2)) {
     return true;
   }
   // Known (or previously unlearnable) site: wait for a full window, then
@@ -83,6 +109,36 @@ bool ExtractionService::ShouldRelearn(const std::string& site, bool known) {
   return stats.window_requests >= options_.relearn_min_requests &&
          stats.window_misses >=
              options_.relearn_miss_rate * stats.window_requests;
+}
+
+void ExtractionService::UpdateDrift(SiteStats& stats,
+                                    const Response& response) {
+  double signal = 0.0;
+  if (response.source != Source::kTemplate) {
+    signal = 1.0;
+  } else if (response.confidence < options_.low_confidence) {
+    signal = 0.5;
+  }
+  stats.drift_ewma =
+      (1.0 - options_.drift_alpha) * stats.drift_ewma +
+      options_.drift_alpha * signal;
+  DriftState next = DriftState::kHealthy;
+  if (stats.drift_ewma >= options_.drift_broken) {
+    next = DriftState::kBroken;
+  } else if (stats.drift_ewma >= options_.drift_warn) {
+    next = DriftState::kDrifting;
+  }
+  if (next == stats.drift) return;
+  drifting_sites_ += (next == DriftState::kDrifting ? 1 : 0) -
+                     (stats.drift == DriftState::kDrifting ? 1 : 0);
+  broken_sites_ += (next == DriftState::kBroken ? 1 : 0) -
+                   (stats.drift == DriftState::kBroken ? 1 : 0);
+  stats.drift = next;
+  AddCounter(options_.metrics, "serve.drift.events");
+  SetGauge(options_.metrics, "serve.drift.drifting_sites",
+           static_cast<double>(drifting_sites_));
+  SetGauge(options_.metrics, "serve.drift.broken_sites",
+           static_cast<double>(broken_sites_));
 }
 
 ExtractionService::SiteHandle ExtractionService::Relearn(
@@ -146,6 +202,32 @@ ExtractionService::Response ExtractionService::Extract(
 
 std::vector<ExtractionService::Response> ExtractionService::ExtractBatch(
     const std::vector<Request>& requests, const Deadline& deadline) {
+  // Pass 0: ticketed relearn rendezvous. Batch T adopts every background
+  // relearn enqueued at batch <= T - relearn_sync_batches before it
+  // resolves anything, which pins the batch a fresh generation first
+  // serves from to a position in the request stream — identical at every
+  // thread count. Runs without mu_ held: workers finishing jobs only need
+  // the manager's own lock.
+  uint64_t ticket = batch_ticket_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.relearn_manager != nullptr) {
+    uint64_t lag = static_cast<uint64_t>(
+        std::max(options_.relearn_sync_batches, 0));
+    uint64_t bound = ticket > lag ? ticket - lag : 0;
+    auto ready = options_.relearn_manager->TakeReady(bound, deadline);
+    if (!ready.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& finished : ready) {
+        if (!finished.promoted) continue;
+        if (finished.generation > 0) {
+          ++stats_[finished.site].relearns;
+        }
+        cache_.Put(finished.site,
+                   CachedSite{std::move(finished.registry),
+                              finished.generation});
+      }
+    }
+  }
+
   // Pass 1 (serial): resolve every distinct site in first-appearance
   // order. Store reads happen here, outside the parallel region. A
   // deadline that fires mid-resolve leaves the remaining sites
@@ -229,6 +311,13 @@ std::vector<ExtractionService::Response> ExtractionService::ExtractBatch(
     SiteStats& stats = stats_[request.site];
     ++stats.requests;
     ++stats.window_requests;
+    // Feed the drift detector before the relearn decision so the present
+    // miss is already part of the evidence, and snapshot the page into
+    // the canary shadow ring before any enqueue can sample it.
+    UpdateDrift(stats, response);
+    if (options_.relearn_manager != nullptr) {
+      options_.relearn_manager->ObservePage(request.site, request.html);
+    }
     if (response.source == Source::kTemplate) {
       ++stats.hits;
       AddCounter(options_.metrics, "serve.template_hit");
@@ -250,6 +339,23 @@ std::vector<ExtractionService::Response> ExtractionService::ExtractBatch(
       AddCounter(options_.metrics, "serve.deadline_exceeded");
       continue;
     }
+    if (options_.relearn_manager != nullptr) {
+      // Background mode: the serving thread only enqueues. The miss
+      // stands in this batch's response stream; the relearned generation
+      // (if its canary wins) is adopted at a later batch's rendezvous.
+      auto enqueued =
+          options_.relearn_manager->Enqueue(request.site, ticket);
+      if (enqueued == RelearnManager::Enqueued::kAccepted) {
+        ++stats.relearn_attempts;
+        stats.window_requests = 0;
+        stats.window_misses = 0;
+        AddCounter(options_.metrics, "serve.relearn_attempts");
+      }
+      continue;
+    }
+    // Synchronous fallback: the triggering request's batch eats the full
+    // pipeline run — a stall the background mode exists to eliminate.
+    AddCounter(options_.metrics, "serve.relearn_stalls");
     SiteHandle fresh = Relearn(request.site, deadline);
     if (fresh == nullptr) continue;
     regenerated[request.site] = fresh;
@@ -269,6 +375,12 @@ ExtractionService::SiteStats ExtractionService::StatsFor(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = stats_.find(site);
   return it == stats_.end() ? SiteStats{} : it->second;
+}
+
+std::map<std::string, ExtractionService::SiteStats>
+ExtractionService::AllStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace thor::serve

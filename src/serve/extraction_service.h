@@ -1,6 +1,7 @@
 #ifndef THOR_SERVE_EXTRACTION_SERVICE_H_
 #define THOR_SERVE_EXTRACTION_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -12,6 +13,7 @@
 #include "src/core/page.h"
 #include "src/core/template_registry.h"
 #include "src/core/thor.h"
+#include "src/serve/relearn_manager.h"
 #include "src/serve/template_store.h"
 #include "src/util/clock.h"
 #include "src/util/deadline.h"
@@ -19,6 +21,12 @@
 #include "src/util/metrics.h"
 
 namespace thor::serve {
+
+/// Per-site template-health classification derived from the serving
+/// signal (see ServiceOptions::drift_*). Healthy sites serve as usual;
+/// drifting/broken sites relearn eagerly in the background.
+enum class DriftState { kHealthy = 0, kDrifting = 1, kBroken = 2 };
+const char* DriftStateName(DriftState state);
 
 /// Tuning knobs for the multi-site extraction service.
 struct ServiceOptions {
@@ -55,6 +63,27 @@ struct ServiceOptions {
   /// Time source for the latency histogram (null = wall clock). Tests use
   /// a SimulatedClock to keep snapshots deterministic.
   const Clock* clock = nullptr;
+  /// Background relearn mode: when set (must outlive the service), the
+  /// request path never runs the pipeline inline — relearn decisions only
+  /// *enqueue* jobs on the manager, misses stand in the emitting batch,
+  /// and promoted generations are adopted at the ticketed rendezvous at
+  /// the start of a later batch (see relearn_sync_batches). Null keeps the
+  /// synchronous PR-4 behavior (each inline relearn then counts one
+  /// `serve.relearn_stalls`).
+  RelearnManager* relearn_manager = nullptr;
+  /// Adoption lag of the rendezvous, in batches: batch T blocks until all
+  /// jobs enqueued at batches <= T - relearn_sync_batches are finished and
+  /// adopts their promoted generations before resolving. Depth 1 means a
+  /// generation relearned during batch N serves exactly from batch N+1 —
+  /// at every thread count.
+  int relearn_sync_batches = 1;
+  /// Drift detector: per-request EWMA over the serving signal (miss = 1,
+  /// low-confidence hit = 0.5, confident hit = 0). A site is kDrifting at
+  /// `drift_warn`, kBroken at `drift_broken`; with alpha 0.1 roughly five
+  /// consecutive misses take a healthy site past the warn line.
+  double drift_alpha = 0.1;
+  double drift_warn = 0.35;
+  double drift_broken = 0.8;
 };
 
 /// \brief Long-lived multi-site extraction front end over a TemplateStore.
@@ -136,8 +165,14 @@ class ExtractionService {
     int64_t relearn_attempts = 0; ///< relearns tried (failures included)
     int window_requests = 0;      ///< requests since the last relearn window
     int window_misses = 0;
+    /// Drift detector state: EWMA of the serving signal and the resulting
+    /// classification (see ServiceOptions::drift_*).
+    double drift_ewma = 0.0;
+    DriftState drift = DriftState::kHealthy;
   };
   SiteStats StatsFor(const std::string& site) const;
+  /// Snapshot of every site's accounting (for tools' drift tables).
+  std::map<std::string, SiteStats> AllStats() const;
 
   TemplateStore* store() { return store_; }
 
@@ -166,14 +201,25 @@ class ExtractionService {
   /// relearn_deadline_ms).
   SiteHandle Relearn(const std::string& site, const Deadline& batch_deadline);
 
+  /// Updates `stats.drift_ewma`/`stats.drift` from one served response and
+  /// maintains the serve.drift.* exports. Caller holds mu_.
+  void UpdateDrift(SiteStats& stats, const Response& response);
+
   TemplateStore* store_;
   ServiceOptions options_;
   SampleProvider sampler_;
   LruCache<std::string, CachedSite> cache_;
   const Clock* clock_;
 
+  /// Monotonic batch counter driving the relearn rendezvous (ticket 1 is
+  /// the first batch).
+  std::atomic<uint64_t> batch_ticket_{0};
+
   mutable std::mutex mu_;  ///< guards stats_ and relearn serialization
   std::map<std::string, SiteStats> stats_;
+  /// Sites currently classified drifting/broken (serve.drift.* gauges).
+  int drifting_sites_ = 0;
+  int broken_sites_ = 0;
 };
 
 }  // namespace thor::serve

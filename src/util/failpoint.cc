@@ -30,6 +30,15 @@ constexpr const char* kBuiltinFailpoints[] = {
     // thord daemon batch boundaries.
     "thord.batch.drain",
     "thord.batch.flush",
+    // Background relearn manager job boundaries.
+    "relearn_mgr.enqueue",
+    "relearn_mgr.commit",
+    // Canary rollout: poison forces the canary evaluation to score the
+    // fresh generation as unusable; promote/rollback bracket the commit
+    // and the rejection paths.
+    "canary.poison",
+    "canary.promote",
+    "canary.rollback",
 };
 
 }  // namespace

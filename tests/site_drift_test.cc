@@ -1,0 +1,142 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/deepweb/site.h"
+#include "src/deepweb/site_generator.h"
+#include "src/deepweb/site_template.h"
+
+namespace thor::deepweb {
+namespace {
+
+SiteConfig DriftingConfig(uint64_t drift_seed) {
+  SiteConfig config;
+  config.site_id = 0;
+  config.domain = Domain::kEcommerce;
+  config.seed = 42;
+  config.error_rate = 0.0;
+  config.drift.seed = drift_seed;
+  return config;
+}
+
+TEST(SiteDriftTest, DriftStyleIsDeterministicAndPreservesContentIdentity) {
+  Rng sample_rng(7);
+  SiteStyle base = SiteStyle::Sample(Domain::kMusic, "SiteXMusic",
+                                     &sample_rng);
+  Rng a(99), b(99);
+  SiteStyle drifted_a = DriftStyle(base, 1.0, &a);
+  SiteStyle drifted_b = DriftStyle(base, 1.0, &b);
+  // Same seed, same mutation — knob for knob.
+  EXPECT_EQ(drifted_a.results, drifted_b.results);
+  EXPECT_EQ(drifted_a.layout, drifted_b.layout);
+  EXPECT_EQ(drifted_a.wrapper_depth, drifted_b.wrapper_depth);
+  EXPECT_EQ(drifted_a.sloppy_markup, drifted_b.sloppy_markup);
+  // Drift re-renders, it does not re-brand: the site's content identity
+  // survives every redesign.
+  EXPECT_EQ(drifted_a.site_name, base.site_name);
+  EXPECT_EQ(drifted_a.css_token, base.css_token);
+  EXPECT_EQ(drifted_a.tagline, base.tagline);
+  EXPECT_EQ(drifted_a.boilerplate_paragraphs, base.boilerplate_paragraphs);
+  // Rate 0 mutates nothing (and still consumes the same rng stream).
+  Rng c(99);
+  SiteStyle frozen = DriftStyle(base, 0.0, &c);
+  EXPECT_EQ(frozen.results, base.results);
+  EXPECT_EQ(frozen.header, base.header);
+  EXPECT_EQ(frozen.wrapper_depth, base.wrapper_depth);
+}
+
+TEST(SiteDriftTest, SetEpochReconstructsAnyEpochWithoutReplayOrder) {
+  DeepWebSite direct(DriftingConfig(1234));
+  DeepWebSite stepped(DriftingConfig(1234));
+  direct.SetEpoch(3);
+  stepped.SetEpoch(1);
+  stepped.SetEpoch(7);
+  stepped.SetEpoch(3);
+  for (const char* keyword : {"love", "night", "star"}) {
+    EXPECT_EQ(direct.Query(keyword).html, stepped.Query(keyword).html)
+        << keyword;
+  }
+  EXPECT_EQ(direct.epoch(), 3);
+}
+
+TEST(SiteDriftTest, ZeroDriftSeedMakesSetEpochANoOp) {
+  DeepWebSite drifting(DriftingConfig(0));
+  DeepWebSite pristine(DriftingConfig(0));
+  drifting.SetEpoch(5);
+  for (const char* keyword : {"love", "night", "star"}) {
+    EXPECT_EQ(drifting.Query(keyword).html, pristine.Query(keyword).html);
+  }
+}
+
+TEST(SiteDriftTest, DriftEventuallyChangesRenderingButNotGroundTruth) {
+  DeepWebSite site(DriftingConfig(1234));
+  QueryResponse before = site.Query("love");
+  bool changed = false;
+  for (int epoch = 1; epoch <= 5 && !changed; ++epoch) {
+    site.SetEpoch(epoch);
+    QueryResponse after = site.Query("love");
+    // The hidden database is untouched by a redesign: class and match
+    // count are epoch-invariant, only the markup may move.
+    EXPECT_EQ(after.page_class, before.page_class);
+    EXPECT_EQ(after.num_matches, before.num_matches);
+    changed = after.html != before.html;
+  }
+  EXPECT_TRUE(changed) << "five drift epochs never changed the rendering";
+}
+
+TEST(SiteDriftTest, AbSplitIsStablePerKeywordAndChangesSomePages) {
+  SiteConfig config = DriftingConfig(1234);
+  DeepWebSite plain(config);
+  config.drift.ab_fraction = 0.5;
+  DeepWebSite split(config);
+  plain.SetEpoch(1);
+  split.SetEpoch(1);
+  const char* keywords[] = {"love", "night", "star",  "blue",
+                            "fire", "rain",  "heart", "gold"};
+  int b_arm_pages = 0;
+  for (const char* keyword : keywords) {
+    std::string first = split.Query(keyword).html;
+    // A keyword's arm assignment is sticky — the same query always sees
+    // the same template, as a session-pinned rollout would.
+    EXPECT_EQ(first, split.Query(keyword).html);
+    if (first != plain.Query(keyword).html) ++b_arm_pages;
+  }
+  EXPECT_GT(b_arm_pages, 0) << "no keyword landed on the B arm";
+  EXPECT_LT(b_arm_pages, 8) << "every keyword landed on the B arm";
+}
+
+TEST(SiteDriftTest, FleetDriftSeedDoesNotPerturbSiteGeneration) {
+  FleetOptions plain_options;
+  plain_options.num_sites = 4;
+  FleetOptions drift_options = plain_options;
+  drift_options.drift.seed = 777;
+  auto plain = GenerateFleetConfigs(plain_options);
+  auto drifting = GenerateFleetConfigs(drift_options);
+  ASSERT_EQ(plain.size(), drifting.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    // Enabling drift must not reshuffle the fleet itself...
+    EXPECT_EQ(plain[i].seed, drifting[i].seed);
+    EXPECT_EQ(plain[i].catalog_size, drifting[i].catalog_size);
+    EXPECT_EQ(plain[i].drift.seed, 0u);
+    // ...while every site drifts under its own derived seed.
+    EXPECT_NE(drifting[i].drift.seed, 0u);
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_NE(drifting[i].drift.seed, drifting[j].drift.seed);
+    }
+  }
+}
+
+TEST(SiteDriftTest, SetFleetEpochMovesEverySite) {
+  FleetOptions options;
+  options.num_sites = 3;
+  options.drift.seed = 777;
+  auto fleet = GenerateSiteFleet(options);
+  SetFleetEpoch(&fleet, 2);
+  for (const DeepWebSite& site : fleet) {
+    EXPECT_EQ(site.epoch(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace thor::deepweb

@@ -72,13 +72,25 @@ fi
 
 failpoints=$("$THORD" --list-failpoints) || { echo "FAIL: list"; exit 1; }
 for fp in $failpoints; do
+  # Per-failpoint arming: most fire in a default (background-relearn) run,
+  # but the synchronous-relearn failpoints only exist on the inline path
+  # (--relearn-workers 0), and the rollback boundary is only reached when
+  # a canary actually loses — force that with a paired poison.
+  spec="$fp:crash"
+  extra_flags=""
+  case "$fp" in
+    serve.relearn.begin|serve.relearn.commit)
+      extra_flags="--relearn-workers 0" ;;
+    canary.rollback)
+      spec="canary.poison:error,canary.rollback:crash" ;;
+  esac
   for threads in 1 4; do
     store="$WORK/store_${fp}_t${threads}"
     seed_store "$store" || { echo "FAIL: seed $store"; fail=1; continue; }
 
     status=0
-    THOR_FAILPOINTS="$fp:crash" THOR_THREADS=$threads \
-      "$THORD" --store "$store" --fleet 2 --seed 77 --batch 4 \
+    THOR_FAILPOINTS="$spec" THOR_THREADS=$threads \
+      "$THORD" --store "$store" --fleet 2 --seed 77 --batch 4 $extra_flags \
       < "$WORK/requests.ndjson" \
       > "$WORK/$fp.t$threads.crash.out" \
       2> "$WORK/$fp.t$threads.crash.err" || status=$?
@@ -86,6 +98,17 @@ for fp in $failpoints; do
       echo "FAIL: $fp t$threads: crash run exited $status (want 137 — did the failpoint fire?)"
       fail=1
     fi
+    case "$fp" in
+      canary.poison|canary.rollback)
+        # The poisoned/rolled-back canary generation must never have
+        # served a request before the crash: site1's only candidate
+        # generation was rejected, so its pages stay misses.
+        if grep '"site":"site1"' "$WORK/$fp.t$threads.crash.out" \
+            | grep -q '"source":"template"'; then
+          echo "FAIL: $fp t$threads: a rolled-back generation served site1"
+          fail=1
+        fi ;;
+    esac
 
     # Restart against the surviving store and re-send the whole stream.
     recover="$WORK/$fp.t$threads.recover.out"

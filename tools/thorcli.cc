@@ -28,8 +28,11 @@
 #include "src/deepweb/resilient_prober.h"
 #include "src/deepweb/site_generator.h"
 #include "src/deepweb/transport.h"
+#include <unistd.h>
+
 #include "src/search/deep_web_search.h"
 #include "src/serve/extraction_service.h"
+#include "src/serve/relearn_manager.h"
 #include "src/serve/template_store.h"
 #include "src/util/json.h"
 #include "src/util/json_reader.h"
@@ -45,6 +48,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  thorcli probe --sites N --out DIR [--queries N]\n"
+               "               [--drift-seed S --epoch N [--drift-rate R] "
+               "[--drift-ab R]]\n"
                "  thorcli extract DIR [--json]\n"
                "  thorcli analyze DIR --templates FILE\n"
                "  thorcli apply FILE.html... --templates FILE [--json]\n"
@@ -65,8 +70,15 @@ int Usage() {
                "\n"
                "eval observability: --trace writes a Chrome trace-event "
                "JSON (open in\nabout:tracing or ui.perfetto.dev) with one "
-               "span per pipeline stage per site;\n--metrics prints the "
-               "full metrics registry as JSON after the run.\n"
+               "span per pipeline stage per site;\n--metrics replays the "
+               "corpus through the background-relearn serving stack\n"
+               "(per-site drift table, serve.relearn_latency_ms) and "
+               "prints the full metrics\nregistry as JSON after the run.\n"
+               "\n"
+               "probe drift: --drift-seed enables deterministic template "
+               "drift and --epoch N\ncaches the pages the fleet serves "
+               "after N redesign steps (same seed + different\nepoch = "
+               "same site, new template).\n"
                "\n"
                "serving: `learn` runs the full pipeline over each page "
                "directory and commits\nthe learned templates to a "
@@ -362,6 +374,10 @@ int RunProbe(int argc, char** argv) {
   int num_sites = 3;
   int num_queries = 100;
   std::string out_dir = "probed_pages";
+  uint64_t drift_seed = 0;
+  double drift_rate = 0.35;
+  double drift_ab = 0.0;
+  int epoch = 0;
   for (int i = 0; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--sites") && i + 1 < argc) {
       num_sites = std::atoi(argv[++i]);
@@ -369,11 +385,27 @@ int RunProbe(int argc, char** argv) {
       out_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--queries") && i + 1 < argc) {
       num_queries = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--drift-seed") && i + 1 < argc) {
+      drift_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--drift-rate") && i + 1 < argc) {
+      drift_rate = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--drift-ab") && i + 1 < argc) {
+      drift_ab = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--epoch") && i + 1 < argc) {
+      epoch = std::atoi(argv[++i]);
     }
   }
   deepweb::FleetOptions fleet_options;
   fleet_options.num_sites = num_sites;
+  fleet_options.drift.seed = drift_seed;
+  fleet_options.drift.mutation_rate = drift_rate;
+  fleet_options.drift.ab_fraction = drift_ab;
   auto fleet = deepweb::GenerateSiteFleet(fleet_options);
+  // Probing at --epoch N caches the pages the fleet would serve after N
+  // drift steps; the same seed and a different epoch replays the exact
+  // redesign history (the drift-survival harness builds its request
+  // streams this way).
+  deepweb::SetFleetEpoch(&fleet, epoch);
   deepweb::ProbeOptions probe;
   probe.num_dictionary_words = num_queries;
   std::error_code ec;
@@ -628,6 +660,68 @@ int RunEval(int argc, char** argv) {
                 trace_file.c_str());
   }
   if (print_metrics) {
+    // Serving replay: stream the probed corpus through the background-
+    // relearn serving stack (fresh store, learn-once per site) so the
+    // printed registry carries the serve.* counters, the
+    // serve.relearn_latency_ms histogram, and a per-site drift table —
+    // the same signals an operator reads off a live thord.
+    std::error_code store_ec;
+    fs::path store_dir =
+        fs::temp_directory_path(store_ec) /
+        ("thorcli_eval_store_" + std::to_string(seed) + "_" +
+         std::to_string(static_cast<long long>(::getpid())));
+    fs::remove_all(store_dir, store_ec);
+    auto store = serve::TemplateStore::Open(store_dir.string());
+    if (store.ok()) {
+      {
+        serve::RelearnManagerOptions manager_options;
+        manager_options.metrics = &registry;
+        serve::RelearnManager manager(
+            &*store, manager_options,
+            [&corpus](const std::string& site,
+                      uint64_t /*ticket*/) -> std::vector<core::Page> {
+              // Relearns re-use the probed corpus — no second crawl.
+              for (const auto& sample : corpus) {
+                if (site == "site" + std::to_string(sample.site_id)) {
+                  return core::ToPages(sample);
+                }
+              }
+              return {};
+            });
+        serve::ServiceOptions service_options;
+        service_options.metrics = &registry;
+        service_options.relearn_manager = &manager;
+        serve::ExtractionService service(&*store, service_options);
+        std::vector<serve::ExtractionService::Request> batch;
+        auto flush = [&] {
+          if (!batch.empty()) service.ExtractBatch(batch);
+          batch.clear();
+        };
+        for (const auto& sample : corpus) {
+          std::string site = "site" + std::to_string(sample.site_id);
+          for (const auto& page : sample.pages) {
+            batch.push_back({site, page.html});
+            if (batch.size() >= 16) flush();
+          }
+        }
+        flush();
+        // One empty batch runs the rendezvous past the last enqueue, so
+        // every background job lands in the histogram before Stop.
+        service.ExtractBatch({});
+        manager.Stop();
+        std::printf("serving replay (background relearn):\n");
+        for (const auto& [site, stats] : service.AllStats()) {
+          std::printf(
+              "  %-8s drift=%-8s ewma=%.2f hits=%lld misses=%lld "
+              "relearns=%lld\n",
+              site.c_str(), serve::DriftStateName(stats.drift),
+              stats.drift_ewma, static_cast<long long>(stats.hits),
+              static_cast<long long>(stats.misses),
+              static_cast<long long>(stats.relearns));
+        }
+      }
+      fs::remove_all(store_dir, store_ec);
+    }
     std::printf("%s\n", registry.Snapshot().ToJson().c_str());
   }
   return 0;

@@ -37,6 +37,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -47,6 +48,7 @@
 #include "src/deepweb/site_generator.h"
 #include "src/deepweb/transport.h"
 #include "src/serve/extraction_service.h"
+#include "src/serve/relearn_manager.h"
 #include "src/serve/server_loop.h"
 #include "src/serve/template_store.h"
 #include "src/util/failpoint.h"
@@ -92,6 +94,28 @@ int Usage() {
       "(default 20)\n"
       "  --relearn-miss-rate R   window miss rate that triggers relearn "
       "(default 0.5)\n"
+      "  --relearn-workers N     background relearn workers; 0 relearns "
+      "inline on the\n"
+      "                          request path (default 1)\n"
+      "  --relearn-queue N       pending background relearns before the "
+      "oldest is shed\n"
+      "                          (default 8)\n"
+      "  --canary-sample N       recent pages per site for canary "
+      "evaluation (default 8;\n"
+      "                          0 promotes every relearn)\n"
+      "  --canary-floor R        canary must retain R of the live "
+      "generation's hits\n"
+      "                          (default 0.9)\n"
+      "  --drift-seed S          enable fleet template drift (default 0 = "
+      "static sites)\n"
+      "  --drift-rate R          per-knob mutation probability per epoch "
+      "(default 0.35)\n"
+      "  --drift-ab R            fraction of queries served by a B-arm "
+      "redesign\n"
+      "  --drift-every N         advance one drift epoch every N stream "
+      "requests\n"
+      "                          (default 0 = never; needs background "
+      "workers)\n"
       "  --seed S                probe seed for relearn samples "
       "(default 1234)\n"
       "  --metrics               print the metrics registry to stderr at "
@@ -115,6 +139,14 @@ struct DaemonOptions {
   int probe_queries = 40;
   int relearn_window = 20;
   double relearn_miss_rate = 0.5;
+  int relearn_workers = 1;
+  size_t relearn_queue = 8;
+  size_t canary_sample = 8;
+  double canary_floor = 0.9;
+  uint64_t drift_seed = 0;
+  double drift_rate = 0.35;
+  double drift_ab = 0.0;
+  int drift_every = 0;
   uint64_t seed = 1234;
   bool print_metrics = false;
 };
@@ -218,6 +250,25 @@ int Main(int argc, char** argv) {
       options.relearn_window = std::atoi(next("--relearn-window"));
     } else if (!std::strcmp(argv[i], "--relearn-miss-rate")) {
       options.relearn_miss_rate = std::atof(next("--relearn-miss-rate"));
+    } else if (!std::strcmp(argv[i], "--relearn-workers")) {
+      options.relearn_workers = std::atoi(next("--relearn-workers"));
+    } else if (!std::strcmp(argv[i], "--relearn-queue")) {
+      options.relearn_queue =
+          static_cast<size_t>(std::atoll(next("--relearn-queue")));
+    } else if (!std::strcmp(argv[i], "--canary-sample")) {
+      options.canary_sample =
+          static_cast<size_t>(std::atoll(next("--canary-sample")));
+    } else if (!std::strcmp(argv[i], "--canary-floor")) {
+      options.canary_floor = std::atof(next("--canary-floor"));
+    } else if (!std::strcmp(argv[i], "--drift-seed")) {
+      options.drift_seed =
+          static_cast<uint64_t>(std::atoll(next("--drift-seed")));
+    } else if (!std::strcmp(argv[i], "--drift-rate")) {
+      options.drift_rate = std::atof(next("--drift-rate"));
+    } else if (!std::strcmp(argv[i], "--drift-ab")) {
+      options.drift_ab = std::atof(next("--drift-ab"));
+    } else if (!std::strcmp(argv[i], "--drift-every")) {
+      options.drift_every = std::atoi(next("--drift-every"));
     } else if (!std::strcmp(argv[i], "--seed")) {
       options.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
     } else if (!std::strcmp(argv[i], "--metrics")) {
@@ -254,40 +305,87 @@ int Main(int argc, char** argv) {
   // --fault-rate the probe runs through a fault-injecting transport and
   // the resilient prober (retries, backoff, circuit breaker), so relearn
   // inherits the same hostile-transport degradation as batch evaluation.
-  serve::ExtractionService::SampleProvider sampler;
+  // With --drift-seed the fleet redesigns itself on a deterministic
+  // schedule; a relearn probe renders the epoch the request stream was at
+  // when the job was enqueued (derived from the batch ticket, never wall
+  // time, so the response stream stays reproducible).
   std::vector<deepweb::DeepWebSite> fleet;
+  auto probe_fleet = [&options, &fleet,
+                      &metrics](int id) -> std::vector<core::Page> {
+    deepweb::DeepWebSite& member = fleet[static_cast<size_t>(id)];
+    if (options.fault_rate <= 0.0 && options.retry_budget <= 0) {
+      deepweb::ProbeOptions probe;
+      probe.num_dictionary_words = options.probe_queries;
+      probe.seed = options.seed + static_cast<uint64_t>(id);
+      return core::ToPages(deepweb::BuildSiteSample(member, probe));
+    }
+    deepweb::ResilientProbeOptions probe;
+    probe.plan.num_dictionary_words = options.probe_queries;
+    probe.plan.seed = options.seed + static_cast<uint64_t>(id);
+    probe.retry.total_attempt_budget = options.retry_budget;
+    probe.metrics = &metrics;
+    deepweb::FaultOptions faults = deepweb::FaultOptions::Uniform(
+        options.fault_rate,
+        options.seed + 0x9e37u * static_cast<uint64_t>(id));
+    deepweb::DirectTransport direct(&member);
+    deepweb::FaultInjectingTransport chaotic(&direct, faults);
+    auto sample = deepweb::BuildSiteSampleResilient(id, &chaotic, probe);
+    if (!sample.ok()) return {};
+    return core::ToPages(*sample);
+  };
+
+  serve::ExtractionService::SampleProvider sync_sampler;
+  std::unique_ptr<serve::RelearnManager> manager;
   if (options.fleet > 0) {
     deepweb::FleetOptions fleet_options;
     fleet_options.num_sites = options.fleet;
+    fleet_options.drift.seed = options.drift_seed;
+    fleet_options.drift.mutation_rate = options.drift_rate;
+    fleet_options.drift.ab_fraction = options.drift_ab;
     fleet = deepweb::GenerateSiteFleet(fleet_options);
-    sampler = [&options, &fleet, &metrics](const std::string& site)
-        -> std::vector<core::Page> {
-      int id = FleetSiteId(site, fleet.size());
-      if (id < 0) return {};
-      const deepweb::DeepWebSite& member = fleet[static_cast<size_t>(id)];
-      if (options.fault_rate <= 0.0 && options.retry_budget <= 0) {
-        deepweb::ProbeOptions probe;
-        probe.num_dictionary_words = options.probe_queries;
-        probe.seed = options.seed + static_cast<uint64_t>(id);
-        return core::ToPages(deepweb::BuildSiteSample(member, probe));
-      }
-      deepweb::ResilientProbeOptions probe;
-      probe.plan.num_dictionary_words = options.probe_queries;
-      probe.plan.seed = options.seed + static_cast<uint64_t>(id);
-      probe.retry.total_attempt_budget = options.retry_budget;
-      probe.metrics = &metrics;
-      deepweb::FaultOptions faults = deepweb::FaultOptions::Uniform(
-          options.fault_rate,
-          options.seed + 0x9e37u * static_cast<uint64_t>(id));
-      deepweb::DirectTransport direct(&member);
-      deepweb::FaultInjectingTransport chaotic(&direct, faults);
-      auto sample = deepweb::BuildSiteSampleResilient(id, &chaotic, probe);
-      if (!sample.ok()) return {};
-      return core::ToPages(*sample);
-    };
+    if (options.relearn_workers > 0) {
+      // Fleet relearns go through the background queue: the request path
+      // only enqueues, and workers probe the fleet off-thread. Per-site
+      // job dedup means at most one worker touches fleet[id] at a time,
+      // and nothing else reads the fleet (request pages arrive on stdin),
+      // so SetEpoch needs no locking.
+      serve::RelearnManagerOptions manager_options;
+      manager_options.workers = options.relearn_workers;
+      manager_options.queue_capacity = options.relearn_queue;
+      manager_options.canary_sample = options.canary_sample;
+      manager_options.canary_floor = options.canary_floor;
+      manager_options.relearn_deadline_ms = options.relearn_deadline_ms;
+      manager_options.metrics = &metrics;
+      manager = std::make_unique<serve::RelearnManager>(
+          &*store, manager_options,
+          [&options, &fleet, probe_fleet](const std::string& site,
+                                          uint64_t ticket)
+              -> std::vector<core::Page> {
+            int id = FleetSiteId(site, fleet.size());
+            if (id < 0) return {};
+            if (options.drift_every > 0) {
+              int epoch = static_cast<int>(
+                  (ticket - 1) * static_cast<uint64_t>(options.batch) /
+                  static_cast<uint64_t>(options.drift_every));
+              fleet[static_cast<size_t>(id)].SetEpoch(epoch);
+            }
+            return probe_fleet(id);
+          });
+      service_options.relearn_manager = manager.get();
+    } else {
+      // --relearn-workers 0: the synchronous request-path relearn of
+      // PR 4/5 (drift epochs stay at 0 — deterministic epoch selection
+      // needs the ticketed background queue).
+      sync_sampler = [&fleet, probe_fleet](const std::string& site)
+          -> std::vector<core::Page> {
+        int id = FleetSiteId(site, fleet.size());
+        if (id < 0) return {};
+        return probe_fleet(id);
+      };
+    }
   }
   serve::ExtractionService service(&*store, service_options,
-                                   std::move(sampler));
+                                   std::move(sync_sampler));
 
   serve::ServerLoopOptions loop_options;
   loop_options.batch = options.batch;
@@ -360,6 +458,10 @@ int Main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   worker.join();
+  // Drain the background relearn workers before reading final metrics:
+  // jobs already running finish (or abort at their next stop check), so
+  // the printed queue depth is always 0 and nothing races the snapshot.
+  if (manager != nullptr) manager->Stop();
 
   if (options.print_metrics) {
     std::fprintf(stderr, "%s\n", metrics.Snapshot().ToJson().c_str());
