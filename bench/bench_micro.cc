@@ -7,10 +7,15 @@
 
 #include "src/cluster/kmeans.h"
 #include "src/core/common_subtrees.h"
+#include "src/core/evaluation.h"
+#include "src/core/hot_extractor.h"
 #include "src/core/signature_builder.h"
 #include "src/core/subtree_filter.h"
+#include "src/core/template_registry.h"
+#include "src/core/thor.h"
 #include "src/deepweb/prober.h"
 #include "src/deepweb/site_generator.h"
+#include "src/html/arena_parser.h"
 #include "src/html/parser.h"
 #include "src/ir/similarity.h"
 #include "src/ir/tfidf.h"
@@ -55,6 +60,63 @@ void BM_ParseHtml(benchmark::State& state) {
                           static_cast<int64_t>(html.size()));
 }
 BENCHMARK(BM_ParseHtml);
+
+void BM_HotParseHtml(benchmark::State& state) {
+  const std::string& html = MultiMatchHtml();
+  html::HotParser parser;  // arena + scratch reused across iterations
+  for (auto _ : state) {
+    const html::ArenaTree& tree = parser.Parse(html);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(html.size()));
+}
+BENCHMARK(BM_HotParseHtml);
+
+const core::TemplateRegistry& BenchRegistry() {
+  static const auto& registry = *new core::TemplateRegistry([] {
+    deepweb::ProbeOptions probe;
+    probe.num_dictionary_words = 40;
+    probe.num_nonsense_words = 6;
+    probe.seed = 1234;
+    auto pages = core::ToPages(deepweb::BuildSiteSample(BenchSite(), probe));
+    auto result = core::RunThor(pages, core::ThorOptions{});
+    return core::TemplateRegistry::Learn(pages, *result);
+  }());
+  return registry;
+}
+
+// The serving hot loop, legacy pipeline: parse + locate per request.
+void BM_ParseLocate(benchmark::State& state) {
+  const std::string& html = MultiMatchHtml();
+  const core::TemplateRegistry& registry = BenchRegistry();
+  for (auto _ : state) {
+    html::TagTree tree = html::ParseHtml(html);
+    auto located = registry.LocateDetailed(tree);
+    benchmark::DoNotOptimize(located.template_index);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(html.size()));
+}
+BENCHMARK(BM_ParseLocate);
+
+// Same work on the arena pipeline. tools/check_bench_regression.py gates
+// CI on the BM_HotParseLocate : BM_ParseLocate time ratio staying within
+// 20% of the committed BENCH_micro_baseline.json.
+void BM_HotParseLocate(benchmark::State& state) {
+  const std::string& html = MultiMatchHtml();
+  core::CompiledTemplates compiled =
+      core::CompiledTemplates::Compile(BenchRegistry());
+  core::HotExtractor extractor;
+  for (auto _ : state) {
+    const html::ArenaTree& tree = extractor.Parse(html);
+    auto located = extractor.Locate(tree, compiled);
+    benchmark::DoNotOptimize(located.template_index);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(html.size()));
+}
+BENCHMARK(BM_HotParseLocate);
 
 void BM_TagSignature(benchmark::State& state) {
   const html::TagTree& tree = MultiMatchTree();

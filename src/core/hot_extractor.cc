@@ -1,0 +1,344 @@
+#include "src/core/hot_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/text/edit_distance.h"
+
+namespace thor::core {
+
+namespace {
+
+// Same arithmetic as common_subtrees.cc's RatioTerm (bit-identical terms).
+double RatioTerm(int a, int b) {
+  int hi = std::max(a, b);
+  if (hi == 0) return 0.0;
+  return static_cast<double>(std::abs(a - b)) / hi;
+}
+
+// MatchPeriod from object_partition.cc, on the reusable tag scratch.
+int MatchPeriod(const std::vector<html::TagId>& tags, int period,
+                int min_objects) {
+  if (period <= 0 || static_cast<int>(tags.size()) < period * min_objects) {
+    return 0;
+  }
+  for (size_t i = static_cast<size_t>(period); i < tags.size(); ++i) {
+    if (tags[i] != tags[i - static_cast<size_t>(period)]) return 0;
+  }
+  return static_cast<int>(tags.size()) / period;
+}
+
+}  // namespace
+
+CompiledTemplates CompiledTemplates::Compile(const TemplateRegistry& registry) {
+  CompiledTemplates out;
+  out.templates_.reserve(registry.templates().size());
+  for (const ExtractionTemplate& t : registry.templates()) {
+    CompiledTemplate c;
+    c.path_symbols = t.path_symbols;
+    c.prototype = t.prototype;
+    c.support = t.support;
+    c.max_distance = t.max_distance;
+    c.min_stable_match = t.min_stable_match;
+    c.stable = t.stable_tags.entries();
+    c.known_ids.reserve(t.known_tags.entries().size());
+    for (const ir::VectorEntry& e : t.known_tags.entries()) {
+      c.known_ids.push_back(e.id);  // entries are sorted by id
+    }
+    out.templates_.push_back(std::move(c));
+  }
+  return out;
+}
+
+const html::ArenaTree& HotExtractor::Parse(std::string_view html,
+                                           const html::ParseOptions& options) {
+  return parser_.Parse(html, options);
+}
+
+ir::SparseVector HotExtractor::PageTagCounts() const {
+  const html::ArenaTree& tree = parser_.tree();
+  std::vector<ir::VectorEntry> entries;
+  entries.reserve(tree.distinct_tags().size());
+  for (html::TagId tag : tree.distinct_tags()) {
+    entries.push_back({tag, static_cast<double>(tree.TagCountOf(tag))});
+  }
+  // FromPairs sorts by id and recomputes the norm over sorted entries —
+  // exactly what TagCountVector's FromCounts path produces.
+  return ir::SparseVector::FromPairs(std::move(entries));
+}
+
+void HotExtractor::GatherCandidates(const html::ArenaTree& tree,
+                                    const SubtreeFilterOptions& options) {
+  candidates_.clear();
+  quads_.clear();
+  // Linked preorder, same visit order as TagTree::Preorder(); node-id order
+  // would be wrong (head/body synthesis can append out of document order).
+  const html::NodeId root = tree.root();
+  html::NodeId cur = root;
+  while (true) {
+    const html::ArenaNode& n = tree.node(cur);
+    // Candidate rules, field-for-field from CandidateSubtrees().
+    if (cur != root && n.is_tag() && n.tag != html::Tag::kHead &&
+        n.tag != html::Tag::kBody &&
+        !(options.skip_inline_roots && html::IsInlineTag(n.tag)) &&
+        n.content_length >= options.min_content_length &&
+        n.subtree_size >= options.min_subtree_nodes) {
+      bool wrapper = false;
+      double threshold = options.wrapper_content_fraction * n.content_length;
+      for (html::NodeId child = n.first_child; child != html::kInvalidNode;
+           child = tree.node(child).next_sibling) {
+        const html::ArenaNode& c = tree.node(child);
+        if (c.is_tag() && !html::IsInlineTag(c.tag) &&
+            c.content_length >= threshold) {
+          wrapper = true;
+          break;
+        }
+      }
+      bool keep = !wrapper;
+      if (keep && options.require_branching) {
+        bool has_direct_content = false;
+        for (html::NodeId child = n.first_child; child != html::kInvalidNode;
+             child = tree.node(child).next_sibling) {
+          const html::ArenaNode& c = tree.node(child);
+          if (!c.is_tag() || (html::IsInlineTag(c.tag) &&
+                              c.content_length > 0)) {
+            has_direct_content = true;
+            break;
+          }
+        }
+        if (n.fanout < 2 && !has_direct_content) keep = false;
+      }
+      if (keep) {
+        candidates_.push_back(cur);
+        quads_.push_back({n.path_id, n.fanout, n.depth, n.subtree_size});
+      }
+    }
+    // Advance preorder via the links.
+    if (n.first_child != html::kInvalidNode) {
+      cur = n.first_child;
+      continue;
+    }
+    while (cur != root &&
+           tree.node(cur).next_sibling == html::kInvalidNode) {
+      cur = tree.node(cur).parent;
+    }
+    if (cur == root) break;
+    cur = tree.node(cur).next_sibling;
+  }
+}
+
+bool HotExtractor::PassesStableGate(const html::ArenaTree& tree,
+                                    const CompiledTemplate& tmpl) const {
+  // StableMatchFraction on the fused dense counts. Comparisons are on
+  // doubles, exactly like the SparseVector::At path.
+  if (tmpl.stable.empty()) return true;  // fraction 1.0 passes any gate <= 1
+  int matched = 0;
+  for (const ir::VectorEntry& e : tmpl.stable) {
+    if (static_cast<double>(tree.TagCountOf(e.id)) == e.weight) ++matched;
+  }
+  int unknown = 0;
+  for (html::TagId tag : tree.distinct_tags()) {
+    if (!std::binary_search(tmpl.known_ids.begin(), tmpl.known_ids.end(),
+                            static_cast<int32_t>(tag))) {
+      ++unknown;
+    }
+  }
+  double fraction =
+      static_cast<double>(matched) /
+      static_cast<double>(tmpl.stable.size() + static_cast<size_t>(unknown));
+  return !(fraction < tmpl.min_stable_match);
+}
+
+double HotExtractor::PathTerm(const html::ArenaTree& tree,
+                              const CompiledTemplate& tmpl,
+                              uint32_t path_id) {
+  double& slot = term_memo_[path_id];
+  if (slot < 0.0) {
+    std::string_view path = tree.path(path_id);
+    // Compare the symbol *strings*, not path ids: the 62-symbol alphabet
+    // aliases distinct tag chains, and the legacy distance treats aliased
+    // paths as equal.
+    slot = (path == tmpl.prototype.path_symbols)
+               ? 0.0
+               : text::NormalizedEditDistance(tmpl.prototype.path_symbols,
+                                              path);
+  }
+  return slot;
+}
+
+double HotExtractor::Distance(const html::ArenaTree& tree,
+                              const CompiledTemplate& tmpl,
+                              const HotQuad& quad,
+                              const ShapeDistanceWeights& weights) {
+  // Same term order as ShapeDistanceWithPathTerm (bit-identical sums).
+  return weights.path * PathTerm(tree, tmpl, quad.path_id) +
+         weights.fanout * RatioTerm(tmpl.prototype.fanout, quad.fanout) +
+         weights.depth * RatioTerm(tmpl.prototype.depth, quad.depth) +
+         weights.nodes * RatioTerm(tmpl.prototype.num_nodes, quad.num_nodes);
+}
+
+TemplateRegistry::Located HotExtractor::Locate(
+    const html::ArenaTree& tree, const CompiledTemplates& templates,
+    const TemplateApplyOptions& apply) {
+  TemplateRegistry::Located located;
+  GatherCandidates(tree, apply.filter);
+  if (candidates_.empty()) return located;
+  const std::vector<CompiledTemplate>& all = templates.templates();
+  for (size_t t = 0; t < all.size(); ++t) {
+    const CompiledTemplate& tmpl = all[t];
+    if (!PassesStableGate(tree, tmpl)) continue;
+    // Per-template memos over the page's distinct paths: exact-path flag
+    // and prototype path term each computed at most once per path id.
+    exact_memo_.assign(tree.path_count(), 2);
+    term_memo_.assign(tree.path_count(), -1.0);
+    html::NodeId best = html::kInvalidNode;
+    double best_distance = tmpl.max_distance;
+    // Exact-path candidates first (<= keeps the last tie, like legacy).
+    for (size_t i = 0; i < quads_.size(); ++i) {
+      uint32_t p = quads_[i].path_id;
+      uint8_t& exact_flag = exact_memo_[p];
+      if (exact_flag == 2) {
+        exact_flag = tree.path(p) == tmpl.path_symbols ? 1 : 0;
+      }
+      if (exact_flag == 0) continue;
+      double d = Distance(tree, tmpl, quads_[i], apply.weights);
+      if (d <= best_distance) {
+        best_distance = d;
+        best = candidates_[i];
+      }
+    }
+    bool exact = best != html::kInvalidNode;
+    if (!exact) {
+      // Shape fallback over all candidates (< keeps the first minimum).
+      for (size_t i = 0; i < quads_.size(); ++i) {
+        double d = Distance(tree, tmpl, quads_[i], apply.weights);
+        if (d < best_distance) {
+          best_distance = d;
+          best = candidates_[i];
+        }
+      }
+    }
+    if (best != html::kInvalidNode) {
+      located.node = best;
+      located.distance = best_distance;
+      located.budget = tmpl.max_distance;
+      located.template_index = static_cast<int>(t);
+      located.exact_path = exact;
+      return located;
+    }
+  }
+  return located;
+}
+
+void HotExtractor::Partition(const html::ArenaTree& tree,
+                             html::NodeId pagelet,
+                             const ObjectPartitionOptions& options) {
+  parts_.clear();
+  span_offsets_.clear();
+  span_offsets_.push_back(0);
+
+  children_.clear();
+  for (html::NodeId child = tree.node(pagelet).first_child;
+       child != html::kInvalidNode; child = tree.node(child).next_sibling) {
+    const html::ArenaNode& c = tree.node(child);
+    if (c.is_tag() && c.content_length > 0) children_.push_back(child);
+  }
+
+  // 1. Exact repeated tag-period detection, shortest period first.
+  child_tags_.clear();
+  child_tags_.reserve(children_.size());
+  for (html::NodeId child : children_) {
+    child_tags_.push_back(tree.node(child).tag);
+  }
+  for (int period = 1; period <= options.max_period; ++period) {
+    int repeats = MatchPeriod(child_tags_, period, options.min_objects);
+    if (repeats < options.min_objects) continue;
+    for (size_t start = 0; start + 1 <= children_.size();
+         start += static_cast<size_t>(period)) {
+      for (size_t off = 0;
+           off < static_cast<size_t>(period) &&
+           start + off < children_.size();
+           ++off) {
+        parts_.push_back(children_[start + off]);
+      }
+      span_offsets_.push_back(static_cast<int32_t>(parts_.size()));
+    }
+    return;
+  }
+
+  // 2. Shape-similarity grouping (serving path has no hints, so the seed
+  // order is plain index order, same as legacy with empty hints).
+  if (static_cast<int>(children_.size()) >= options.min_objects) {
+    child_quads_.clear();
+    child_quads_.reserve(children_.size());
+    for (html::NodeId child : children_) {
+      const html::ArenaNode& c = tree.node(child);
+      child_quads_.push_back({c.path_id, c.fanout, c.depth, c.subtree_size});
+    }
+    const ShapeDistanceWeights weights;  // PartitionObjects uses defaults
+    best_group_.clear();
+    for (size_t seed = 0; seed < children_.size(); ++seed) {
+      group_.clear();
+      for (size_t i = 0; i < children_.size(); ++i) {
+        const HotQuad& a = child_quads_[seed];
+        const HotQuad& b = child_quads_[i];
+        std::string_view pa = tree.path(a.path_id);
+        std::string_view pb = tree.path(b.path_id);
+        double path_term =
+            pa == pb ? 0.0 : text::NormalizedEditDistance(pa, pb);
+        double d = weights.path * path_term +
+                   weights.fanout * RatioTerm(a.fanout, b.fanout) +
+                   weights.depth * RatioTerm(a.depth, b.depth) +
+                   weights.nodes * RatioTerm(a.num_nodes, b.num_nodes);
+        if (d <= options.shape_distance_threshold) group_.push_back(i);
+      }
+      if (group_.size() > best_group_.size()) {
+        best_group_.swap(group_);
+      }
+    }
+    if (static_cast<int>(best_group_.size()) >= options.min_objects) {
+      for (size_t index : best_group_) {
+        parts_.push_back(children_[index]);
+        span_offsets_.push_back(static_cast<int32_t>(parts_.size()));
+      }
+      return;
+    }
+  }
+
+  // 3. No repetition: the pagelet is one object.
+  parts_.push_back(pagelet);
+  span_offsets_.push_back(static_cast<int32_t>(parts_.size()));
+}
+
+void HotExtractor::AppendObjectTexts(const html::ArenaTree& tree,
+                                     std::vector<std::string>* out) {
+  out->reserve(out->size() + span_offsets_.size() - 1);
+  for (size_t k = 0; k + 1 < span_offsets_.size(); ++k) {
+    std::string text;
+    for (int32_t i = span_offsets_[k]; i < span_offsets_[k + 1]; ++i) {
+      text_scratch_.clear();
+      tree.AppendSubtreeText(parts_[static_cast<size_t>(i)], &text_scratch_);
+      if (!text.empty() && !text_scratch_.empty()) text.push_back(' ');
+      text.append(text_scratch_);
+    }
+    out->push_back(std::move(text));
+  }
+}
+
+HotExtractor::Result HotExtractor::Extract(
+    std::string_view html, const CompiledTemplates& templates,
+    const TemplateApplyOptions& apply,
+    const ObjectPartitionOptions& partition) {
+  Result result;
+  const html::ArenaTree& tree = parser_.Parse(html);
+  result.located = Locate(tree, templates, apply);
+  if (result.located.node == html::kInvalidNode) return result;
+  result.hit = true;
+  result.pagelet_path = tree.PathString(result.located.node);
+  Partition(tree, result.located.node, partition);
+  AppendObjectTexts(tree, &result.objects);
+  return result;
+}
+
+}  // namespace thor::core

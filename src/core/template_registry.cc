@@ -111,6 +111,13 @@ TemplateRegistry TemplateRegistry::Learn(const std::vector<Page>& pages,
   return registry;
 }
 
+TemplateRegistry TemplateRegistry::FromTemplates(
+    std::vector<ExtractionTemplate> templates) {
+  TemplateRegistry registry;
+  registry.templates_ = std::move(templates);
+  return registry;
+}
+
 html::NodeId TemplateRegistry::Locate(
     const html::TagTree& tree, const TemplateApplyOptions& options) const {
   return LocateDetailed(tree, options).node;

@@ -60,6 +60,12 @@ class TemplateRegistry {
   static TemplateRegistry Learn(const std::vector<Page>& pages,
                                 const ThorResult& result);
 
+  /// Builds a registry directly from template records, preserving order.
+  /// Used by alternate deserializers (e.g. the binary store codec); Learn
+  /// remains the only path that derives templates from pages.
+  static TemplateRegistry FromTemplates(
+      std::vector<ExtractionTemplate> templates);
+
   const std::vector<ExtractionTemplate>& templates() const {
     return templates_;
   }

@@ -1,8 +1,10 @@
 #include "src/html/tag_table.h"
 
 #include <cassert>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "src/util/strings.h"
 
@@ -10,18 +12,59 @@ namespace thor::html {
 
 namespace {
 
+// Case-folding hash/equality so lookups never have to materialize a
+// lowercased copy of the queried name.
+struct FoldedHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    // FNV-1a over lowercased bytes.
+    uint64_t hash = 14695981039346656037ull;
+    for (char c : s) {
+      hash ^= static_cast<unsigned char>(AsciiToLower(c));
+      hash *= 1099511628211ull;
+    }
+    return static_cast<size_t>(hash);
+  }
+  size_t operator()(const std::string& s) const {
+    return (*this)(std::string_view(s));
+  }
+};
+
+struct FoldedEqual {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return EqualsIgnoreAsciiCase(a, b);
+  }
+};
+
 struct Registry {
-  std::vector<std::string> names;
-  std::unordered_map<std::string, TagId> ids;
+  // Deque keeps `TagName` references stable while interning grows the
+  // table; the map's string keys are the canonical lowercase spellings.
+  std::deque<std::string> names;
+  std::unordered_map<std::string, TagId, FoldedHash, FoldedEqual> ids;
+  // Shared across parse workers: ExtractBatch parses pages concurrently,
+  // and a drifted page may carry a tag the registry has never seen.
+  mutable std::shared_mutex mu;
 
   TagId Intern(std::string_view raw) {
-    std::string lower = AsciiLower(raw);
-    auto it = ids.find(lower);
+    {
+      std::shared_lock<std::shared_mutex> lock(mu);
+      auto it = ids.find(raw);
+      if (it != ids.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu);
+    auto it = ids.find(raw);
     if (it != ids.end()) return it->second;
     TagId id = static_cast<TagId>(names.size());
-    names.push_back(lower);
-    ids.emplace(std::move(lower), id);
+    names.push_back(AsciiLower(raw));
+    ids.emplace(names.back(), id);
     return id;
+  }
+
+  TagId Find(std::string_view raw) const {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    auto it = ids.find(raw);
+    return it == ids.end() ? -1 : it->second;
   }
 };
 
@@ -105,19 +148,20 @@ const TagId Tag::kNoscript = Reg("noscript");
 
 TagId InternTag(std::string_view name) { return GetRegistry().Intern(name); }
 
-TagId FindTag(std::string_view name) {
-  const Registry& registry = GetRegistry();
-  auto it = registry.ids.find(AsciiLower(name));
-  return it == registry.ids.end() ? -1 : it->second;
-}
+TagId FindTag(std::string_view name) { return GetRegistry().Find(name); }
 
 const std::string& TagName(TagId id) {
   const Registry& registry = GetRegistry();
+  std::shared_lock<std::shared_mutex> lock(registry.mu);
   assert(id >= 0 && static_cast<size_t>(id) < registry.names.size());
   return registry.names[static_cast<size_t>(id)];
 }
 
-int TagCount() { return static_cast<int>(GetRegistry().names.size()); }
+int TagCount() {
+  const Registry& registry = GetRegistry();
+  std::shared_lock<std::shared_mutex> lock(registry.mu);
+  return static_cast<int>(registry.names.size());
+}
 
 char TagPathSymbol(TagId id) {
   // Bijective for ids < 62, nearly-unique beyond; the distance metric only

@@ -47,6 +47,15 @@ ExtractionService::ExtractionService(TemplateStore* store,
       clock_(options_.clock != nullptr ? options_.clock
                                        : SystemClock::Instance()) {}
 
+ExtractionService::CachedSite ExtractionService::MakeCachedSite(
+    core::TemplateRegistry registry, int64_t generation) const {
+  CachedSite cached{std::move(registry), generation, {}};
+  if (options_.hot_path) {
+    cached.compiled = core::CompiledTemplates::Compile(cached.registry);
+  }
+  return cached;
+}
+
 ExtractionService::SiteHandle ExtractionService::Resolve(
     const std::string& site) {
   SiteHandle handle = cache_.Get(site);
@@ -61,9 +70,8 @@ ExtractionService::SiteHandle ExtractionService::Resolve(
     }
     return nullptr;
   }
-  return cache_.Put(site,
-                    CachedSite{std::move(loaded->registry),
-                               loaded->generation});
+  return cache_.Put(site, MakeCachedSite(std::move(loaded->registry),
+                                         loaded->generation));
 }
 
 ExtractionService::Response ExtractionService::ExtractAgainst(
@@ -71,6 +79,21 @@ ExtractionService::Response ExtractionService::ExtractAgainst(
   Response response;
   if (site_handle == nullptr) return response;  // kMiss, generation 0
   response.generation = site_handle->generation;
+  if (options_.hot_path) {
+    // One extractor per worker thread: its arena, parser, and scratch
+    // buffers persist across requests *and* across batches (the parallel
+    // pool's threads are long-lived), so the steady state allocates
+    // nothing on the request path.
+    static thread_local core::HotExtractor extractor;
+    auto result = extractor.Extract(request.html, site_handle->compiled,
+                                    options_.apply, options_.objects);
+    if (!result.hit) return response;  // kMiss
+    response.source = Source::kTemplate;
+    response.confidence = result.located.Confidence();
+    response.pagelet_path = std::move(result.pagelet_path);
+    response.objects = std::move(result.objects);
+    return response;
+  }
   core::Page page = core::Page::Parse(request.site, request.html);
   auto located =
       site_handle->registry.LocateDetailed(page.tree, options_.apply);
@@ -192,7 +215,7 @@ ExtractionService::SiteHandle ExtractionService::Relearn(
   } else {
     AddCounter(options_.metrics, "serve.store_errors");
   }
-  return cache_.Put(site, CachedSite{std::move(registry), generation});
+  return cache_.Put(site, MakeCachedSite(std::move(registry), generation));
 }
 
 ExtractionService::Response ExtractionService::Extract(
@@ -222,8 +245,8 @@ std::vector<ExtractionService::Response> ExtractionService::ExtractBatch(
           ++stats_[finished.site].relearns;
         }
         cache_.Put(finished.site,
-                   CachedSite{std::move(finished.registry),
-                              finished.generation});
+                   MakeCachedSite(std::move(finished.registry),
+                                  finished.generation));
       }
     }
   }

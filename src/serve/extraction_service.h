@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/hot_extractor.h"
 #include "src/core/page.h"
 #include "src/core/template_registry.h"
 #include "src/core/thor.h"
@@ -58,6 +59,12 @@ struct ServiceOptions {
   /// serial). Responses are index-addressed, so output is identical at
   /// every thread count.
   int threads = 0;
+  /// Serve with the arena hot path (core::HotExtractor over compiled
+  /// templates) instead of the legacy Page::Parse + LocateDetailed
+  /// pipeline. Results are bit-identical either way — that is the
+  /// differential harness's contract — so this exists as an escape hatch
+  /// and for A/B benches, not as a behavior switch.
+  bool hot_path = true;
   /// Optional sinks: serve.* counters and the serve.latency_ms histogram.
   MetricsRegistry* metrics = nullptr;
   /// Time source for the latency histogram (null = wall clock). Tests use
@@ -177,12 +184,19 @@ class ExtractionService {
   TemplateStore* store() { return store_; }
 
  private:
-  /// A site's registry as resident in the cache.
+  /// A site's registry as resident in the cache. The compiled form is
+  /// built once here (per load/relearn/adoption) and then shared
+  /// read-only by every worker thread's HotExtractor.
   struct CachedSite {
     core::TemplateRegistry registry;
     int64_t generation = 0;
+    core::CompiledTemplates compiled;
   };
   using SiteHandle = std::shared_ptr<const CachedSite>;
+
+  /// Builds a cache entry, compiling the hot-path form when enabled.
+  CachedSite MakeCachedSite(core::TemplateRegistry registry,
+                            int64_t generation) const;
 
   /// Loads `site` through cache → store. Null when the store has nothing
   /// (or the stored bytes are corrupt — degradation, not failure).

@@ -1,5 +1,8 @@
 #include "src/serve/template_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/serve/template_codec.h"
 #include "src/util/failpoint.h"
 #include "src/util/json.h"
 #include "src/util/json_reader.h"
@@ -36,11 +40,14 @@ Result<std::string> ReadFile(const fs::path& path) {
   return buffer.str();
 }
 
-/// Writes `contents` to `path + ".tmp"` then renames over `path` — the
-/// atomic-commit primitive every store write goes through. The
-/// `rename_failpoint` sits between the two filesystem steps: a crash
+/// Writes `contents` to `path + ".tmp"`, fsyncs it, then renames over
+/// `path` — the atomic-commit primitive every store write goes through.
+/// The `rename_failpoint` sits between the two filesystem steps: a crash
 /// there leaves the tmp file without the commit rename, the exact torn
-/// state the old-or-new contract must survive.
+/// state the old-or-new contract must survive. The tmp-file fsync makes
+/// the rename also safe against power loss (a rename can otherwise be
+/// reordered ahead of the data blocks it points at); the directory fsync
+/// after the rename is best-effort.
 Status AtomicWrite(const fs::path& path, const std::string& contents,
                    const char* rename_failpoint) {
   fs::path tmp = path;
@@ -55,6 +62,12 @@ Status AtomicWrite(const fs::path& path, const std::string& contents,
       return Status::Internal("short write to " + tmp.string());
     }
   }
+  int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    if (fd >= 0) ::close(fd);
+    return Status::Internal("cannot fsync " + tmp.string());
+  }
+  ::close(fd);
   THOR_RETURN_IF_ERROR(THOR_FAILPOINT(rename_failpoint));
   std::error_code ec;
   fs::rename(tmp, path, ec);
@@ -62,13 +75,20 @@ Status AtomicWrite(const fs::path& path, const std::string& contents,
     return Status::Internal("cannot commit " + path.string() + ": " +
                             ec.message());
   }
+  int dir_fd = ::open(path.parent_path().c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best-effort: makes the rename itself durable
+    ::close(dir_fd);
+  }
   return Status::OK();
 }
 
 /// True when `name` is a generation file (or its in-flight tmp) belonging
-/// to exactly `site`: `<site>.g<digits>.json[.tmp]`. Site names may contain
-/// dots, so a bare prefix test would also match other sites ("example"
-/// vs "example.gov.g1.json") — the digits+suffix check pins the owner.
+/// to exactly `site`: `<site>.g<digits>.(tpl|json)[.tmp]`. Site names may
+/// contain dots, so a bare prefix test would also match other sites
+/// ("example" vs "example.gov.g1.tpl") — the digits+suffix check pins the
+/// owner. Both payload formats are recognized so GC retires legacy JSON
+/// generations superseded by binary ones.
 bool IsGenerationFileFor(const std::string& site, const std::string& name) {
   const size_t prefix_size = site.size() + 2;  // "<site>.g"
   if (name.size() <= prefix_size ||
@@ -85,7 +105,8 @@ bool IsGenerationFileFor(const std::string& site, const std::string& name) {
   }
   if (digits == 0) return false;
   rest.remove_prefix(digits);
-  return rest == ".json" || rest == ".json.tmp";
+  return rest == ".tpl" || rest == ".tpl.tmp" || rest == ".json" ||
+         rest == ".json.tmp";
 }
 
 }  // namespace
@@ -185,12 +206,12 @@ Status TemplateStore::Put(const std::string& site,
   std::lock_guard<std::mutex> lock(*mu_);
 
   THOR_RETURN_IF_ERROR(THOR_FAILPOINT("store.put.serialize"));
-  std::string document = registry.ToJson();
+  std::string document = EncodeTemplates(registry);
   auto committed = entries_.find(site);
   ManifestEntry next;
   next.generation =
       (committed == entries_.end() ? 0 : committed->second.generation) + 1;
-  next.file = site + ".g" + std::to_string(next.generation) + ".json";
+  next.file = site + ".g" + std::to_string(next.generation) + ".tpl";
   next.checksum = Fnv1a64(document);
   fs::path file_path = fs::path(dir_) / next.file;
 
@@ -271,7 +292,12 @@ Result<TemplateStore::Loaded> TemplateStore::Load(
                                  entry.file + ")");
     } else {
       THOR_RETURN_IF_ERROR(THOR_FAILPOINT("store.load.deserialize"));
-      auto registry = core::TemplateRegistry::FromJson(*document);
+      // Payload dispatch by content, not extension: new generations are
+      // THORTPL1 blobs, generations written before the binary format are
+      // JSON (read-compat until their next Put supersedes them).
+      auto registry = LooksLikeBinaryTemplates(*document)
+                          ? DecodeTemplates(*document)
+                          : core::TemplateRegistry::FromJson(*document);
       if (!registry.ok()) {
         return Status::ParseError("template file for \"" + site +
                                   "\" corrupt: " +

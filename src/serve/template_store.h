@@ -21,14 +21,20 @@ namespace thor::serve {
 ///
 ///   DIR/MANIFEST.json          committed view: site -> generation,
 ///                              file name, content checksum
-///   DIR/<site>.g<N>.json       TemplateRegistry::ToJson of generation N
+///   DIR/<site>.g<N>.tpl        THORTPL1 binary blob of generation N
+///                              (see serve/template_codec.h)
 ///
-/// Every write is temp-file + atomic rename, and a new generation's file
-/// is fully committed *before* the manifest starts pointing at it, so a
-/// process killed between any two filesystem steps leaves the store
-/// loading either the old or the new generation — never a torn one.
-/// (Renames are atomic against process death; the store does not fsync,
-/// so power-loss durability is out of scope.)
+/// Generations written before the binary format used `<site>.g<N>.json`
+/// (TemplateRegistry::ToJson); Load still reads them — dispatch is by
+/// content sniff, not extension — and the next Put for the site writes a
+/// binary generation and garbage-collects the JSON one.
+///
+/// Every write is temp-file + fsync + atomic rename, and a new
+/// generation's file is fully committed *before* the manifest starts
+/// pointing at it, so a process killed between any two filesystem steps
+/// leaves the store loading either the old or the new generation — never
+/// a torn one. The fsync before each rename extends the contract to
+/// power loss: a rename cannot land pointing at unwritten data blocks.
 ///
 /// Corruption (a manifest that no longer parses, a template file whose
 /// checksum drifted, a file deleted behind the manifest's back) surfaces

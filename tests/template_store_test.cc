@@ -1,6 +1,7 @@
 #include "src/serve/template_store.h"
 
 #include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -96,7 +97,7 @@ TEST(TemplateStoreTest, GenerationsAdvanceAndOldFilesAreCollected) {
   for (const auto& entry : fs::directory_iterator(dir)) {
     ++files;
     std::string name = entry.path().filename().string();
-    EXPECT_TRUE(name == "MANIFEST.json" || name == "site0.g2.json") << name;
+    EXPECT_TRUE(name == "MANIFEST.json" || name == "site0.g2.tpl") << name;
   }
   EXPECT_EQ(files, 2);
 }
@@ -150,10 +151,10 @@ TEST(TemplateStoreTest, DetectsTamperedTemplateFile) {
   auto store = TemplateStore::Open(dir);
   ASSERT_TRUE(store.ok());
   ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
-  // Flip bytes behind the manifest's back (still valid JSON is fine — the
-  // checksum catches it before FromJson even runs).
+  // Swap the payload behind the manifest's back (a well-formed document is
+  // fine — the manifest checksum catches it before any deserializer runs).
   {
-    std::ofstream out(fs::path(dir) / "site0.g1.json",
+    std::ofstream out(fs::path(dir) / "site0.g1.tpl",
                       std::ios::binary | std::ios::trunc);
     out << R"({"format":"thor-templates","version":1,"templates":[]})";
   }
@@ -170,12 +171,8 @@ TEST(TemplateStoreTest, DetectsTruncatedTemplateFile) {
   auto store = TemplateStore::Open(dir);
   ASSERT_TRUE(store.ok());
   ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
-  std::string document = ParseRegistry(kRegistryV1).ToJson();
-  {
-    std::ofstream out(fs::path(dir) / "site0.g1.json",
-                      std::ios::binary | std::ios::trunc);
-    out << document.substr(0, document.size() / 2);
-  }
+  fs::path file = fs::path(dir) / "site0.g1.tpl";
+  fs::resize_file(file, fs::file_size(file) / 2);
   auto loaded = TemplateStore::Open(dir)->Load("site0");
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
@@ -186,7 +183,7 @@ TEST(TemplateStoreTest, MissingTemplateFileIsATypedErrorNotACrash) {
   auto store = TemplateStore::Open(dir);
   ASSERT_TRUE(store.ok());
   ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV1)).ok());
-  fs::remove(fs::path(dir) / "site0.g1.json");
+  fs::remove(fs::path(dir) / "site0.g1.tpl");
   auto loaded = store->Load("site0");
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
@@ -322,6 +319,85 @@ TEST(TemplateStoreTest, ConcurrentLoadsDuringPutServeOldOrNew) {
   EXPECT_EQ(store->Generation("site0"), kPuts + 1);
   auto final_load = store->Load("site0");
   ASSERT_TRUE(final_load.ok()) << final_load.status();
+}
+
+// Migration contract: a store written before the binary format (JSON
+// generation files) keeps loading, the next Put writes a binary `.tpl`
+// generation, and GC retires the JSON file — old-or-new, never torn,
+// across the format boundary.
+TEST(TemplateStoreTest, MixedFormatGenerationsMigrateAndCollect) {
+  std::string dir = FreshDir("mixed");
+  fs::create_directories(dir);
+  // Hand-write generation 1 exactly as the pre-binary store did: a JSON
+  // payload plus a manifest entry carrying its FNV checksum.
+  std::string document = Canonical(kRegistryV1);
+  {
+    std::ofstream out(fs::path(dir) / "site0.g1.json",
+                      std::ios::binary | std::ios::trunc);
+    out << document;
+  }
+  {
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(Fnv1a64(document)));
+    std::ofstream out(fs::path(dir) / "MANIFEST.json",
+                      std::ios::binary | std::ios::trunc);
+    out << R"({"format":"thor-store","version":1,"sites":[{"site":"site0",)"
+        << R"("generation":1,"file":"site0.g1.json","checksum":")"
+        << checksum << R"("}]})";
+  }
+  auto store = TemplateStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  // Read-compat: the JSON generation loads through the content sniff.
+  auto loaded = store->Load("site0");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->generation, 1);
+  EXPECT_EQ(loaded->registry.ToJson(), Canonical(kRegistryV1));
+  // Migration: the next Put commits a binary generation 2 and GC removes
+  // the JSON generation 1.
+  ASSERT_TRUE(store->Put("site0", ParseRegistry(kRegistryV2)).ok());
+  auto migrated = store->Load("site0");
+  ASSERT_TRUE(migrated.ok()) << migrated.status();
+  EXPECT_EQ(migrated->generation, 2);
+  EXPECT_EQ(migrated->registry.ToJson(), Canonical(kRegistryV2));
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++files;
+    std::string name = entry.path().filename().string();
+    EXPECT_TRUE(name == "MANIFEST.json" || name == "site0.g2.tpl") << name;
+  }
+  EXPECT_EQ(files, 2);
+  // A crash between the migrating Put's template write and its manifest
+  // commit must leave the JSON generation serving (old), never a mix.
+  std::string dir2 = FreshDir("mixed_crash");
+  fs::create_directories(dir2);
+  {
+    std::ofstream out(fs::path(dir2) / "site0.g1.json",
+                      std::ios::binary | std::ios::trunc);
+    out << document;
+  }
+  {
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(Fnv1a64(document)));
+    std::ofstream out(fs::path(dir2) / "MANIFEST.json",
+                      std::ios::binary | std::ios::trunc);
+    out << R"({"format":"thor-store","version":1,"sites":[{"site":"site0",)"
+        << R"("generation":1,"file":"site0.g1.json","checksum":")"
+        << checksum << R"("}]})";
+  }
+  auto crashing = TemplateStore::Open(dir2);
+  ASSERT_TRUE(crashing.ok());
+  auto* failpoints = FailpointRegistry::Global();
+  ASSERT_TRUE(failpoints->Arm("store.put.manifest_rename", "error").ok());
+  EXPECT_FALSE(crashing->Put("site0", ParseRegistry(kRegistryV2)).ok());
+  failpoints->Disarm("store.put.manifest_rename");
+  auto survivor = TemplateStore::Open(dir2);
+  ASSERT_TRUE(survivor.ok());
+  auto still_old = survivor->Load("site0");
+  ASSERT_TRUE(still_old.ok()) << still_old.status();
+  EXPECT_EQ(still_old->generation, 1);
+  EXPECT_EQ(still_old->registry.ToJson(), Canonical(kRegistryV1));
 }
 
 TEST(Fnv1a64Test, MatchesKnownVectorsAndSeparatesInputs) {
