@@ -1,0 +1,83 @@
+#include "src/deepweb/http_transport.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/net/http.h"
+
+namespace thor::deepweb {
+
+namespace {
+
+/// Decodes a percent-encoded ground-truth header; absent or malformed
+/// headers decode to empty (the parity test catches any drift).
+std::string DecodedHeader(const net::HttpResponse& response,
+                          std::string_view name) {
+  const std::string* raw = response.headers.Find(name);
+  if (raw == nullptr) return "";
+  auto decoded = net::UrlDecode(*raw);
+  return decoded.ok() ? std::move(*decoded) : "";
+}
+
+int IntHeader(const net::HttpResponse& response, std::string_view name) {
+  const std::string* raw = response.headers.Find(name);
+  return raw == nullptr ? 0 : std::atoi(raw->c_str());
+}
+
+}  // namespace
+
+HttpTransport::HttpTransport(net::HttpClient* client, std::string host,
+                             uint16_t port, int site_id, const Clock* clock)
+    : client_(client),
+      host_(std::move(host)),
+      port_(port),
+      site_id_(site_id),
+      clock_(clock != nullptr ? clock : SystemClock::Instance()) {}
+
+FetchResult HttpTransport::Fetch(std::string_view keyword) {
+  const std::string target = "/site" + std::to_string(site_id_) +
+                             "/search?q=" + net::UrlEncode(keyword);
+  const double start_ms = clock_->NowMs();
+  auto fetched = client_->Get(host_, port_, target);
+  FetchResult result;
+  result.latency_ms = clock_->NowMs() - start_ms;
+  if (!fetched.ok()) {
+    // Socket-level outcomes: the deadline maps to a probe timeout, every
+    // other connection-layer failure to a reset. http_status 0 marks
+    // "no response", same as the fault-injecting transport.
+    result.http_status = 0;
+    result.error = fetched.status().code() == StatusCode::kDeadlineExceeded
+                       ? TransportError::kTimeout
+                       : TransportError::kConnectionReset;
+    return result;
+  }
+  const net::HttpResponse& response = *fetched;
+  result.http_status = response.status_code;
+  if (response.status_code >= 500) {
+    result.error = TransportError::kServerError;
+    return result;
+  }
+  if (response.status_code == 429) {
+    result.error = TransportError::kRateLimited;
+    const std::string* retry_after = response.headers.Find("Retry-After");
+    if (retry_after != nullptr) {
+      // Retry-After is seconds on the wire; the retry loop wants ms.
+      result.retry_after_ms = std::atof(retry_after->c_str()) * 1000.0;
+    }
+    return result;
+  }
+  if (response.status_code != 200) {
+    result.error = TransportError::kPermanent;
+    return result;
+  }
+  result.truncated_body = response.truncated;
+  result.response.url = DecodedHeader(response, "X-Thor-Url");
+  result.response.html = response.body;
+  result.response.page_class =
+      static_cast<PageClass>(IntHeader(response, "X-Thor-Class"));
+  result.response.query = DecodedHeader(response, "X-Thor-Query");
+  result.response.num_matches = IntHeader(response, "X-Thor-Matches");
+  return result;
+}
+
+}  // namespace thor::deepweb

@@ -1,0 +1,133 @@
+#include "src/net/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace thor::net {
+
+namespace {
+
+uint32_t ToEpoll(uint32_t interest) {
+  uint32_t events = 0;
+  if (interest & Ready::kRead) events |= EPOLLIN;
+  if (interest & Ready::kWrite) events |= EPOLLOUT;
+  return events;
+}
+
+uint32_t FromEpoll(uint32_t events) {
+  uint32_t ready = 0;
+  if (events & (EPOLLIN | EPOLLRDHUP)) ready |= Ready::kRead;
+  if (events & EPOLLOUT) ready |= Ready::kWrite;
+  if (events & (EPOLLERR | EPOLLHUP)) ready |= Ready::kError;
+  return ready;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    init_ = Status::Internal(std::string("event loop setup: ") +
+                             std::strerror(errno));
+    return;
+  }
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) < 0) {
+    init_ = Status::Internal(std::string("epoll_ctl wakeup: ") +
+                             std::strerror(errno));
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t interest, Handler handler) {
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = ToEpoll(interest);
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) < 0) {
+    return Status::Internal(std::string("epoll_ctl add: ") +
+                            std::strerror(errno));
+  }
+  handlers_[fd] = std::move(handler);
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t interest) {
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = ToEpoll(interest);
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) < 0) {
+    return Status::Internal(std::string("epoll_ctl mod: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::DrainTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) task();
+}
+
+int EventLoop::PollOnce(int timeout_ms) {
+  DrainTasks();
+  epoll_event events[64];
+  int ready = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (ready < 0) return 0;  // EINTR: treated as an empty round
+  int dispatched = 0;
+  for (int i = 0; i < ready; ++i) {
+    int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      uint64_t drained;
+      while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+      }
+      continue;
+    }
+    // A handler earlier in this round may have closed and removed later
+    // fds; the map lookup (not the stale epoll payload) decides.
+    auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    ++dispatched;
+    it->second(FromEpoll(events[i].events));
+  }
+  DrainTasks();
+  return dispatched;
+}
+
+void EventLoop::PostTask(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  uint64_t one = 1;
+  ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+}  // namespace thor::net

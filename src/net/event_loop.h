@@ -1,0 +1,80 @@
+#ifndef THOR_NET_EVENT_LOOP_H_
+#define THOR_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace thor::net {
+
+/// Readiness interest / report bits (a narrow, epoll-independent façade so
+/// handlers never include <sys/epoll.h>).
+struct Ready {
+  static constexpr uint32_t kRead = 1u << 0;
+  static constexpr uint32_t kWrite = 1u << 1;
+  /// Error or hangup on the fd; always reported, never requested.
+  static constexpr uint32_t kError = 1u << 2;
+};
+
+/// \brief Single-threaded, level-triggered epoll readiness loop.
+///
+/// One thread owns the loop and calls PollOnce; handlers, Add/Modify/
+/// Remove, and every piece of connection state they touch live on that
+/// thread. The only cross-thread surface is PostTask/Wakeup: any thread
+/// may enqueue a closure, and the loop drains the queue at the top of the
+/// next PollOnce. This is how the ServerLoop consumer thread hands
+/// finished responses back to their connections without a single shared
+/// lock around connection state.
+///
+/// Level-triggered on purpose: correctness does not depend on draining
+/// every fd to EAGAIN in one wake-up, which keeps handler logic (and the
+/// failpoint-injected error paths through it) simple to reason about.
+class EventLoop {
+ public:
+  using Handler = std::function<void(uint32_t ready)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// True when the loop constructed its epoll/wakeup fds successfully.
+  Status Init() const { return init_; }
+
+  /// Registers `fd` for the `interest` bits. The handler runs on the loop
+  /// thread with the ready bits of each wake-up.
+  Status Add(int fd, uint32_t interest, Handler handler);
+  Status Modify(int fd, uint32_t interest);
+  void Remove(int fd);
+
+  /// Runs one dispatch round: drains posted tasks, epoll-waits up to
+  /// `timeout_ms` (-1 = forever, 0 = non-blocking), dispatches ready
+  /// handlers. Returns the number of fd events dispatched.
+  int PollOnce(int timeout_ms);
+
+  /// Enqueues `task` for the loop thread and wakes it. Thread-safe.
+  void PostTask(std::function<void()> task);
+
+  /// Wakes a blocked PollOnce without posting work. Thread-safe.
+  void Wakeup();
+
+ private:
+  void DrainTasks();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd the cross-thread surface signals
+  Status init_;
+  std::unordered_map<int, Handler> handlers_;
+
+  std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;
+};
+
+}  // namespace thor::net
+
+#endif  // THOR_NET_EVENT_LOOP_H_

@@ -1,0 +1,186 @@
+#ifndef THOR_NET_HTTP_H_
+#define THOR_NET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace thor::net {
+
+/// Input-size ceilings shared by every incremental parser in this file.
+/// Anything beyond a ceiling is a typed ParseError at the byte where the
+/// bound broke — never an unbounded buffer, never a crash.
+struct WireLimits {
+  size_t max_line_bytes = 4u << 20;    ///< one NDJSON request line
+  size_t max_start_line = 8192;        ///< HTTP request/status line
+  size_t max_header_bytes = 16384;     ///< all header lines together
+  size_t max_headers = 64;
+  size_t max_body_bytes = 8u << 20;
+};
+
+/// What one Feed call concluded.
+enum class ParseState {
+  kNeedMore = 0,  ///< consumed everything offered, message incomplete
+  kDone,          ///< one complete message parsed; surplus bytes unconsumed
+  kError,         ///< typed error in `error()`; the connection must close
+};
+
+/// \brief Newline framing for NDJSON-over-TCP with a hard line bound.
+///
+/// Feed bytes as they arrive; complete lines (terminator stripped, CRLF
+/// tolerated) come back in order. A line that exceeds the bound yields one
+/// typed overflow notification and the framer discards bytes until the
+/// next newline, so a single abusive line costs its sender one error
+/// response, not the connection's correctness.
+class LineFramer {
+ public:
+  explicit LineFramer(size_t max_line_bytes = (4u << 20))
+      : max_line_bytes_(max_line_bytes) {}
+
+  struct Line {
+    std::string text;
+    /// This entry reports an oversized line (text empty, the line dropped).
+    bool oversized = false;
+  };
+
+  /// Appends `data` and returns every line it completed.
+  std::vector<Line> Feed(std::string_view data);
+
+  /// Bytes buffered past the last newline (an unterminated trailing line).
+  size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  size_t max_line_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;  ///< inside an oversized line, seeking newline
+  bool reported_ = false;    ///< current oversized line already notified
+};
+
+/// A parsed HTTP/1.1 message head shared by requests and responses.
+struct HttpHeaders {
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  /// Case-insensitive lookup; null when absent.
+  const std::string* Find(std::string_view name) const;
+  void Add(std::string name, std::string value);
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;
+  HttpHeaders headers;
+  std::string body;
+  bool keep_alive = true;
+};
+
+struct HttpResponse {
+  int status_code = 0;
+  std::string reason;
+  std::string version;
+  HttpHeaders headers;
+  std::string body;
+  bool keep_alive = true;
+  /// Body ended at connection close before Content-Length was satisfied —
+  /// the wire-level analogue of FetchResult::truncated_body.
+  bool truncated = false;
+};
+
+/// \brief Incremental HTTP/1.1 request parser (one message at a time).
+///
+/// Feed returns the number of bytes consumed via `consumed` (bytes past
+/// the finished message may stay buffered internally or stay unconsumed —
+/// after kDone, Reset and call Feed again, with the unconsumed tail or
+/// empty input, until kNeedMore; that drains pipelined messages). Every
+/// malformed, truncated, or over-limit input lands
+/// in kError with a typed ParseError — the hardening test walks every
+/// prefix and every single-byte corruption of valid traffic through here.
+///
+/// Deliberately minimal: no chunked transfer-encoding (typed error), no
+/// continuation lines, Content-Length is the only body delimiter.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(const WireLimits& limits = {})
+      : limits_(limits) {}
+
+  ParseState Feed(std::string_view data, size_t* consumed);
+  const HttpRequest& request() const { return request_; }
+  const Status& error() const { return error_; }
+  void Reset();
+
+ private:
+  enum class Phase { kStartLine, kHeaders, kBody, kDone, kError };
+  ParseState Fail(std::string message);
+  /// Consumes buffered start-line/header lines; body handled separately.
+  bool ParseBufferedLines();
+
+  WireLimits limits_;
+  Phase phase_ = Phase::kStartLine;
+  std::string buffer_;  ///< unparsed head bytes (start line + headers)
+  size_t header_bytes_ = 0;  ///< header-section bytes consumed so far
+  size_t content_length_ = 0;
+  HttpRequest request_;
+  Status error_;
+};
+
+/// \brief Incremental HTTP/1.1 response parser, mirror of the request
+/// parser plus close-delimited bodies (FeedEof) and truncation detection.
+class HttpResponseParser {
+ public:
+  explicit HttpResponseParser(const WireLimits& limits = {})
+      : limits_(limits) {}
+
+  ParseState Feed(std::string_view data, size_t* consumed);
+  /// Signals connection close. Completes a close-delimited body, marks a
+  /// short Content-Length body truncated-but-done, errors mid-head.
+  ParseState FeedEof();
+  const HttpResponse& response() const { return response_; }
+  const Status& error() const { return error_; }
+  void Reset();
+
+ private:
+  enum class Phase { kStatusLine, kHeaders, kBody, kDone, kError };
+  ParseState Fail(std::string message);
+  bool ParseBufferedLines();
+
+  WireLimits limits_;
+  Phase phase_ = Phase::kStatusLine;
+  std::string buffer_;
+  size_t header_bytes_ = 0;
+  bool has_content_length_ = false;
+  size_t content_length_ = 0;
+  HttpResponse response_;
+  Status error_;
+};
+
+/// Serializes a response with Content-Length and Connection headers
+/// appended after `headers`.
+std::string SerializeResponse(
+    int status_code, std::string_view reason, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& headers = {},
+    bool keep_alive = true);
+
+/// Serializes a GET/POST request (Content-Length added when body given).
+std::string SerializeRequest(
+    std::string_view method, std::string_view target, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+/// Standard reason phrase for the handful of status codes thord emits.
+std::string_view ReasonPhrase(int status_code);
+
+/// Percent-encodes everything outside [A-Za-z0-9._~-].
+std::string UrlEncode(std::string_view raw);
+/// Decodes %XX escapes and '+' as space. Malformed escapes are an error.
+Result<std::string> UrlDecode(std::string_view encoded);
+
+/// Splits "/path?k=v&k2=v2" into the decoded path and decoded query pairs.
+Status ParseTarget(std::string_view target, std::string* path,
+                   std::vector<std::pair<std::string, std::string>>* query);
+
+}  // namespace thor::net
+
+#endif  // THOR_NET_HTTP_H_

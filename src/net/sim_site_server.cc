@@ -1,0 +1,223 @@
+#include "src/net/sim_site_server.h"
+
+#include <sys/socket.h>
+
+#include <cstdlib>
+#include <utility>
+
+namespace thor::net {
+
+namespace {
+
+/// "/site<K>/search" → K, or -1 when the path is not a site search.
+int SitePathId(const std::string& path) {
+  if (path.rfind("/site", 0) != 0) return -1;
+  size_t slash = path.find('/', 5);
+  if (slash == std::string::npos || path.substr(slash) != "/search") {
+    return -1;
+  }
+  std::string digits = path.substr(5, slash - 5);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return std::atoi(digits.c_str());
+}
+
+std::string ErrorBody(std::string_view message) {
+  return "{\"error\":\"" + std::string(message) + "\"}\n";
+}
+
+}  // namespace
+
+SimSiteServer::SimSiteServer(const std::vector<deepweb::DeepWebSite>* fleet)
+    : fleet_(fleet) {}
+
+SimSiteServer::~SimSiteServer() { Stop(); }
+
+Result<uint16_t> SimSiteServer::Start(uint16_t port) {
+  THOR_RETURN_IF_ERROR(loop_.Init());
+  auto listener = ListenTcp(port);
+  THOR_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(*listener);
+  auto bound = LocalPort(listener_);
+  THOR_RETURN_IF_ERROR(bound.status());
+  port_ = *bound;
+  THOR_RETURN_IF_ERROR(
+      loop_.Add(listener_.fd(), Ready::kRead, [this](uint32_t) { OnAccept(); }));
+  started_ = true;
+  thread_ = std::thread([this] { LoopThread(); });
+  return port_;
+}
+
+void SimSiteServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stop_.store(true, std::memory_order_relaxed);
+  loop_.Wakeup();
+  if (thread_.joinable()) thread_.join();
+  for (auto& [fd, conn] : conns_) loop_.Remove(fd);
+  conns_.clear();
+  if (listener_.valid()) {
+    loop_.Remove(listener_.fd());
+    listener_.Close();
+  }
+}
+
+void SimSiteServer::LoopThread() {
+  while (!stop_.load(std::memory_order_relaxed)) loop_.PollOnce(100);
+}
+
+void SimSiteServer::OnAccept() {
+  for (;;) {
+    int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) return;
+    Socket sock(fd);
+    if (!SetNonBlocking(sock.fd()).ok()) continue;
+    SetNoDelay(sock.fd());
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(sock);
+    const int conn_fd = conn->sock.fd();
+    if (!loop_
+             .Add(conn_fd, Ready::kRead,
+                  [this, conn_fd](uint32_t ready) { OnConn(conn_fd, ready); })
+             .ok()) {
+      continue;
+    }
+    conns_.emplace(conn_fd, std::move(conn));
+  }
+}
+
+void SimSiteServer::OnConn(int fd, uint32_t ready) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if ((ready & Ready::kError) != 0) {
+    CloseConn(fd);
+    return;
+  }
+  if ((ready & Ready::kWrite) != 0) {
+    FlushConn(fd, conn);
+    if (conns_.find(fd) == conns_.end()) return;
+  }
+  if ((ready & Ready::kRead) == 0) return;
+  char buf[65536];
+  for (;;) {
+    IoResult io = ReadSome(fd, buf, sizeof(buf));
+    if (io.status == IoStatus::kWouldBlock) break;
+    if (io.status != IoStatus::kOk) {
+      CloseConn(fd);
+      return;
+    }
+    conn.inbox.append(buf, io.bytes);
+    for (;;) {
+      size_t consumed = 0;
+      ParseState state = conn.parser.Feed(conn.inbox, &consumed);
+      conn.inbox.erase(0, consumed);
+      if (state == ParseState::kNeedMore) break;
+      if (state == ParseState::kError) {
+        conn.outbox += SerializeResponse(
+            400, ReasonPhrase(400), ErrorBody(conn.parser.error().message()),
+            {{"Content-Type", "application/json"}}, /*keep_alive=*/false);
+        conn.close_after_flush = true;
+        FlushConn(fd, conn);
+        return;
+      }
+      HandleRequest(conn, conn.parser.request());
+      const bool keep_alive = conn.parser.request().keep_alive;
+      conn.parser.Reset();
+      if (!keep_alive) {
+        conn.close_after_flush = true;
+        FlushConn(fd, conn);
+        return;
+      }
+    }
+  }
+  FlushConn(fd, conn);
+}
+
+void SimSiteServer::HandleRequest(Conn& conn, const HttpRequest& request) {
+  const bool keep_alive = request.keep_alive;
+  std::string path;
+  std::vector<std::pair<std::string, std::string>> query;
+  if (!ParseTarget(request.target, &path, &query).ok()) {
+    conn.outbox += SerializeResponse(400, ReasonPhrase(400),
+                                     ErrorBody("malformed target"),
+                                     {{"Content-Type", "application/json"}},
+                                     keep_alive);
+    return;
+  }
+  const int site_id = SitePathId(path);
+  if (site_id < 0) {
+    conn.outbox += SerializeResponse(404, ReasonPhrase(404),
+                                     ErrorBody("not found"),
+                                     {{"Content-Type", "application/json"}},
+                                     keep_alive);
+    return;
+  }
+  if (request.method != "GET") {
+    conn.outbox += SerializeResponse(405, ReasonPhrase(405),
+                                     ErrorBody("method not allowed"),
+                                     {{"Content-Type", "application/json"}},
+                                     keep_alive);
+    return;
+  }
+  if (static_cast<size_t>(site_id) >= fleet_->size()) {
+    conn.outbox += SerializeResponse(404, ReasonPhrase(404),
+                                     ErrorBody("unknown site"),
+                                     {{"Content-Type", "application/json"}},
+                                     keep_alive);
+    return;
+  }
+  const std::string* word = nullptr;
+  for (const auto& [key, value] : query) {
+    if (key == "q") word = &value;
+  }
+  if (word == nullptr) {
+    conn.outbox += SerializeResponse(400, ReasonPhrase(400),
+                                     ErrorBody("missing q parameter"),
+                                     {{"Content-Type", "application/json"}},
+                                     keep_alive);
+    return;
+  }
+  deepweb::QueryResponse answer =
+      (*fleet_)[static_cast<size_t>(site_id)].Query(*word);
+  conn.outbox += SerializeResponse(
+      200, ReasonPhrase(200), answer.html,
+      {{"Content-Type", "text/html"},
+       {"X-Thor-Url", UrlEncode(answer.url)},
+       {"X-Thor-Class", std::to_string(static_cast<int>(answer.page_class))},
+       {"X-Thor-Query", UrlEncode(answer.query)},
+       {"X-Thor-Matches", std::to_string(answer.num_matches)}},
+      keep_alive);
+}
+
+void SimSiteServer::FlushConn(int fd, Conn& conn) {
+  while (conn.offset < conn.outbox.size()) {
+    IoResult io = WriteSome(fd, conn.outbox.data() + conn.offset,
+                            conn.outbox.size() - conn.offset);
+    if (io.status == IoStatus::kOk) {
+      conn.offset += io.bytes;
+      continue;
+    }
+    if (io.status == IoStatus::kWouldBlock) {
+      loop_.Modify(fd, Ready::kRead | Ready::kWrite);
+      return;
+    }
+    CloseConn(fd);  // peer vanished; EPIPE is typed, never a signal
+    return;
+  }
+  conn.outbox.clear();
+  conn.offset = 0;
+  loop_.Modify(fd, Ready::kRead);
+  if (conn.close_after_flush) CloseConn(fd);
+}
+
+void SimSiteServer::CloseConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  loop_.Remove(fd);
+  conns_.erase(it);
+}
+
+}  // namespace thor::net

@@ -1,0 +1,84 @@
+#ifndef THOR_NET_SIM_SITE_SERVER_H_
+#define THOR_NET_SIM_SITE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/deepweb/site.h"
+#include "src/net/event_loop.h"
+#include "src/net/http.h"
+#include "src/net/socket.h"
+
+namespace thor::net {
+
+/// \brief The deterministic deep-web simulator behind a loopback HTTP
+/// front door.
+///
+/// Serves `GET /site<K>/search?q=WORD` by answering fleet[K].Query(WORD)
+/// with the page HTML as the body and the simulator's ground truth in
+/// percent-encoded response headers:
+///
+///   X-Thor-Url:      QueryResponse::url
+///   X-Thor-Class:    int(QueryResponse::page_class)
+///   X-Thor-Query:    QueryResponse::query
+///   X-Thor-Matches:  QueryResponse::num_matches
+///
+/// HttpTransport reassembles a QueryResponse from these, which is what
+/// makes "probe over real sockets" testable bit-for-bit against
+/// DirectTransport — the whole probe→cluster→discover pipeline runs over
+/// loopback HTTP with no external dependency and no nondeterminism.
+///
+/// Unknown sites and paths are 404, a missing q parameter is 400, and
+/// non-GET methods are 405. The fleet pointer is borrowed and read-only;
+/// keep it alive and unmutated while the server runs.
+class SimSiteServer {
+ public:
+  explicit SimSiteServer(const std::vector<deepweb::DeepWebSite>* fleet);
+  ~SimSiteServer();
+
+  SimSiteServer(const SimSiteServer&) = delete;
+  SimSiteServer& operator=(const SimSiteServer&) = delete;
+
+  /// Binds (0 = ephemeral), spawns the serving thread, returns the port.
+  Result<uint16_t> Start(uint16_t port = 0);
+
+  /// Stops the serving thread and closes every connection. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Conn {
+    Socket sock;
+    HttpRequestParser parser;
+    std::string inbox;
+    std::string outbox;
+    size_t offset = 0;
+    bool close_after_flush = false;
+  };
+
+  void LoopThread();
+  void OnAccept();
+  void OnConn(int fd, uint32_t ready);
+  void HandleRequest(Conn& conn, const HttpRequest& request);
+  void FlushConn(int fd, Conn& conn);
+  void CloseConn(int fd);
+
+  const std::vector<deepweb::DeepWebSite>* fleet_;
+  EventLoop loop_;
+  Socket listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  uint16_t port_ = 0;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;  ///< loop thread only
+};
+
+}  // namespace thor::net
+
+#endif  // THOR_NET_SIM_SITE_SERVER_H_

@@ -20,13 +20,14 @@ void ServerLoop::UpdateQueueGauge() {
            static_cast<double>(queued_requests_));
 }
 
-bool ServerLoop::Submit(std::string site, std::string html) {
+bool ServerLoop::Submit(uint64_t tag, std::string site, std::string html) {
   std::lock_guard<std::mutex> lock(mu_);
   if (options_.max_backlog > 0 && queued_requests_ >= options_.max_backlog) {
     // Admission control: answer now, in stream position, instead of letting
     // the backlog (and the client's wait) grow without bound.
     Item item;
     item.immediate = true;
+    item.tag = tag;
     item.site = std::move(site);
     item.response.source = ExtractionService::Source::kShed;
     item.response.error = "server overloaded";
@@ -37,6 +38,7 @@ bool ServerLoop::Submit(std::string site, std::string html) {
     return false;
   }
   Item item;
+  item.tag = tag;
   item.site = std::move(site);
   item.html = std::move(html);
   queue_.push_back(std::move(item));
@@ -47,13 +49,21 @@ bool ServerLoop::Submit(std::string site, std::string html) {
   return true;
 }
 
-void ServerLoop::SubmitImmediate(std::string site, Response response) {
+void ServerLoop::SubmitImmediate(uint64_t tag, std::string site,
+                                 Response response) {
   std::lock_guard<std::mutex> lock(mu_);
   Item item;
   item.immediate = true;
+  item.tag = tag;
   item.site = std::move(site);
   item.response = std::move(response);
   queue_.push_back(std::move(item));
+  cv_.notify_all();
+}
+
+void ServerLoop::Kick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  kicked_ = true;
   cv_.notify_all();
 }
 
@@ -72,6 +82,14 @@ void ServerLoop::RequestDrain() {
 void ServerLoop::CancelInFlight() { cancel_.RequestStop(); }
 
 void ServerLoop::Run(const EmitFn& emit, const std::function<void()>& flush) {
+  Run(
+      [&emit](uint64_t /*tag*/, const std::string& site,
+              const Response& response) { emit(site, response); },
+      flush);
+}
+
+void ServerLoop::Run(const TaggedEmitFn& emit,
+                     const std::function<void()>& flush) {
   const double start_ms = clock_->NowMs();
   for (;;) {
     std::vector<Item> taken;
@@ -79,13 +97,15 @@ void ServerLoop::Run(const EmitFn& emit, const std::function<void()>& flush) {
     {
       std::unique_lock<std::mutex> lock(mu_);
       // Wait for a full batch of requests so batch boundaries follow the
-      // input stream, not producer/consumer timing; only end-of-input or a
-      // drain releases a short batch. Immediates ride along with whichever
-      // batch releases the request after them.
+      // input stream, not producer/consumer timing; only end-of-input, a
+      // drain, or a Kick releases a short batch. Immediates ride along
+      // with whichever batch releases the request after them.
       cv_.wait(lock, [&] {
-        return drain_requested_ || input_done_ ||
+        return drain_requested_ || input_done_ || (kicked_ && !queue_.empty()) ||
                queued_requests_ >= static_cast<size_t>(options_.batch);
       });
+      const bool kicked = kicked_;
+      kicked_ = false;
       draining = drain_requested_;
       if (draining) {
         // Take everything: queued requests become draining shed responses.
@@ -103,6 +123,12 @@ void ServerLoop::Run(const EmitFn& emit, const std::function<void()>& flush) {
           taken.push_back(std::move(queue_.front()));
           queue_.pop_front();
         }
+        // A kick releases everything queued at kick time, even when that
+        // is more than one batch: stay kicked until the queue drains so a
+        // burst larger than `batch` cannot strand its tail. (Un-kicked
+        // full-batch takes leave the flag alone — stdio batch boundaries
+        // stay a pure function of the input stream.)
+        if (kicked && !queue_.empty()) kicked_ = true;
         if (taken.empty() && input_done_) {
           UpdateQueueGauge();
           break;  // queue fully drained, producer finished
@@ -120,7 +146,7 @@ void ServerLoop::Run(const EmitFn& emit, const std::function<void()>& flush) {
           ++counters_.drained;
           AddCounter(options_.metrics, "serve.drained");
         }
-        emit(item.site, item.response);
+        emit(item.tag, item.site, item.response);
       }
       flush();
       break;
@@ -162,7 +188,7 @@ void ServerLoop::Run(const EmitFn& emit, const std::function<void()>& flush) {
       counters_.processed += static_cast<int64_t>(requests.size());
       ++counters_.batches;
     }
-    for (const Item& item : taken) emit(item.site, item.response);
+    for (const Item& item : taken) emit(item.tag, item.site, item.response);
 
     // The flush failpoint is the other chaos boundary: a crash after
     // extraction but before the responses reach the client. Recovery must

@@ -66,21 +66,41 @@ class ServerLoop {
   /// Called on the consumer thread, in submission order.
   using EmitFn = std::function<void(const std::string& site,
                                     const Response& response)>;
+  /// Tagged variant: `tag` is the producer's opaque routing key (the
+  /// network front-end uses connection ids), echoed back untouched.
+  using TaggedEmitFn = std::function<void(
+      uint64_t tag, const std::string& site, const Response& response)>;
 
   ServerLoop(ExtractionService* service, ServerLoopOptions options = {});
 
   // --- producer side (thread-safe) ---------------------------------------
 
   /// Submits one request. Returns false when admission control shed it
-  /// (the shed response is still emitted in order).
-  bool Submit(std::string site, std::string html);
+  /// (the shed response is still emitted in order). `tag` is an opaque
+  /// routing key echoed back at emission (0 for the stdio front-end).
+  bool Submit(std::string site, std::string html) {
+    return Submit(0, std::move(site), std::move(html));
+  }
+  bool Submit(uint64_t tag, std::string site, std::string html);
 
   /// Submits an already-formed response (parse error, oversized line) so
   /// it occupies its stream position without touching the service.
-  void SubmitImmediate(std::string site, Response response);
+  void SubmitImmediate(std::string site, Response response) {
+    SubmitImmediate(0, std::move(site), std::move(response));
+  }
+  void SubmitImmediate(uint64_t tag, std::string site, Response response);
 
   /// Declares end of input: Run returns once the queue is drained.
   void FinishInput();
+
+  /// Releases whatever is queued as a (possibly short) batch even though
+  /// input has not finished. The network front-end calls this after each
+  /// read burst: a socket producer has no end-of-input to release a
+  /// partial batch with, and waiting for a full batch would deadlock a
+  /// client that sent fewer than `batch` requests and now awaits the
+  /// responses. The stdio front-end never kicks, so its batch boundaries
+  /// (and the determinism contract built on them) are unchanged.
+  void Kick();
 
   /// Graceful shutdown: stop processing new batches after the in-flight
   /// one, answer the queued remainder with draining `shed` responses.
@@ -96,6 +116,7 @@ class ServerLoop {
   /// runs after each batch's responses are emitted. Call from exactly one
   /// thread.
   void Run(const EmitFn& emit, const std::function<void()>& flush);
+  void Run(const TaggedEmitFn& emit, const std::function<void()>& flush);
 
   /// Point-in-time tallies (thread-safe).
   struct Counters {
@@ -113,6 +134,7 @@ class ServerLoop {
  private:
   struct Item {
     bool immediate = false;
+    uint64_t tag = 0;   ///< producer routing key, echoed at emission
     std::string site;
     Response response;  ///< when immediate
     std::string html;   ///< when !immediate
@@ -131,6 +153,7 @@ class ServerLoop {
   size_t queued_requests_ = 0;
   bool input_done_ = false;
   bool drain_requested_ = false;
+  bool kicked_ = false;
   Counters counters_;
 };
 

@@ -1,0 +1,52 @@
+#include "src/serve/wire.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/json.h"
+#include "src/util/json_reader.h"
+
+namespace thor::serve {
+
+std::string ParseRequestLine(const std::string& line, std::string* site,
+                             std::string* html) {
+  auto document = JsonValue::Parse(line);
+  if (!document.ok()) return "bad request: " + document.status().message();
+  const JsonValue* site_value = document->Find("site");
+  if (site_value == nullptr || !site_value->IsString()) {
+    return "bad request: missing \"site\"";
+  }
+  *site = site_value->AsString();
+  const JsonValue* html_value = document->Find("html");
+  if (html_value != nullptr && html_value->IsString()) {
+    *html = html_value->AsString();
+    return "";
+  }
+  const JsonValue* file_value = document->Find("file");
+  if (file_value != nullptr && file_value->IsString()) {
+    std::ifstream in(file_value->AsString(), std::ios::binary);
+    if (!in) return "bad request: cannot read " + file_value->AsString();
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    *html = buffer.str();
+    return "";
+  }
+  return "bad request: need \"html\" or \"file\"";
+}
+
+std::string ResponseToJson(const std::string& site,
+                           const ExtractionService::Response& response) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("site").String(site);
+  json.Key("source").String(ExtractionService::SourceName(response.source));
+  json.Key("pagelet").String(response.pagelet_path);
+  json.Key("objects").Int(static_cast<long long>(response.objects.size()));
+  json.Key("confidence").Double(response.confidence);
+  json.Key("generation").Int(response.generation);
+  if (!response.error.empty()) json.Key("error").String(response.error);
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace thor::serve

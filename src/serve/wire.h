@@ -1,0 +1,29 @@
+#ifndef THOR_SERVE_WIRE_H_
+#define THOR_SERVE_WIRE_H_
+
+#include <string>
+
+#include "src/serve/extraction_service.h"
+
+namespace thor::serve {
+
+/// \brief The thord wire schema, factored out of the daemon so the stdio
+/// front-end and the TCP/HTTP front-end render byte-identical streams.
+///
+/// Request line:  {"site": "...", "html": "..."} or {"site": ..., "file": ...}
+/// Response line: {"site":...,"source":...,"pagelet":...,"objects":N,
+///                 "confidence":...,"generation":N[,"error":...]}
+
+/// Parses one request line into (site, html); a "file" request loads the
+/// page from disk. Returns a client-facing error message on failure, empty
+/// on success.
+std::string ParseRequestLine(const std::string& line, std::string* site,
+                             std::string* html);
+
+/// Renders one response as a single JSON line (no trailing newline).
+std::string ResponseToJson(const std::string& site,
+                           const ExtractionService::Response& response);
+
+}  // namespace thor::serve
+
+#endif  // THOR_SERVE_WIRE_H_

@@ -30,6 +30,13 @@ constexpr const char* kBuiltinFailpoints[] = {
     // thord daemon batch boundaries.
     "thord.batch.drain",
     "thord.batch.flush",
+    // Network front-end connection lifecycle (src/net/net_server): a new
+    // connection entering, a read burst, a response write. error closes
+    // the one connection; crash is the chaos suite's kill -9 with live
+    // TCP clients attached.
+    "net.accept",
+    "net.read",
+    "net.write",
     // Background relearn manager job boundaries.
     "relearn_mgr.enqueue",
     "relearn_mgr.commit",

@@ -1,0 +1,162 @@
+// HttpTransport against the loopback SimSiteServer must be observationally
+// identical to DirectTransport against the in-process simulator: same
+// QueryResponse per fetch, bit-for-bit the same probed corpus through
+// BuildSiteSampleResilient. That parity is what lets every downstream
+// stage (cluster, discover, relearn) run over real sockets in tests
+// without any golden-data drift.
+
+#include "src/deepweb/http_transport.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/deepweb/corpus.h"
+#include "src/deepweb/site_generator.h"
+#include "src/deepweb/transport.h"
+#include "src/net/http_client.h"
+#include "src/net/sim_site_server.h"
+#include "src/util/metrics.h"
+
+namespace thor::deepweb {
+namespace {
+
+std::vector<DeepWebSite> MakeFleet(int num_sites) {
+  FleetOptions options;
+  options.num_sites = num_sites;
+  return GenerateSiteFleet(options);
+}
+
+TEST(HttpTransportTest, FetchMatchesDirectTransportBitForBit) {
+  auto fleet = MakeFleet(2);
+  net::SimSiteServer sim(&fleet);
+  auto port = sim.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  net::HttpClient client;
+  for (int site_id = 0; site_id < 2; ++site_id) {
+    DirectTransport direct(&fleet[static_cast<size_t>(site_id)]);
+    HttpTransport http(&client, "127.0.0.1", *port, site_id);
+    for (const char* word :
+         {"java", "coffee", "deep", "web", "zzzqqqxx", "a b&c=d"}) {
+      FetchResult want = direct.Fetch(word);
+      FetchResult got = http.Fetch(word);
+      ASSERT_TRUE(got.ok()) << word;
+      EXPECT_EQ(got.response.url, want.response.url) << word;
+      EXPECT_EQ(got.response.html, want.response.html) << word;
+      EXPECT_EQ(got.response.page_class, want.response.page_class) << word;
+      EXPECT_EQ(got.response.query, want.response.query) << word;
+      EXPECT_EQ(got.response.num_matches, want.response.num_matches) << word;
+      EXPECT_FALSE(got.truncated_body);
+      EXPECT_EQ(got.http_status, 200);
+    }
+  }
+  sim.Stop();
+}
+
+TEST(HttpTransportTest, ResilientCorpusBuildIsTransportInvariant) {
+  auto fleet = MakeFleet(1);
+  net::SimSiteServer sim(&fleet);
+  auto port = sim.Start();
+  ASSERT_TRUE(port.ok());
+  net::HttpClient client;
+
+  ResilientProbeOptions probe;
+  probe.plan.num_dictionary_words = 25;
+  probe.plan.seed = 77;
+
+  DirectTransport direct(&fleet[0]);
+  auto want = BuildSiteSampleResilient(0, &direct, probe);
+  ASSERT_TRUE(want.ok());
+
+  HttpTransport http(&client, "127.0.0.1", *port, 0);
+  auto got = BuildSiteSampleResilient(0, &http, probe);
+  ASSERT_TRUE(got.ok());
+
+  ASSERT_EQ(got->pages.size(), want->pages.size());
+  ASSERT_FALSE(got->pages.empty());
+  for (size_t i = 0; i < got->pages.size(); ++i) {
+    EXPECT_EQ(got->pages[i].html, want->pages[i].html) << "page " << i;
+    EXPECT_EQ(got->pages[i].url, want->pages[i].url);
+    EXPECT_EQ(got->pages[i].query, want->pages[i].query);
+    EXPECT_EQ(got->pages[i].true_class, want->pages[i].true_class);
+    EXPECT_EQ(got->pages[i].from_nonsense_probe,
+              want->pages[i].from_nonsense_probe);
+  }
+  sim.Stop();
+}
+
+TEST(HttpTransportTest, UnknownSiteIsPermanentError) {
+  auto fleet = MakeFleet(1);
+  net::SimSiteServer sim(&fleet);
+  auto port = sim.Start();
+  ASSERT_TRUE(port.ok());
+  net::HttpClient client;
+  HttpTransport http(&client, "127.0.0.1", *port, 42);
+  FetchResult result = http.Fetch("anything");
+  EXPECT_EQ(result.error, TransportError::kPermanent);
+  EXPECT_EQ(result.http_status, 404);
+  EXPECT_FALSE(IsTransientError(result.error));
+  sim.Stop();
+}
+
+TEST(HttpTransportTest, DeadServerIsTransientConnectionError) {
+  // Bind, learn the port, then stop — fetches against the dead port must
+  // come back as a transient connection error the prober may retry.
+  auto fleet = MakeFleet(1);
+  net::SimSiteServer sim(&fleet);
+  auto port = sim.Start();
+  ASSERT_TRUE(port.ok());
+  sim.Stop();
+  net::HttpClientOptions client_options;
+  client_options.connect_timeout_ms = 500.0;
+  client_options.request_timeout_ms = 500.0;
+  net::HttpClient client(client_options);
+  HttpTransport http(&client, "127.0.0.1", *port, 0);
+  FetchResult result = http.Fetch("java");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.http_status, 0);
+  EXPECT_TRUE(IsTransientError(result.error));
+}
+
+TEST(HttpTransportTest, KeywordsWithReservedCharactersSurviveTheUrl) {
+  auto fleet = MakeFleet(1);
+  net::SimSiteServer sim(&fleet);
+  auto port = sim.Start();
+  ASSERT_TRUE(port.ok());
+  net::HttpClient client;
+  DirectTransport direct(&fleet[0]);
+  HttpTransport http(&client, "127.0.0.1", *port, 0);
+  for (const char* word : {"a&b", "c=d", "e f", "g%h", "i+j", "?#"}) {
+    FetchResult want = direct.Fetch(word);
+    FetchResult got = http.Fetch(word);
+    ASSERT_TRUE(got.ok()) << word;
+    EXPECT_EQ(got.response.query, want.response.query) << word;
+    EXPECT_EQ(got.response.html, want.response.html) << word;
+  }
+  sim.Stop();
+}
+
+TEST(HttpTransportTest, PoolReusesKeepAliveConnections) {
+  auto fleet = MakeFleet(1);
+  net::SimSiteServer sim(&fleet);
+  auto port = sim.Start();
+  ASSERT_TRUE(port.ok());
+  MetricsRegistry metrics;
+  net::HttpClientOptions client_options;
+  client_options.metrics = &metrics;
+  net::HttpClient client(client_options);
+  HttpTransport http(&client, "127.0.0.1", *port, 0);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(http.Fetch("java").ok());
+  }
+  auto snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.counters["net.client.requests"], 8);
+  // One cold connect, everything after rides the pooled socket.
+  EXPECT_EQ(snapshot.counters["net.client.connects"], 1);
+  EXPECT_GE(snapshot.counters["net.client.reused"], 7);
+  sim.Stop();
+}
+
+}  // namespace
+}  // namespace thor::deepweb

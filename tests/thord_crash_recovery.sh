@@ -72,6 +72,9 @@ fi
 
 failpoints=$("$THORD" --list-failpoints) || { echo "FAIL: list"; exit 1; }
 for fp in $failpoints; do
+  # The net.* failpoints sit on the socket front-end and never fire on the
+  # stdio path; part 3 crashes them with live TCP clients instead.
+  case "$fp" in net.*) continue ;; esac
   # Per-failpoint arming: most fire in a default (background-relearn) run,
   # but the synchronous-relearn failpoints only exist on the inline path
   # (--relearn-workers 0), and the rollback boundary is only reached when
@@ -131,6 +134,94 @@ for fp in $failpoints; do
   done
   if ! cmp -s "$WORK/$fp.t1.recover.out" "$WORK/$fp.t4.recover.out"; then
     echo "FAIL: $fp: recovery streams differ between THOR_THREADS=1 and 4"
+    fail=1
+  fi
+done
+
+# --- part 3: TCP crash matrix --------------------------------------------
+
+# Crash the daemon at the socket-layer failpoints while a live TCP client
+# is mid-stream, then restart and prove the store still serves the whole
+# stream — and that the recovered TCP stream is identical at
+# THOR_THREADS=1 and 4. No --fleet here: relearn timing depends on batch
+# boundaries, which legitimately differ between stdio and socket batching.
+
+# Waits until $1 is non-empty (the daemon wrote its port) or ~5s.
+wait_port() {
+  i=0
+  while [ "$i" -lt 50 ]; do
+    [ -s "$1" ] && { cat "$1"; return 0; }
+    sleep 0.1
+    i=$((i + 1))
+  done
+  return 1
+}
+
+for fp in net.accept net.write; do
+  for threads in 1 4; do
+    store="$WORK/store_tcp_${fp}_t${threads}"
+    seed_store "$store" || { echo "FAIL: seed $store"; fail=1; continue; }
+
+    portfile="$WORK/tcp.$fp.t$threads.port"
+    rm -f "$portfile"
+    THOR_FAILPOINTS="$fp:crash" THOR_THREADS=$threads \
+      "$THORD" --store "$store" --batch 4 --listen 0 \
+      --port-file "$portfile" 2>/dev/null &
+    daemon=$!
+    if ! port=$(wait_port "$portfile"); then
+      echo "FAIL: tcp $fp t$threads: daemon never published its port"
+      fail=1
+      kill -9 "$daemon" 2>/dev/null; wait "$daemon" 2>/dev/null
+      continue
+    fi
+    # The live client: its stream dies with the daemon; ignore its status.
+    "$THORCLI" send --port "$port" --timeout-ms 10000 \
+      < "$WORK/requests.ndjson" \
+      > "$WORK/tcp.$fp.t$threads.crash.out" 2>/dev/null
+    status=0
+    wait "$daemon" || status=$?
+    if [ "$status" -ne 137 ]; then
+      echo "FAIL: tcp $fp t$threads: crash run exited $status (want 137)"
+      fail=1
+    fi
+
+    # Restart against the surviving store; the full stream must be served.
+    rm -f "$portfile"
+    THOR_THREADS=$threads \
+      "$THORD" --store "$store" --batch 4 --listen 0 \
+      --port-file "$portfile" 2>/dev/null &
+    daemon=$!
+    if ! port=$(wait_port "$portfile"); then
+      echo "FAIL: tcp $fp t$threads: recovery daemon never published its port"
+      fail=1
+      kill -9 "$daemon" 2>/dev/null; wait "$daemon" 2>/dev/null
+      continue
+    fi
+    recover="$WORK/tcp.$fp.t$threads.recover.out"
+    if ! "$THORCLI" send --port "$port" < "$WORK/requests.ndjson" \
+        > "$recover"; then
+      echo "FAIL: tcp $fp t$threads: recovery send failed"
+      fail=1
+    fi
+    kill -TERM "$daemon"
+    status=0
+    wait "$daemon" || status=$?
+    if [ "$status" -ne 0 ]; then
+      echo "FAIL: tcp $fp t$threads: recovery daemon exited $status (want 0)"
+      fail=1
+    fi
+    recover_lines=$(wc -l < "$recover")
+    if [ "$recover_lines" -ne "$total_requests" ]; then
+      echo "FAIL: tcp $fp t$threads: $recover_lines/$total_requests responses after recovery"
+      fail=1
+    fi
+    if ! grep -q '"source":"template"' "$recover"; then
+      echo "FAIL: tcp $fp t$threads: no template hits after recovery (store corrupt?)"
+      fail=1
+    fi
+  done
+  if ! cmp -s "$WORK/tcp.$fp.t1.recover.out" "$WORK/tcp.$fp.t4.recover.out"; then
+    echo "FAIL: tcp $fp: recovery streams differ between THOR_THREADS=1 and 4"
     fail=1
   fi
 done

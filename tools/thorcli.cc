@@ -25,10 +25,18 @@
 #include "src/core/template_registry.h"
 #include "src/core/thor.h"
 #include "src/deepweb/corpus.h"
+#include "src/deepweb/http_transport.h"
 #include "src/deepweb/resilient_prober.h"
 #include "src/deepweb/site_generator.h"
 #include "src/deepweb/transport.h"
+#include <sys/socket.h>
 #include <unistd.h>
+
+#include <iostream>
+
+#include "src/net/http_client.h"
+#include "src/net/sim_site_server.h"
+#include "src/net/socket.h"
 
 #include "src/search/deep_web_search.h"
 #include "src/serve/extraction_service.h"
@@ -47,7 +55,7 @@ namespace fs = std::filesystem;
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  thorcli probe --sites N --out DIR [--queries N]\n"
+               "  thorcli probe --sites N --out DIR [--queries N] [--http]\n"
                "               [--drift-seed S --epoch N [--drift-rate R] "
                "[--drift-ab R]]\n"
                "  thorcli extract DIR [--json]\n"
@@ -57,6 +65,7 @@ int Usage() {
                "  thorcli extract-from-store FILE.html... --store STOREDIR"
                " --site NAME [--json]\n"
                "  thorcli search DIR... --query WORDS [--by-site]\n"
+               "  thorcli send --port PORT [--host HOST] [--timeout-ms MS]\n"
                "  thorcli eval [--sites N] [--fault-rate R] "
                "[--retry-budget N] [--seed S]\n"
                "               [--deadline-ms MS] [--trace FILE] "
@@ -74,6 +83,15 @@ int Usage() {
                "corpus through the background-relearn serving stack\n"
                "(per-site drift table, serve.relearn_latency_ms) and "
                "prints the full metrics\nregistry as JSON after the run.\n"
+               "\n"
+               "probe --http routes every probe through the real socket stack: "
+               "the fleet\nis served by a loopback HTTP server and fetched "
+               "with the pooled HTTP client\nthrough the resilient prober — "
+               "same pages, same manifest, real sockets.\n"
+               "\n"
+               "send: NDJSON client for a networked thord — reads request "
+               "lines from stdin,\nstreams them to thord --listen, prints "
+               "the response lines, exits 0 on clean\nEOF.\n"
                "\n"
                "probe drift: --drift-seed enables deterministic template "
                "drift and --epoch N\ncaches the pages the fleet serves "
@@ -378,8 +396,11 @@ int RunProbe(int argc, char** argv) {
   double drift_rate = 0.35;
   double drift_ab = 0.0;
   int epoch = 0;
+  bool use_http = false;
   for (int i = 0; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--sites") && i + 1 < argc) {
+    if (!std::strcmp(argv[i], "--http")) {
+      use_http = true;
+    } else if (!std::strcmp(argv[i], "--sites") && i + 1 < argc) {
       num_sites = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
       out_dir = argv[++i];
@@ -415,6 +436,23 @@ int RunProbe(int argc, char** argv) {
                  ec.message().c_str());
     return 1;
   }
+  // --http: serve the fleet over loopback HTTP and probe it through the
+  // pooled client + resilient prober, exercising the same socket stack a
+  // real crawl would. Same pages, same manifest.
+  std::unique_ptr<net::SimSiteServer> sim;
+  std::unique_ptr<net::HttpClient> client;
+  uint16_t sim_port = 0;
+  if (use_http) {
+    sim = std::make_unique<net::SimSiteServer>(&fleet);
+    auto port = sim->Start();
+    if (!port.ok()) {
+      std::fprintf(stderr, "cannot start sim server: %s\n",
+                   port.status().ToString().c_str());
+      return 1;
+    }
+    sim_port = *port;
+    client = std::make_unique<net::HttpClient>();
+  }
   int written = 0;
   for (const auto& site : fleet) {
     fs::path site_dir =
@@ -427,7 +465,24 @@ int RunProbe(int argc, char** argv) {
     // nonsense words) so `extract` can veto the no-match cluster exactly
     // as the in-process pipeline does.
     std::ofstream manifest(site_dir / "manifest.tsv");
-    for (const auto& response : deepweb::ProbeSite(site, per_site)) {
+    std::vector<deepweb::QueryResponse> responses;
+    if (use_http) {
+      deepweb::HttpTransport transport(client.get(), "127.0.0.1", sim_port,
+                                       site.config().site_id);
+      deepweb::ResilientProbeOptions resilient;
+      resilient.plan = per_site;
+      auto probed = deepweb::ResilientProbeSite(&transport, resilient);
+      if (!probed.ok()) {
+        std::fprintf(stderr, "probe over http failed for site %d: %s\n",
+                     site.config().site_id,
+                     probed.status().ToString().c_str());
+        return 1;
+      }
+      responses = std::move(probed->responses);
+    } else {
+      responses = deepweb::ProbeSite(site, per_site);
+    }
+    for (const auto& response : responses) {
       std::string name = "page" + std::to_string(page++) + ".html";
       std::ofstream out(site_dir / name);
       out << "<!-- url: " << response.url << " -->\n" << response.html;
@@ -439,6 +494,79 @@ int RunProbe(int argc, char** argv) {
   std::printf("wrote %d pages under %s (%d sites)\n", written,
               out_dir.c_str(), num_sites);
   std::printf("next: thorcli extract %s/site0\n", out_dir.c_str());
+  return 0;
+}
+
+// --- send: NDJSON client for a networked thord ---------------------------
+
+int RunSend(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  double timeout_ms = 30000.0;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--port") && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
+      host = argv[++i];
+    } else if (!std::strcmp(argv[i], "--timeout-ms") && i + 1 < argc) {
+      timeout_ms = std::atof(argv[++i]);
+    }
+  }
+  if (port <= 0 || port > 65535) return Usage();
+  net::IgnoreSigPipe();
+  std::string input((std::istreambuf_iterator<char>(std::cin)),
+                    std::istreambuf_iterator<char>());
+  Deadline deadline = Deadline::After(nullptr, timeout_ms);
+  auto sock = net::ConnectTcp(host, static_cast<uint16_t>(port), deadline);
+  if (!sock.ok()) {
+    std::fprintf(stderr, "connect %s:%d failed: %s\n", host.c_str(), port,
+                 sock.status().ToString().c_str());
+    return 1;
+  }
+  size_t sent = 0;
+  while (sent < input.size()) {
+    net::IoResult io =
+        net::WriteSome(sock->fd(), input.data() + sent, input.size() - sent);
+    if (io.status == net::IoStatus::kOk) {
+      sent += io.bytes;
+      continue;
+    }
+    if (io.status == net::IoStatus::kWouldBlock) {
+      Status ready = net::WaitReady(sock->fd(), /*for_write=*/true, deadline);
+      if (!ready.ok()) {
+        std::fprintf(stderr, "send timed out: %s\n",
+                     ready.ToString().c_str());
+        return 1;
+      }
+      continue;
+    }
+    std::fprintf(stderr, "connection closed during send\n");
+    return 1;
+  }
+  // Half-close: tells thord the request stream is complete, exactly like
+  // EOF on stdin; responses keep flowing until the server closes.
+  ::shutdown(sock->fd(), SHUT_WR);
+  char buf[65536];
+  for (;;) {
+    net::IoResult io = net::ReadSome(sock->fd(), buf, sizeof(buf));
+    if (io.status == net::IoStatus::kOk) {
+      std::fwrite(buf, 1, io.bytes, stdout);
+      continue;
+    }
+    if (io.status == net::IoStatus::kWouldBlock) {
+      Status ready = net::WaitReady(sock->fd(), /*for_write=*/false, deadline);
+      if (!ready.ok()) {
+        std::fprintf(stderr, "response timed out: %s\n",
+                     ready.ToString().c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (io.status == net::IoStatus::kClosed) break;  // clean EOF
+    std::fprintf(stderr, "connection reset\n");
+    return 1;
+  }
+  std::fflush(stdout);
   return 0;
 }
 
@@ -738,6 +866,7 @@ int Main(int argc, char** argv) {
   if (command == "extract-from-store") {
     return RunExtractFromStore(argc - 2, argv + 2);
   }
+  if (command == "send") return RunSend(argc - 2, argv + 2);
   if (command == "search") return RunSearch(argc - 2, argv + 2);
   if (command == "eval") return RunEval(argc - 2, argv + 2);
   return Usage();

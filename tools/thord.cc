@@ -47,13 +47,14 @@
 #include "src/deepweb/corpus.h"
 #include "src/deepweb/site_generator.h"
 #include "src/deepweb/transport.h"
+#include "src/net/net_server.h"
+#include "src/net/socket.h"
 #include "src/serve/extraction_service.h"
 #include "src/serve/relearn_manager.h"
 #include "src/serve/server_loop.h"
 #include "src/serve/template_store.h"
+#include "src/serve/wire.h"
 #include "src/util/failpoint.h"
-#include "src/util/json.h"
-#include "src/util/json_reader.h"
 #include "src/util/metrics.h"
 
 namespace thor {
@@ -116,6 +117,13 @@ int Usage() {
       "requests\n"
       "                          (default 0 = never; needs background "
       "workers)\n"
+      "  --listen PORT           serve NDJSON and HTTP/1.1 over loopback "
+      "TCP instead\n"
+      "                          of stdio (0 = ephemeral port)\n"
+      "  --port-file PATH        write the bound port to PATH (with "
+      "--listen 0)\n"
+      "  --idle-timeout-ms MS    close idle TCP connections after MS "
+      "(default 60000)\n"
       "  --seed S                probe seed for relearn samples "
       "(default 1234)\n"
       "  --metrics               print the metrics registry to stderr at "
@@ -149,51 +157,17 @@ struct DaemonOptions {
   int drift_every = 0;
   uint64_t seed = 1234;
   bool print_metrics = false;
+  int listen_port = -1;  ///< -1 = stdio mode
+  std::string port_file;
+  double idle_timeout_ms = 60000.0;
 };
 
 void PrintResponse(const std::string& site,
                    const serve::ExtractionService::Response& response) {
-  JsonWriter json;
-  json.BeginObject();
-  json.Key("site").String(site);
-  json.Key("source")
-      .String(serve::ExtractionService::SourceName(response.source));
-  json.Key("pagelet").String(response.pagelet_path);
-  json.Key("objects").Int(static_cast<long long>(response.objects.size()));
-  json.Key("confidence").Double(response.confidence);
-  json.Key("generation").Int(response.generation);
-  if (!response.error.empty()) json.Key("error").String(response.error);
-  json.EndObject();
-  std::fputs(json.str().c_str(), stdout);
+  // serve/wire renders the line so the stdio and TCP front-ends cannot
+  // drift apart: both streams come from serve::ResponseToJson.
+  std::fputs(serve::ResponseToJson(site, response).c_str(), stdout);
   std::fputc('\n', stdout);
-}
-
-/// Parses one request line into (site, html). Returns an error message for
-/// the response on failure.
-std::string ParseRequestLine(const std::string& line, std::string* site,
-                             std::string* html) {
-  auto document = JsonValue::Parse(line);
-  if (!document.ok()) return "bad request: " + document.status().message();
-  const JsonValue* site_value = document->Find("site");
-  if (site_value == nullptr || !site_value->IsString()) {
-    return "bad request: missing \"site\"";
-  }
-  *site = site_value->AsString();
-  const JsonValue* html_value = document->Find("html");
-  if (html_value != nullptr && html_value->IsString()) {
-    *html = html_value->AsString();
-    return "";
-  }
-  const JsonValue* file_value = document->Find("file");
-  if (file_value != nullptr && file_value->IsString()) {
-    std::ifstream in(file_value->AsString(), std::ios::binary);
-    if (!in) return "bad request: cannot read " + file_value->AsString();
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    *html = buffer.str();
-    return "";
-  }
-  return "bad request: need \"html\" or \"file\"";
 }
 
 /// Fleet member id for "site<digits>" (no leading zeros), else -1.
@@ -271,6 +245,12 @@ int Main(int argc, char** argv) {
       options.drift_every = std::atoi(next("--drift-every"));
     } else if (!std::strcmp(argv[i], "--seed")) {
       options.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
+    } else if (!std::strcmp(argv[i], "--listen")) {
+      options.listen_port = std::atoi(next("--listen"));
+    } else if (!std::strcmp(argv[i], "--port-file")) {
+      options.port_file = next("--port-file");
+    } else if (!std::strcmp(argv[i], "--idle-timeout-ms")) {
+      options.idle_timeout_ms = std::atof(next("--idle-timeout-ms"));
     } else if (!std::strcmp(argv[i], "--metrics")) {
       options.print_metrics = true;
     } else if (!std::strcmp(argv[i], "--list-failpoints")) {
@@ -394,6 +374,11 @@ int Main(int argc, char** argv) {
   loop_options.metrics = &metrics;
   serve::ServerLoop loop(&service, loop_options);
 
+  // SIGPIPE must never kill the daemon: a TCP peer that disappears
+  // mid-response becomes a typed connection-closed write result instead
+  // (and for stdio, a dead pipe ends the stream without a signal death).
+  net::IgnoreSigPipe();
+
   // SIGTERM/SIGINT are delivered to the reader thread only (the worker
   // inherits a blocking mask) and installed without SA_RESTART, so a
   // signal interrupts the blocking stdin read instead of waiting for the
@@ -411,40 +396,88 @@ int Main(int argc, char** argv) {
   sigaddset(&drain_signals, SIGTERM);
   sigaddset(&drain_signals, SIGINT);
   pthread_sigmask(SIG_BLOCK, &drain_signals, nullptr);
+  // With --listen, the TCP front-end replaces the stdin reader: the
+  // event-loop thread parses many concurrent connections and submits
+  // tagged requests; the same worker batches them and Deliver routes
+  // each response back to its connection. Both threads are spawned with
+  // signals blocked so the main thread keeps the drain duty.
+  std::unique_ptr<net::NetServer> server;
+  if (options.listen_port >= 0) {
+    net::NetServerOptions net_options;
+    net_options.port = static_cast<uint16_t>(options.listen_port);
+    net_options.idle_timeout_ms = options.idle_timeout_ms;
+    net_options.limits.max_line_bytes = options.max_request_bytes;
+    net_options.limits.max_body_bytes = options.max_request_bytes;
+    net_options.metrics = &metrics;
+    server = std::make_unique<net::NetServer>(&loop, net_options);
+    auto port = server->Start();
+    if (!port.ok()) {
+      std::fprintf(stderr, "cannot listen: %s\n",
+                   port.status().ToString().c_str());
+      return 1;
+    }
+    if (!options.port_file.empty()) {
+      // Write-then-rename so a poller never reads a half-written port.
+      std::string tmp = options.port_file + ".tmp";
+      std::ofstream out(tmp, std::ios::trunc);
+      out << *port << "\n";
+      out.close();
+      std::rename(tmp.c_str(), options.port_file.c_str());
+    }
+    std::fprintf(stderr, "thord listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(*port));
+  }
   std::atomic<bool> worker_done{false};
   std::thread worker([&] {
-    loop.Run(PrintResponse, [] { std::fflush(stdout); });
+    if (server != nullptr) {
+      loop.Run(
+          [&server](uint64_t tag, const std::string& site,
+                    const serve::ExtractionService::Response& response) {
+            server->Deliver(tag, site, response);
+          },
+          [] {});
+    } else {
+      loop.Run(PrintResponse, [] { std::fflush(stdout); });
+    }
     worker_done.store(true);
   });
   pthread_sigmask(SIG_UNBLOCK, &drain_signals, nullptr);
 
-  Counter* shed = metrics.GetCounter("serve.shed");
-  std::string line;
-  while (g_signals == 0 && std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    if (line.size() > options.max_request_bytes) {
-      shed->Increment();
-      serve::ExtractionService::Response response;
-      response.source = serve::ExtractionService::Source::kShed;
-      response.error = "request too large";
-      loop.SubmitImmediate("", std::move(response));
-      continue;
+  if (server != nullptr) {
+    // Net mode has no end-of-input; the daemon runs until signaled.
+    while (g_signals == 0 && !worker_done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
-    std::string site, html;
-    std::string error = ParseRequestLine(line, &site, &html);
-    if (!error.empty()) {
-      serve::ExtractionService::Response response;
-      response.error = error;
-      loop.SubmitImmediate(std::move(site), std::move(response));
-      continue;
-    }
-    loop.Submit(std::move(site), std::move(html));
-  }
-
-  if (g_signals > 0) {
-    loop.RequestDrain();
+    if (g_signals > 0) server->BeginDrain();
   } else {
-    loop.FinishInput();
+    Counter* shed = metrics.GetCounter("serve.shed");
+    std::string line;
+    while (g_signals == 0 && std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      if (line.size() > options.max_request_bytes) {
+        shed->Increment();
+        serve::ExtractionService::Response response;
+        response.source = serve::ExtractionService::Source::kShed;
+        response.error = "request too large";
+        loop.SubmitImmediate("", std::move(response));
+        continue;
+      }
+      std::string site, html;
+      std::string error = serve::ParseRequestLine(line, &site, &html);
+      if (!error.empty()) {
+        serve::ExtractionService::Response response;
+        response.error = error;
+        loop.SubmitImmediate(std::move(site), std::move(response));
+        continue;
+      }
+      loop.Submit(std::move(site), std::move(html));
+    }
+
+    if (g_signals > 0) {
+      loop.RequestDrain();
+    } else {
+      loop.FinishInput();
+    }
   }
   // Watch for a second signal while the worker finishes the in-flight
   // batch: it cancels the batch deadline so shutdown stays prompt even
@@ -458,6 +491,9 @@ int Main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   worker.join();
+  // The consumer has returned, so no Deliver can race the teardown:
+  // flush every connection's outbox, then stop the event loop.
+  if (server != nullptr) server->Shutdown(2000.0);
   // Drain the background relearn workers before reading final metrics:
   // jobs already running finish (or abort at their next stop check), so
   // the printed queue depth is always 0 and nothing races the snapshot.
