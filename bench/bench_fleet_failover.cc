@@ -1,0 +1,318 @@
+// Failover cost of the sharded extraction fleet: a consistent-hash
+// router over 2 shards x 2 replicas, every replica a full worker stack
+// (store, extraction service, batching loop, TCP front-end) on loopback,
+// clients driving Router::Forward closed-loop from several threads.
+//
+// Two measured phases. "healthy" is the steady state: every request is
+// routed, forwarded over TCP, extracted, and returned — no degradation
+// of any kind tolerated. "failover" stops one replica of each shard once
+// a quarter of the phase's requests have completed: the requests caught
+// in flight on a dying connection may come back as typed sheds, but
+// everything after must redirect to the surviving sibling and succeed.
+//
+// Expected shape: the failover phase pays a brief spike (connect
+// failures, redirects, breaker ejections) and then settles on the
+// sibling; p99 stays within a small multiple of the healthy phase
+// because a refused loopback connect fails in microseconds, not in
+// timeouts. The committed BENCH_fleet_failover.json is gated
+// structurally by tools/check_bench_regression.py --fleet.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/template_registry.h"
+#include "src/core/thor.h"
+#include "src/fleet/router.h"
+#include "src/net/net_server.h"
+#include "src/serve/extraction_service.h"
+#include "src/serve/server_loop.h"
+#include "src/serve/template_store.h"
+#include "src/util/json.h"
+#include "src/util/metrics.h"
+
+namespace thor {
+namespace {
+
+namespace fs = std::filesystem;
+
+using Request = serve::ExtractionService::Request;
+using Response = serve::ExtractionService::Response;
+using Source = serve::ExtractionService::Source;
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double rank = p / 100.0 * (static_cast<double>(sorted.size()) - 1.0);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// One fleet worker: the same stack `thord --listen` runs.
+struct Worker {
+  explicit Worker(const std::string& store_dir) {
+    auto opened = serve::TemplateStore::Open(store_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "store open failed: %s\n",
+                   opened.status().ToString().c_str());
+      std::exit(1);
+    }
+    store.emplace(std::move(*opened));
+    service.emplace(&*store, serve::ServiceOptions{});
+    serve::ServerLoopOptions loop_options;
+    loop_options.batch = 8;
+    loop.emplace(&*service, loop_options);
+    server.emplace(&*loop, net::NetServerOptions{});
+    auto bound = server->Start();
+    if (!bound.ok()) {
+      std::fprintf(stderr, "worker start failed: %s\n",
+                   bound.status().ToString().c_str());
+      std::exit(1);
+    }
+    port = *bound;
+    thread = std::thread([this] {
+      loop->Run(
+          [this](uint64_t tag, const std::string& site,
+                 const Response& response) {
+            server->Deliver(tag, site, response);
+          },
+          [] {});
+    });
+  }
+
+  ~Worker() { Stop(); }
+
+  /// Tears the worker down; its port then refuses connections.
+  void Stop() {
+    if (!thread.joinable()) return;
+    server->BeginDrain();
+    thread.join();
+    server->Shutdown(2000.0);
+  }
+
+  std::optional<serve::TemplateStore> store;
+  std::optional<serve::ExtractionService> service;
+  std::optional<serve::ServerLoop> loop;
+  std::optional<net::NetServer> server;
+  std::thread thread;
+  uint16_t port = 0;
+};
+
+struct PhaseStats {
+  std::string name;
+  int64_t requests = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t errors = 0;  ///< anything that is neither served nor a typed shed
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+int Main(int argc, char** argv) {
+  const int num_sites = 4;
+  int per_phase = argc > 1 ? std::atoi(argv[1]) : 2048;
+  std::string json_path = argc > 2 ? argv[2] : "BENCH_fleet_failover.json";
+  const int client_threads = 4;
+
+  // One learned template set, written into every replica's store: the
+  // fleet invariant is that replicas of a shard are interchangeable.
+  auto train = bench::BuildPaperCorpus(num_sites, /*seed=*/7);
+  fs::path base = fs::temp_directory_path() / "thor_bench_fleet";
+  fs::remove_all(base);
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int replica = 0; replica < 4; ++replica) {
+    const std::string dir = (base / ("replica" + std::to_string(replica)))
+                                .string();
+    auto store = serve::TemplateStore::Open(dir);
+    if (!store.ok()) {
+      std::fprintf(stderr, "store open failed: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    for (int s = 0; s < num_sites; ++s) {
+      auto pages = core::ToPages(train[static_cast<size_t>(s)]);
+      auto result = core::RunThor(pages, core::ThorOptions{});
+      if (!result.ok()) {
+        std::fprintf(stderr, "learn failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      auto put = store->Put("site" + std::to_string(s),
+                            core::TemplateRegistry::Learn(pages, *result));
+      if (!put.ok()) {
+        std::fprintf(stderr, "put failed: %s\n", put.ToString().c_str());
+        return 1;
+      }
+    }
+    workers.push_back(std::make_unique<Worker>(dir));
+  }
+
+  std::vector<Request> pool;
+  for (int s = 0; s < num_sites; ++s) {
+    for (const auto& page : train[static_cast<size_t>(s)].pages) {
+      pool.push_back({"site" + std::to_string(s), page.html});
+    }
+  }
+
+  MetricsRegistry metrics;
+  fleet::RouterOptions router_options;
+  router_options.metrics = &metrics;
+  fleet::Router router(
+      {{{"127.0.0.1", workers[0]->port}, {"127.0.0.1", workers[1]->port}},
+       {{"127.0.0.1", workers[2]->port}, {"127.0.0.1", workers[3]->port}}},
+      router_options);
+
+  // Closed-loop phase: `client_threads` threads split `per_phase`
+  // forwards; `midway` (if any) fires once a quarter of them completed.
+  auto run_phase = [&](const std::string& name,
+                       std::function<void()> midway) -> PhaseStats {
+    PhaseStats stats;
+    stats.name = name;
+    std::atomic<int64_t> done{0};
+    std::atomic<bool> fired{false};
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(client_threads));
+    std::vector<int64_t> ok(static_cast<size_t>(client_threads), 0);
+    std::vector<int64_t> shed(static_cast<size_t>(client_threads), 0);
+    std::vector<int64_t> errors(static_cast<size_t>(client_threads), 0);
+    const int per_client =
+        (per_phase + client_threads - 1) / client_threads;
+
+    stats.seconds = bench::TimeSeconds([&] {
+      std::vector<std::thread> clients;
+      for (int c = 0; c < client_threads; ++c) {
+        clients.emplace_back([&, c] {
+          for (int i = 0; i < per_client; ++i) {
+            const Request& request =
+                pool[static_cast<size_t>(c * per_client + i) % pool.size()];
+            double start = NowMs();
+            Response response = router.Forward(request);
+            latencies[static_cast<size_t>(c)].push_back(NowMs() - start);
+            if (response.source == Source::kShed) {
+              ++shed[static_cast<size_t>(c)];
+            } else if (response.source == Source::kTemplate ||
+                       response.source == Source::kMiss) {
+              ++ok[static_cast<size_t>(c)];
+            } else {
+              ++errors[static_cast<size_t>(c)];
+            }
+            int64_t completed = done.fetch_add(1) + 1;
+            if (midway != nullptr && completed >= per_phase / 4 &&
+                !fired.exchange(true)) {
+              midway();
+            }
+          }
+        });
+      }
+      for (auto& client : clients) client.join();
+    });
+
+    std::vector<double> all;
+    for (const auto& per_thread : latencies) {
+      all.insert(all.end(), per_thread.begin(), per_thread.end());
+    }
+    for (int64_t n : ok) stats.ok += n;
+    for (int64_t n : shed) stats.shed += n;
+    for (int64_t n : errors) stats.errors += n;
+    stats.requests = static_cast<int64_t>(all.size());
+    stats.throughput_rps =
+        stats.seconds > 0.0
+            ? static_cast<double>(stats.requests) / stats.seconds
+            : 0.0;
+    std::sort(all.begin(), all.end());
+    stats.p50_ms = Percentile(all, 50.0);
+    stats.p99_ms = Percentile(all, 99.0);
+    stats.max_ms = all.empty() ? 0.0 : all.back();
+    return stats;
+  };
+
+  bench::PrintHeader(
+      "Fleet failover: 2 shards x 2 replicas behind the hash router");
+  bench::PrintRow("", {"phase", "served", "shed", "errors", "req/s",
+                       "p50ms", "p99ms", "maxms"});
+  std::vector<PhaseStats> phases;
+  phases.push_back(run_phase("healthy", nullptr));
+  phases.push_back(run_phase("failover", [&] {
+    // One replica of each shard dies under load; the breaker and the
+    // redirect path must absorb it.
+    workers[1]->Stop();
+    workers[3]->Stop();
+  }));
+  for (const PhaseStats& stats : phases) {
+    bench::PrintRow(
+        "", {stats.name, std::to_string(stats.ok),
+             std::to_string(stats.shed), std::to_string(stats.errors),
+             bench::Fmt(stats.throughput_rps, 0), bench::Fmt(stats.p50_ms, 3),
+             bench::Fmt(stats.p99_ms, 3), bench::Fmt(stats.max_ms, 2)});
+  }
+
+  auto snapshot = metrics.Snapshot();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("fleet_failover");
+  json.Key("shards").Int(2);
+  json.Key("replicas_per_shard").Int(2);
+  json.Key("requests_per_phase").Int(per_phase);
+  json.Key("client_threads").Int(client_threads);
+  json.Key("phases").BeginArray();
+  for (const PhaseStats& stats : phases) {
+    json.BeginObject();
+    json.Key("phase").String(stats.name);
+    json.Key("requests").Int(stats.requests);
+    json.Key("ok").Int(stats.ok);
+    json.Key("shed").Int(stats.shed);
+    json.Key("errors").Int(stats.errors);
+    json.Key("seconds").Double(stats.seconds);
+    json.Key("throughput_rps").Double(stats.throughput_rps);
+    json.Key("p50_ms").Double(stats.p50_ms);
+    json.Key("p99_ms").Double(stats.p99_ms);
+    json.Key("max_ms").Double(stats.max_ms);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("counters").BeginObject();
+  for (const char* name :
+       {"fleet.redirects", "fleet.connect_failures", "fleet.ejections",
+        "fleet.halfopen_probes", "fleet.shed"}) {
+    auto it = snapshot.counters.find(name);
+    json.Key(name).Int(it == snapshot.counters.end() ? 0 : it->second);
+  }
+  json.EndObject();
+  json.EndObject();
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out != nullptr) {
+    std::fprintf(out, "%s\n", json.str().c_str());
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  for (auto& worker : workers) worker->Stop();
+  std::printf(
+      "shape check: the failover phase redirects around the dead replicas\n"
+      "after a bounded spike — no response is ever lost or corrupted, the\n"
+      "only degradation is a typed shed for requests caught in flight.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace thor
+
+int main(int argc, char** argv) { return thor::Main(argc, argv); }

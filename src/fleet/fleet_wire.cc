@@ -1,0 +1,179 @@
+#include "src/fleet/fleet_wire.h"
+
+#include <cstdio>
+
+#include "src/util/json.h"
+#include "src/util/json_reader.h"
+
+namespace thor::fleet {
+
+namespace {
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    hex.push_back(kDigits[c >> 4]);
+    hex.push_back(kDigits[c & 0xf]);
+  }
+  return hex;
+}
+
+Result<std::string> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::ParseError("hex string has odd length");
+  }
+  std::string bytes;
+  bytes.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::ParseError("invalid hex digit");
+    }
+    bytes.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return bytes;
+}
+
+std::string U64ToHex(uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+Result<uint64_t> U64FromHex(std::string_view hex) {
+  if (hex.empty() || hex.size() > 16) {
+    return Status::ParseError("bad hash literal");
+  }
+  uint64_t value = 0;
+  for (char c : hex) {
+    int nibble = HexNibble(c);
+    if (nibble < 0) return Status::ParseError("bad hash literal");
+    value = (value << 4) | static_cast<uint64_t>(nibble);
+  }
+  return value;
+}
+
+std::string LedgerToJson(const LedgerView& view) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("format").String("thor-ledger");
+  json.Key("head").String(U64ToHex(view.head));
+  json.Key("sites").BeginObject();
+  for (const auto& [site, state] : view.sites) {
+    json.Key(site).BeginObject();
+    json.Key("generation").Int(state.generation);
+    json.Key("checksum").String(U64ToHex(state.checksum));
+    json.Key("head").String(U64ToHex(state.head));
+    json.Key("length").Int(state.length);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+Result<LedgerView> LedgerFromJson(const std::string& text) {
+  auto document = JsonValue::Parse(text);
+  if (!document.ok()) return document.status();
+  const JsonValue* format = document->Find("format");
+  if (format == nullptr || !format->IsString() ||
+      format->AsString() != "thor-ledger") {
+    return Status::ParseError("not a thor-ledger document");
+  }
+  const JsonValue* head = document->Find("head");
+  const JsonValue* sites = document->Find("sites");
+  if (head == nullptr || !head->IsString() || sites == nullptr ||
+      !sites->IsObject()) {
+    return Status::ParseError("thor-ledger document malformed");
+  }
+  LedgerView view;
+  auto combined = U64FromHex(head->AsString());
+  if (!combined.ok()) return combined.status();
+  view.head = *combined;
+  for (const auto& [site, value] : sites->members()) {
+    const JsonValue* generation = value.Find("generation");
+    const JsonValue* checksum = value.Find("checksum");
+    const JsonValue* site_head = value.Find("head");
+    const JsonValue* length = value.Find("length");
+    if (generation == nullptr || !generation->IsNumber() ||
+        checksum == nullptr || !checksum->IsString() ||
+        site_head == nullptr || !site_head->IsString()) {
+      return Status::ParseError("thor-ledger site entry malformed");
+    }
+    GenerationLedger::SiteState state;
+    state.generation = generation->AsInt();
+    auto sum = U64FromHex(checksum->AsString());
+    if (!sum.ok()) return sum.status();
+    state.checksum = *sum;
+    auto h = U64FromHex(site_head->AsString());
+    if (!h.ok()) return h.status();
+    state.head = *h;
+    if (length != nullptr && length->IsNumber()) {
+      state.length = length->AsInt();
+    }
+    view.sites[site] = state;
+  }
+  return view;
+}
+
+std::string TemplatePayloadToJson(const TemplatePayload& payload) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("format").String("thor-template");
+  json.Key("site").String(payload.site);
+  json.Key("generation").Int(payload.generation);
+  json.Key("checksum").String(U64ToHex(payload.checksum));
+  json.Key("head").String(U64ToHex(payload.head));
+  json.Key("payload").String(HexEncode(payload.payload));
+  json.EndObject();
+  return json.str();
+}
+
+Result<TemplatePayload> TemplatePayloadFromJson(const std::string& text) {
+  auto document = JsonValue::Parse(text);
+  if (!document.ok()) return document.status();
+  const JsonValue* format = document->Find("format");
+  if (format == nullptr || !format->IsString() ||
+      format->AsString() != "thor-template") {
+    return Status::ParseError("not a thor-template document");
+  }
+  const JsonValue* site = document->Find("site");
+  const JsonValue* generation = document->Find("generation");
+  const JsonValue* checksum = document->Find("checksum");
+  const JsonValue* head = document->Find("head");
+  const JsonValue* payload = document->Find("payload");
+  if (site == nullptr || !site->IsString() || generation == nullptr ||
+      !generation->IsNumber() || checksum == nullptr ||
+      !checksum->IsString() || head == nullptr || !head->IsString() ||
+      payload == nullptr || !payload->IsString()) {
+    return Status::ParseError("thor-template document malformed");
+  }
+  TemplatePayload result;
+  result.site = site->AsString();
+  result.generation = generation->AsInt();
+  auto sum = U64FromHex(checksum->AsString());
+  if (!sum.ok()) return sum.status();
+  result.checksum = *sum;
+  auto h = U64FromHex(head->AsString());
+  if (!h.ok()) return h.status();
+  result.head = *h;
+  auto bytes = HexDecode(payload->AsString());
+  if (!bytes.ok()) return bytes.status();
+  result.payload = std::move(*bytes);
+  return result;
+}
+
+}  // namespace thor::fleet

@@ -1,0 +1,50 @@
+#ifndef THOR_FLEET_FLEET_WIRE_H_
+#define THOR_FLEET_FLEET_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/fleet/generation_ledger.h"
+#include "src/util/status.h"
+
+namespace thor::fleet {
+
+/// \brief The replication wire schema: what `GET /ledger` and
+/// `GET /template?site=S` return on a fleet worker, and what ReplicaAgent
+/// parses back. JSON with hex-encoded 64-bit hashes (they exceed double
+/// precision, so they must not ride as JSON numbers) and a hex-encoded
+/// binary payload (THORTPL1 blobs are not valid JSON string bytes).
+
+std::string HexEncode(std::string_view bytes);
+Result<std::string> HexDecode(std::string_view hex);
+
+/// 16-digit lowercase hex of a hash/checksum.
+std::string U64ToHex(uint64_t value);
+Result<uint64_t> U64FromHex(std::string_view hex);
+
+/// One replica's ledger as shipped over `GET /ledger`.
+struct LedgerView {
+  uint64_t head = 0;  ///< combined head (GenerationLedger::Head)
+  std::map<std::string, GenerationLedger::SiteState> sites;
+};
+
+std::string LedgerToJson(const LedgerView& view);
+Result<LedgerView> LedgerFromJson(const std::string& text);
+
+/// One site's committed payload as shipped over `GET /template?site=S`.
+struct TemplatePayload {
+  std::string site;
+  int64_t generation = 0;
+  uint64_t checksum = 0;  ///< FNV-1a of the raw payload bytes
+  uint64_t head = 0;      ///< sender's chain head for the site
+  std::string payload;    ///< raw store bytes (decoded from hex)
+};
+
+std::string TemplatePayloadToJson(const TemplatePayload& payload);
+Result<TemplatePayload> TemplatePayloadFromJson(const std::string& text);
+
+}  // namespace thor::fleet
+
+#endif  // THOR_FLEET_FLEET_WIRE_H_

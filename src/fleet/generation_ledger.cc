@@ -1,0 +1,99 @@
+#include "src/fleet/generation_ledger.h"
+
+#include "src/util/failpoint.h"
+
+namespace thor::fleet {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvByte(uint64_t hash, unsigned char c) {
+  hash ^= c;
+  hash *= kFnvPrime;
+  return hash;
+}
+
+uint64_t FnvBytes(uint64_t hash, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) hash = FnvByte(hash, bytes[i]);
+  return hash;
+}
+
+uint64_t FnvU64(uint64_t hash, uint64_t value) {
+  // Little-endian byte order, explicitly — the chain must agree across
+  // every replica regardless of host endianness.
+  for (int i = 0; i < 8; ++i) {
+    hash = FnvByte(hash, static_cast<unsigned char>(value >> (8 * i)));
+  }
+  return hash;
+}
+
+}  // namespace
+
+uint64_t GenerationLedger::ChainLink(const std::string& site,
+                                     int64_t generation, uint64_t checksum,
+                                     uint64_t prev) {
+  uint64_t hash = kFnvOffset;
+  hash = FnvBytes(hash, site.data(), site.size());
+  hash = FnvByte(hash, 0);  // separator: site bytes cannot bleed into ints
+  hash = FnvU64(hash, static_cast<uint64_t>(generation));
+  hash = FnvU64(hash, checksum);
+  hash = FnvU64(hash, prev);
+  return hash;
+}
+
+uint64_t GenerationLedger::Append(const std::string& site, int64_t generation,
+                                  uint64_t checksum) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  Status gate = THOR_FAILPOINT("fleet.ledger_append");
+  if (!gate.ok()) {
+    // Injected skip: the commit is durable but the chain no longer covers
+    // it. The resulting head mismatch is exactly what anti-entropy exists
+    // to detect and repair.
+    return state.head;
+  }
+  state.head = ChainLink(site, generation, checksum, state.head);
+  state.generation = generation;
+  state.checksum = checksum;
+  ++state.length;
+  return state.head;
+}
+
+void GenerationLedger::Adopt(const std::string& site, int64_t generation,
+                             uint64_t checksum, uint64_t head) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  state.generation = generation;
+  state.checksum = checksum;
+  state.head = head;
+  ++state.length;
+}
+
+GenerationLedger::SiteState GenerationLedger::Site(
+    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? SiteState{} : it->second;
+}
+
+std::map<std::string, GenerationLedger::SiteState> GenerationLedger::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_;
+}
+
+uint64_t GenerationLedger::Head() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t hash = kFnvOffset;
+  for (const auto& [site, state] : sites_) {
+    hash = FnvBytes(hash, site.data(), site.size());
+    hash = FnvByte(hash, 0);
+    hash = FnvU64(hash, state.head);
+  }
+  return hash;
+}
+
+}  // namespace thor::fleet

@@ -1,0 +1,80 @@
+#ifndef THOR_FLEET_GENERATION_LEDGER_H_
+#define THOR_FLEET_GENERATION_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace thor::fleet {
+
+/// \brief Hash-chained summary of a replica's committed template
+/// generations — the O(1) agreement check between fleet replicas.
+///
+/// Every TemplateStore commit extends the owning site's chain:
+///
+///   head' = FNV-1a(site ‖ generation ‖ payload_checksum ‖ head)
+///
+/// and the ledger's combined head folds every site head together (in
+/// sorted site order, so commit interleaving across *different* sites
+/// cannot change it). Two replicas whose combined heads match hold
+/// byte-identical committed stores; a mismatch names exactly which sites
+/// diverged once the per-site snapshots are compared. That single-hash
+/// exchange is what keeps the anti-entropy protocol cheap: the steady
+/// state is one small GET per round, never a manifest diff.
+///
+/// The chain is in-memory and rebuilt from the manifest at startup (each
+/// surviving site restarts as a length-1 chain seeded from zero), so a
+/// restarted replica's head legitimately differs from a survivor's even
+/// when their committed bytes agree — the per-site (generation, checksum)
+/// comparison is authoritative for "same data", and reconciliation adopts
+/// the larger head so both replicas converge on one value without
+/// coordination (see ReplicaAgent).
+///
+/// Thread-safe; Append is designed to run inside TemplateStore's commit
+/// observer (store lock held), so it takes no locks beyond its own.
+class GenerationLedger {
+ public:
+  struct SiteState {
+    int64_t generation = 0;
+    uint64_t checksum = 0;
+    uint64_t head = 0;    ///< chain head after the latest append/adopt
+    int64_t length = 0;   ///< appends observed by this process (audit)
+  };
+
+  /// One chain link: what Append folds into a site's head.
+  static uint64_t ChainLink(const std::string& site, int64_t generation,
+                            uint64_t checksum, uint64_t prev);
+
+  /// Extends `site`'s chain with a locally committed generation and
+  /// returns the new site head. Crosses the fleet.ledger_append failpoint:
+  /// an injected error skips the extension (the divergence anti-entropy
+  /// must then detect and heal), a crash is the chaos suite's kill -9
+  /// between manifest commit and chain append.
+  uint64_t Append(const std::string& site, int64_t generation,
+                  uint64_t checksum);
+
+  /// Forces `site`'s state to a peer's view — the reconciliation step
+  /// after adopting that peer's payload (or after confirming the committed
+  /// bytes already agree and only the chain heads differ).
+  void Adopt(const std::string& site, int64_t generation, uint64_t checksum,
+             uint64_t head);
+
+  /// This site's chain state ({0,0,0,0} when absent).
+  SiteState Site(const std::string& site) const;
+
+  /// Every site's chain state, sorted by site.
+  std::map<std::string, SiteState> Snapshot() const;
+
+  /// Combined head over all sites, folded in sorted site order. Equal
+  /// combined heads ⇒ equal per-site (head) maps.
+  uint64_t Head() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+};
+
+}  // namespace thor::fleet
+
+#endif  // THOR_FLEET_GENERATION_LEDGER_H_

@@ -1,0 +1,78 @@
+#include "src/fleet/hash_ring.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/serve/template_store.h"  // Fnv1a64
+
+namespace thor::fleet {
+namespace {
+
+// FNV-1a of short strings that differ only in trailing digits ("site17",
+// "shard-3#12") leaves the high bits a pure function of the shared prefix,
+// which collapses the ring into a few tiny arcs. A finalizing mixer
+// (murmur3 fmix64) avalanches the full word before any point is placed.
+uint64_t MixBits(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+Result<Endpoint> ParseEndpoint(const std::string& text) {
+  size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    return Status::InvalidArgument("endpoint \"" + text +
+                                   "\" is not host:port");
+  }
+  Endpoint endpoint;
+  endpoint.host = text.substr(0, colon);
+  if (endpoint.host.size() >= 2 && endpoint.host.front() == '[' &&
+      endpoint.host.back() == ']') {
+    endpoint.host = endpoint.host.substr(1, endpoint.host.size() - 2);
+  } else if (endpoint.host.find(':') != std::string::npos) {
+    return Status::InvalidArgument("IPv6 endpoint \"" + text +
+                                   "\" must bracket the address");
+  }
+  char* end = nullptr;
+  long port = std::strtol(text.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
+    return Status::InvalidArgument("endpoint \"" + text +
+                                   "\" has an invalid port");
+  }
+  endpoint.port = static_cast<uint16_t>(port);
+  return endpoint;
+}
+
+HashRing::HashRing(size_t shards, int vnodes) : shards_(shards) {
+  if (shards_ == 0) shards_ = 1;
+  if (vnodes < 1) vnodes = 1;
+  ring_.reserve(shards_ * static_cast<size_t>(vnodes));
+  for (size_t shard = 0; shard < shards_; ++shard) {
+    for (int v = 0; v < vnodes; ++v) {
+      std::string label =
+          "shard-" + std::to_string(shard) + "#" + std::to_string(v);
+      ring_.push_back(
+          {MixBits(serve::Fnv1a64(label)), static_cast<uint32_t>(shard)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash < b.hash || (a.hash == b.hash && a.shard < b.shard);
+  });
+}
+
+size_t HashRing::ShardFor(std::string_view site) const {
+  const uint64_t hash = MixBits(serve::Fnv1a64(site));
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const Point& point, uint64_t h) { return point.hash < h; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap: the ring is circular
+  return it->shard;
+}
+
+}  // namespace thor::fleet

@@ -1,0 +1,55 @@
+#ifndef THOR_FLEET_HASH_RING_H_
+#define THOR_FLEET_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace thor::fleet {
+
+/// A worker address as the router and the replication agent see it.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+
+  /// "host:port" — the pool key / display form.
+  std::string Key() const { return host + ":" + std::to_string(port); }
+};
+
+/// Parses "host:port" (the --shard / --peer flag grammar). The host may be
+/// a hostname, an IPv4 literal, or a bracketed IPv6 literal ("[::1]:8080");
+/// the split is at the last colon so unbracketed v6 text is rejected
+/// rather than mis-split.
+Result<Endpoint> ParseEndpoint(const std::string& text);
+
+/// \brief Consistent-hash map from site name to shard index.
+///
+/// Classic ring construction: every shard owns `vnodes` points hashed from
+/// its index, a site maps to the first point at or clockwise-after its own
+/// hash. Pure function of (shard count, vnodes) — every router and worker
+/// that agrees on those two numbers agrees on the whole site→shard map, so
+/// there is nothing to gossip. Adding a shard moves only ~1/N of sites
+/// (why a ring and not `hash % N`, which would reshuffle almost all of
+/// them and orphan every shard's learned templates).
+class HashRing {
+ public:
+  explicit HashRing(size_t shards, int vnodes = 64);
+
+  size_t ShardFor(std::string_view site) const;
+  size_t shards() const { return shards_; }
+
+ private:
+  struct Point {
+    uint64_t hash = 0;
+    uint32_t shard = 0;
+  };
+  size_t shards_;
+  std::vector<Point> ring_;  ///< sorted by hash
+};
+
+}  // namespace thor::fleet
+
+#endif  // THOR_FLEET_HASH_RING_H_

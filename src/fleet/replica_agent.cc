@@ -1,0 +1,157 @@
+#include "src/fleet/replica_agent.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/fleet/fleet_wire.h"
+#include "src/util/failpoint.h"
+
+namespace thor::fleet {
+
+namespace {
+
+net::HttpClientOptions ClientOptions(const ReplicaAgentOptions& options) {
+  net::HttpClientOptions client;
+  client.connect_timeout_ms = options.connect_timeout_ms;
+  client.request_timeout_ms = options.request_timeout_ms;
+  client.metrics = options.metrics;
+  return client;
+}
+
+}  // namespace
+
+ReplicaAgent::ReplicaAgent(serve::TemplateStore* store,
+                           GenerationLedger* ledger,
+                           std::vector<Endpoint> peers,
+                           ReplicaAgentOptions options)
+    : store_(store),
+      ledger_(ledger),
+      peers_(std::move(peers)),
+      options_(std::move(options)),
+      client_(ClientOptions(options_)) {}
+
+ReplicaAgent::~ReplicaAgent() { Stop(); }
+
+void ReplicaAgent::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void ReplicaAgent::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void ReplicaAgent::ThreadMain() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(
+          lock,
+          std::chrono::microseconds(
+              static_cast<long long>(options_.interval_ms * 1000.0)),
+          [this] { return stop_; });
+      if (stop_) return;
+    }
+    RunOnce();
+  }
+}
+
+int ReplicaAgent::RunOnce() {
+  int adopted = 0;
+  for (const Endpoint& peer : peers_) adopted += SyncPeer(peer);
+  return adopted;
+}
+
+int ReplicaAgent::SyncPeer(const Endpoint& peer) {
+  auto ledger_response = client_.Get(peer.host, peer.port, "/ledger");
+  if (!ledger_response.ok() || ledger_response->status_code != 200) {
+    // Peer down or not yet listening: normal during rolling restarts —
+    // skip this round and let the next one retry.
+    AddCounter(options_.metrics, "fleet.replicate_peer_unreachable");
+    return 0;
+  }
+  auto view = LedgerFromJson(ledger_response->body);
+  if (!view.ok()) {
+    AddCounter(options_.metrics, "fleet.replicate_bad_ledger");
+    return 0;
+  }
+  if (view->head == ledger_->Head()) return 0;  // the steady state
+
+  AddCounter(options_.metrics, "fleet.replicate_divergence");
+  int adopted = 0;
+  for (const auto& [site, peer_state] : view->sites) {
+    const GenerationLedger::SiteState local = ledger_->Site(site);
+    const bool peer_ahead =
+        peer_state.generation > local.generation ||
+        (peer_state.generation == local.generation &&
+         peer_state.checksum > local.checksum);
+    if (peer_ahead) {
+      Status gate = THOR_FAILPOINT("fleet.replicate");
+      if (!gate.ok()) {
+        // Injected skip: this round leaves the divergence in place; the
+        // next round (or the restarted process) picks it back up.
+        AddCounter(options_.metrics, "fleet.replicate_errors");
+        return adopted;
+      }
+      auto pulled =
+          client_.Get(peer.host, peer.port, "/template?site=" + site);
+      if (!pulled.ok() || pulled->status_code != 200) {
+        AddCounter(options_.metrics, "fleet.replicate_pull_failures");
+        continue;
+      }
+      auto payload = TemplatePayloadFromJson(pulled->body);
+      if (!payload.ok() || payload->site != site ||
+          serve::Fnv1a64(payload->payload) != payload->checksum) {
+        // A payload whose bytes don't hash to the advertised checksum
+        // never enters the store — corruption stops at this boundary.
+        AddCounter(options_.metrics, "fleet.replicate_corrupt");
+        continue;
+      }
+      Status adopt = store_->AdoptGeneration(site, payload->generation,
+                                             payload->payload);
+      if (!adopt.ok()) {
+        AddCounter(options_.metrics, "fleet.replicate_adopt_failures");
+        continue;
+      }
+      // The store may have declined (a local commit raced ahead); only
+      // reconcile the chain when the committed state now matches what the
+      // peer advertised.
+      const auto entries = store_->Entries();
+      auto it = entries.find(site);
+      if (it != entries.end() &&
+          it->second.generation == payload->generation &&
+          it->second.checksum == payload->checksum) {
+        ledger_->Adopt(site, payload->generation, payload->checksum,
+                       payload->head);
+        ++adopted;
+        AddCounter(options_.metrics, "fleet.replicate_adoptions");
+        if (options_.on_adopt) options_.on_adopt(site);
+      }
+      continue;
+    }
+    if (peer_state.generation == local.generation &&
+        peer_state.checksum == local.checksum &&
+        peer_state.head > local.head) {
+      // Same committed bytes, different chain histories (a restarted
+      // replica's fresh chain vs a survivor's). Converge on the larger
+      // head — both sides applying this rule agree without coordination.
+      ledger_->Adopt(site, local.generation, local.checksum,
+                     peer_state.head);
+      AddCounter(options_.metrics, "fleet.replicate_head_reconciled");
+    }
+  }
+  return adopted;
+}
+
+}  // namespace thor::fleet

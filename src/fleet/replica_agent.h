@@ -1,0 +1,92 @@
+#ifndef THOR_FLEET_REPLICA_AGENT_H_
+#define THOR_FLEET_REPLICA_AGENT_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/fleet/generation_ledger.h"
+#include "src/fleet/hash_ring.h"
+#include "src/net/http_client.h"
+#include "src/serve/template_store.h"
+#include "src/util/metrics.h"
+
+namespace thor::fleet {
+
+/// Tuning knobs for the anti-entropy loop.
+struct ReplicaAgentOptions {
+  /// Gossip cadence: one round against every peer per interval.
+  double interval_ms = 250.0;
+  double connect_timeout_ms = 500.0;
+  double request_timeout_ms = 5000.0;
+  MetricsRegistry* metrics = nullptr;
+  /// Invoked (from the agent thread) after a generation is adopted into
+  /// the local store — the worker wires this to
+  /// ExtractionService::Invalidate so the serving path sees it.
+  std::function<void(const std::string& site)> on_adopt;
+};
+
+/// \brief Pull-based anti-entropy between fleet replicas of one shard.
+///
+/// Each round, the agent fetches every peer's `GET /ledger` and compares
+/// combined heads. Equal heads — the steady state — cost one small GET
+/// per peer and nothing else. On mismatch, the per-site states pin down
+/// the divergence, and for every site where the peer is ahead (higher
+/// generation, or same generation with the winning checksum — see
+/// TemplateStore::AdoptGeneration's deterministic tie-break) the agent
+/// pulls `GET /template?site=S`, verifies the payload checksum against
+/// the advertised one, adopts it into the local store, and reconciles the
+/// local chain to the peer's head. Sites where only the chain heads
+/// differ (identical committed bytes — e.g. a restarted replica's
+/// length-1 chain vs a survivor's longer one) converge on the larger
+/// head without moving any payload.
+///
+/// The pull boundary crosses the fleet.replicate failpoint: an injected
+/// error skips the round (divergence persists until the next one), a
+/// crash is the chaos suite's kill -9 mid-catch-up.
+///
+/// Unreachable peers are skipped and retried next round; the agent never
+/// blocks serving (it runs on its own thread against the store's public,
+/// locked API).
+class ReplicaAgent {
+ public:
+  ReplicaAgent(serve::TemplateStore* store, GenerationLedger* ledger,
+               std::vector<Endpoint> peers, ReplicaAgentOptions options = {});
+  ~ReplicaAgent();
+
+  ReplicaAgent(const ReplicaAgent&) = delete;
+  ReplicaAgent& operator=(const ReplicaAgent&) = delete;
+
+  /// Spawns the background loop (idempotent).
+  void Start();
+  /// Stops and joins the loop (idempotent; also run by the destructor).
+  void Stop();
+
+  /// One synchronous round against every peer; returns the number of
+  /// generations adopted. Public so tests (and a worker that wants to
+  /// catch up before serving) can drive rounds deterministically.
+  int RunOnce();
+
+ private:
+  int SyncPeer(const Endpoint& peer);
+  void ThreadMain();
+
+  serve::TemplateStore* store_;
+  GenerationLedger* ledger_;
+  std::vector<Endpoint> peers_;
+  ReplicaAgentOptions options_;
+  net::HttpClient client_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace thor::fleet
+
+#endif  // THOR_FLEET_REPLICA_AGENT_H_

@@ -22,21 +22,25 @@ HttpClient::HttpClient(HttpClientOptions options)
 HttpClient::~HttpClient() = default;
 
 Result<HttpResponse> HttpClient::Get(const std::string& host, uint16_t port,
-                                     const std::string& target) {
-  return Issue(host, port, "GET", target, "");
+                                     const std::string& target,
+                                     IssueInfo* info) {
+  return Issue(host, port, "GET", target, "", info);
 }
 
 Result<HttpResponse> HttpClient::Post(const std::string& host, uint16_t port,
                                       const std::string& target,
-                                      const std::string& body) {
-  return Issue(host, port, "POST", target, body);
+                                      const std::string& body,
+                                      IssueInfo* info) {
+  return Issue(host, port, "POST", target, body, info);
 }
 
 Result<HttpResponse> HttpClient::Issue(const std::string& host,
                                        uint16_t port,
                                        std::string_view method,
                                        const std::string& target,
-                                       const std::string& body) {
+                                       const std::string& body,
+                                       IssueInfo* info) {
+  if (info != nullptr) *info = IssueInfo{};
   const std::string key = HostKey(host, port);
   // Admission: an in-flight slot, then the politeness spacing. Both are
   // per-host, so hammering one host cannot starve requests to another.
@@ -88,8 +92,11 @@ Result<HttpResponse> HttpClient::Issue(const std::string& host,
     result = Attempt(sock, wire, deadline, &started);
     attempted = result.ok() || started;
     if (attempted) {
+      if (info != nullptr) info->request_sent = true;
       AddCounter(options_.metrics, "net.client.reused");
     } else {
+      // The stale keep-alive race: the pooled socket was already dead, so
+      // the written bytes never reached a live server — still unsent.
       AddCounter(options_.metrics, "net.client.stale_retries");
       sock.Close();
     }
@@ -100,6 +107,7 @@ Result<HttpResponse> HttpClient::Issue(const std::string& host,
     auto fresh = ConnectTcp(host, port, connect_deadline);
     if (fresh.ok()) {
       sock = std::move(*fresh);
+      if (info != nullptr) info->request_sent = true;
       bool started = false;
       result = Attempt(sock, wire, deadline, &started);
       AddCounter(options_.metrics, "net.client.connects");

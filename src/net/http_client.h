@@ -54,6 +54,17 @@ struct HttpClientOptions {
 /// failures, are the only thing that path forgives.
 class HttpClient {
  public:
+  /// Side-channel facts about how a request fared, for callers whose retry
+  /// policy depends on more than the final Status. `request_sent` is true
+  /// once the request reached a live connection — after that the server
+  /// may have processed it, so only idempotent requests may be resent. It
+  /// stays false exactly when no fresh connect ever succeeded (the pooled
+  /// stale-socket race the client forgives internally does not count: its
+  /// bytes died with an already-closed connection).
+  struct IssueInfo {
+    bool request_sent = false;
+  };
+
   explicit HttpClient(HttpClientOptions options = {});
   ~HttpClient();
 
@@ -61,10 +72,12 @@ class HttpClient {
   HttpClient& operator=(const HttpClient&) = delete;
 
   Result<HttpResponse> Get(const std::string& host, uint16_t port,
-                           const std::string& target);
+                           const std::string& target,
+                           IssueInfo* info = nullptr);
   Result<HttpResponse> Post(const std::string& host, uint16_t port,
                             const std::string& target,
-                            const std::string& body);
+                            const std::string& body,
+                            IssueInfo* info = nullptr);
 
  private:
   /// Per-host:port pool entry; guarded by mu_.
@@ -77,7 +90,7 @@ class HttpClient {
   Result<HttpResponse> Issue(const std::string& host, uint16_t port,
                              std::string_view method,
                              const std::string& target,
-                             const std::string& body);
+                             const std::string& body, IssueInfo* info);
   /// One attempt on one socket. `fresh` marks a just-connected socket
   /// (failures on it are real, not stale-keep-alive races).
   Result<HttpResponse> Attempt(Socket& sock, std::string_view wire,

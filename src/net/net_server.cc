@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <utility>
 
 #include "src/serve/wire.h"
@@ -241,7 +242,7 @@ bool NetServer::FeedNdjson(Conn& conn, std::string_view data) {
       response.source = serve::ExtractionService::Source::kShed;
       response.error = "request too large";
       loop_->SubmitImmediate(conn.id, "", std::move(response));
-      Push(conn, Pending{PendingKind::kNdjson, true, 0, ""});
+      Push(conn, Pending{PendingKind::kNdjson, true, 0, "", ""});
       continue;
     }
     if (line.text.empty()) continue;
@@ -257,7 +258,7 @@ bool NetServer::FeedNdjson(Conn& conn, std::string_view data) {
       loop_->Submit(conn.id, std::move(site), std::move(html));
     }
     AddCounter(metrics_, "net.requests");
-    Push(conn, Pending{PendingKind::kNdjson, true, 0, ""});
+    Push(conn, Pending{PendingKind::kNdjson, true, 0, "", ""});
   }
   return true;
 }
@@ -282,7 +283,7 @@ bool NetServer::FeedHttp(Conn& conn, std::string_view data) {
       }
       loop_->SubmitImmediate(conn.id, "", serve::ServerLoop::Response{});
       Push(conn, Pending{PendingKind::kHttpError, false, status,
-                         error.message()});
+                         error.message(), ""});
       StopReading(conn);
       return false;
     }
@@ -307,7 +308,7 @@ void NetServer::RouteHttpRequest(Conn& conn, const HttpRequest& request) {
   if (!ParseTarget(request.target, &path, &query).ok()) {
     loop_->SubmitImmediate(conn.id, "", serve::ServerLoop::Response{});
     Push(conn, Pending{PendingKind::kHttpError, keep_alive, 400,
-                       "bad request: malformed target"});
+                       "bad request: malformed target", ""});
     return;
   }
   if (request.method == "POST" && path == "/extract") {
@@ -322,18 +323,29 @@ void NetServer::RouteHttpRequest(Conn& conn, const HttpRequest& request) {
     } else {
       loop_->Submit(conn.id, std::move(site), std::move(html));
     }
-    Push(conn, Pending{PendingKind::kHttpExtract, keep_alive, 0, ""});
+    Push(conn, Pending{PendingKind::kHttpExtract, keep_alive, 0, "", ""});
     return;
   }
   if (request.method == "GET" && path == "/healthz") {
     loop_->SubmitImmediate(conn.id, "", serve::ServerLoop::Response{});
-    Push(conn, Pending{PendingKind::kHttpHealth, keep_alive, 0, ""});
+    Push(conn, Pending{PendingKind::kHttpHealth, keep_alive, 0, "", ""});
     return;
   }
   if (request.method == "GET" && path == "/metrics") {
     loop_->SubmitImmediate(conn.id, "", serve::ServerLoop::Response{});
-    Push(conn, Pending{PendingKind::kHttpMetrics, keep_alive, 0, ""});
+    Push(conn, Pending{PendingKind::kHttpMetrics, keep_alive, 0, "", ""});
     return;
+  }
+  if (request.method == "GET" && options_.extra_get) {
+    int status = 200;
+    std::string content_type = kJsonType;
+    std::string body;
+    if (options_.extra_get(path, query, &status, &content_type, &body)) {
+      loop_->SubmitImmediate(conn.id, "", serve::ServerLoop::Response{});
+      Push(conn, Pending{PendingKind::kHttpRaw, keep_alive, status,
+                         std::move(body), std::move(content_type)});
+      return;
+    }
   }
   const int status =
       (path == "/extract" || path == "/healthz" || path == "/metrics")
@@ -341,7 +353,7 @@ void NetServer::RouteHttpRequest(Conn& conn, const HttpRequest& request) {
           : 404;
   loop_->SubmitImmediate(conn.id, "", serve::ServerLoop::Response{});
   Push(conn, Pending{PendingKind::kHttpError, keep_alive, status,
-                     status == 405 ? "method not allowed" : "not found"});
+                     status == 405 ? "method not allowed" : "not found", ""});
 }
 
 void NetServer::Push(Conn& conn, Pending pending) {
@@ -378,10 +390,22 @@ void NetServer::DeliverOnLoop(uint64_t tag, const std::string& site,
       break;
     case PendingKind::kHttpExtract: {
       const int status = StatusForResponse(response);
+      std::vector<std::pair<std::string, std::string>> headers = {
+          {"Content-Type", kJsonType}};
+      if (status == 503) {
+        // Overload shed: tell polite clients (the fleet router included)
+        // how long to back off before hammering this shard again. The
+        // hint grows with the backlog — a drain shed and an empty queue
+        // still advertise the 1-second floor.
+        const size_t depth = loop_->QueueDepth();
+        const long long hint = static_cast<long long>(
+            std::min<size_t>(1 + depth / 64, 30));
+        headers.emplace_back("Retry-After", std::to_string(hint));
+      }
       Append(conn, SerializeResponse(
                        status, ReasonPhrase(status),
                        serve::ResponseToJson(site, response) + "\n",
-                       {{"Content-Type", kJsonType}}, pending.keep_alive));
+                       headers, pending.keep_alive));
       break;
     }
     case PendingKind::kHttpHealth:
@@ -402,6 +426,13 @@ void NetServer::DeliverOnLoop(uint64_t tag, const std::string& site,
              SerializeResponse(pending.status, ReasonPhrase(pending.status),
                                "{\"error\":\"" + pending.message + "\"}\n",
                                {{"Content-Type", kJsonType}},
+                               pending.keep_alive));
+      break;
+    case PendingKind::kHttpRaw:
+      Append(conn,
+             SerializeResponse(pending.status, ReasonPhrase(pending.status),
+                               std::move(pending.message),
+                               {{"Content-Type", pending.content_type}},
                                pending.keep_alive));
       break;
   }

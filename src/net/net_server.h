@@ -4,11 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string_view>
 #include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/net/event_loop.h"
 #include "src/net/http.h"
@@ -41,6 +44,16 @@ struct NetServerOptions {
   const Clock* clock = nullptr;
   /// Optional sink for net.* counters and the net.connections gauge.
   MetricsRegistry* metrics = nullptr;
+  /// Optional extra GET endpoints (the fleet worker's /ledger and
+  /// /template replication surface). Invoked on the loop thread for GET
+  /// paths the built-in routes do not claim; return true when handled,
+  /// filling status, content type, and body. Handlers must be fast and
+  /// non-blocking — they run inside the connection event loop.
+  using ExtraGetHandler = std::function<bool(
+      const std::string& path,
+      const std::vector<std::pair<std::string, std::string>>& query,
+      int* status, std::string* content_type, std::string* body)>;
+  ExtraGetHandler extra_get;
 };
 
 /// \brief The networked thord front-end: many concurrent TCP connections
@@ -105,12 +118,14 @@ class NetServer {
     kHttpHealth,   ///< 200 "ok"
     kHttpMetrics,  ///< 200 metrics snapshot JSON
     kHttpError,    ///< pre-decided status + message (parse/route errors)
+    kHttpRaw,      ///< pre-rendered body from an ExtraGetHandler
   };
   struct Pending {
     PendingKind kind = PendingKind::kNdjson;
     bool keep_alive = true;   ///< HTTP only
-    int status = 0;           ///< kHttpError only
-    std::string message;      ///< kHttpError only
+    int status = 0;           ///< kHttpError / kHttpRaw only
+    std::string message;      ///< kHttpError message / kHttpRaw body
+    std::string content_type; ///< kHttpRaw only
   };
 
   enum class Protocol : uint8_t { kUnknown, kNdjson, kHttp };

@@ -5,6 +5,7 @@
 #include <csignal>
 #include <cstring>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -171,23 +172,17 @@ Status WaitReady(int fd, bool for_write, const Deadline& deadline) {
   }
 }
 
-Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
-                          const Deadline& deadline) {
-  IgnoreSigPipe();
-  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+namespace {
+
+/// One non-blocking connect attempt to an already-resolved address.
+Result<Socket> ConnectResolved(const sockaddr* addr, socklen_t addr_len,
+                               int family, const Deadline& deadline) {
+  Socket socket(::socket(family, SOCK_STREAM, 0));
   if (!socket.valid()) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
   THOR_RETURN_IF_ERROR(SetNonBlocking(socket.fd()));
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("not an IPv4 address: " + host);
-  }
-  int rc = ::connect(socket.fd(), reinterpret_cast<sockaddr*>(&addr),
-                     sizeof(addr));
+  int rc = ::connect(socket.fd(), addr, addr_len);
   if (rc < 0 && errno != EINPROGRESS) {
     return Status::NotFound(std::string("connect: ") + std::strerror(errno));
   }
@@ -203,6 +198,71 @@ Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
   }
   SetNoDelay(socket.fd());
   return socket;
+}
+
+}  // namespace
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          const Deadline& deadline) {
+  IgnoreSigPipe();
+  // Fast path: an IPv4 or IPv6 literal needs no resolver round trip.
+  sockaddr_in addr4;
+  std::memset(&addr4, 0, sizeof(addr4));
+  addr4.sin_family = AF_INET;
+  addr4.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr4.sin_addr) == 1) {
+    return ConnectResolved(reinterpret_cast<sockaddr*>(&addr4),
+                           sizeof(addr4), AF_INET, deadline);
+  }
+  sockaddr_in6 addr6;
+  std::memset(&addr6, 0, sizeof(addr6));
+  addr6.sin6_family = AF_INET6;
+  addr6.sin6_port = htons(port);
+  if (::inet_pton(AF_INET6, host.c_str(), &addr6.sin6_addr) == 1) {
+    return ConnectResolved(reinterpret_cast<sockaddr*>(&addr6),
+                           sizeof(addr6), AF_INET6, deadline);
+  }
+  // Hostname: resolve with getaddrinfo and walk the results in resolver
+  // order, attempting each until one connects. The deadline covers the
+  // whole iteration — every attempt re-checks it — so a host with many
+  // unreachable addresses cannot stall the caller past its budget.
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  addrinfo* results = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &results);
+  if (rc != 0) {
+    return Status::NotFound("resolve " + host + ": " + gai_strerror(rc));
+  }
+  Status last = Status::NotFound("resolve " + host + ": no usable address");
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    Status expired = deadline.Check("connect " + host);
+    if (!expired.ok()) {
+      last = expired;
+      break;
+    }
+    if (ai->ai_family == AF_INET) {
+      auto* sin = reinterpret_cast<sockaddr_in*>(ai->ai_addr);
+      sin->sin_port = htons(port);
+    } else if (ai->ai_family == AF_INET6) {
+      auto* sin6 = reinterpret_cast<sockaddr_in6*>(ai->ai_addr);
+      sin6->sin6_port = htons(port);
+    } else {
+      continue;
+    }
+    auto attempt =
+        ConnectResolved(ai->ai_addr, static_cast<socklen_t>(ai->ai_addrlen),
+                        ai->ai_family, deadline);
+    if (attempt.ok()) {
+      ::freeaddrinfo(results);
+      return attempt;
+    }
+    last = attempt.status();
+  }
+  ::freeaddrinfo(results);
+  return last;
 }
 
 }  // namespace thor::net

@@ -94,9 +94,13 @@ Result<Socket> ListenTcp(uint16_t port, int backlog = 128);
 /// Port a bound socket actually listens on.
 Result<uint16_t> LocalPort(const Socket& socket);
 
-/// Blocking-with-deadline TCP connect to `host`:`port`. The returned
-/// socket is non-blocking with TCP_NODELAY set. Connection refusal and
-/// timeouts are typed Status errors (kNotFound / kDeadlineExceeded).
+/// Blocking-with-deadline TCP connect to `host`:`port`. `host` may be an
+/// IPv4 literal, an IPv6 literal, or a hostname — hostnames resolve via
+/// getaddrinfo and every returned address is attempted in resolver order
+/// under the same deadline until one connects. The returned socket is
+/// non-blocking with TCP_NODELAY set. Connection refusal, resolution
+/// failure, and timeouts are typed Status errors (kNotFound /
+/// kDeadlineExceeded).
 Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
                           const Deadline& deadline = {});
 

@@ -406,4 +406,8 @@ ExtractionService::AllStats() const {
   return stats_;
 }
 
+void ExtractionService::Invalidate(const std::string& site) {
+  cache_.Erase(site);
+}
+
 }  // namespace thor::serve

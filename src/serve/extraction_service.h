@@ -181,6 +181,13 @@ class ExtractionService {
   /// Snapshot of every site's accounting (for tools' drift tables).
   std::map<std::string, SiteStats> AllStats() const;
 
+  /// Drops `site` from the resident cache so the next request reloads it
+  /// from the store — how an externally committed generation (fleet
+  /// anti-entropy adoption) becomes visible to the serving path without a
+  /// restart. Unknown sites are never negative-cached, so a brand-new
+  /// adopted site needs no invalidation at all.
+  void Invalidate(const std::string& site);
+
   TemplateStore* store() { return store_; }
 
  private:

@@ -8,7 +8,15 @@
 namespace thor::serve {
 
 ServerLoop::ServerLoop(ExtractionService* service, ServerLoopOptions options)
-    : service_(service),
+    : ServerLoop(
+          [service](const std::vector<ExtractionService::Request>& requests,
+                    const Deadline& deadline) {
+            return service->ExtractBatch(requests, deadline);
+          },
+          std::move(options)) {}
+
+ServerLoop::ServerLoop(BatchFn handler, ServerLoopOptions options)
+    : handler_(std::move(handler)),
       options_(std::move(options)),
       clock_(options_.clock != nullptr ? options_.clock
                                        : SystemClock::Instance()) {
@@ -171,7 +179,7 @@ void ServerLoop::Run(const TaggedEmitFn& emit,
           deadline = Deadline::After(clock_, options_.batch_deadline_ms)
                          .WithStop(cancel_);
         }
-        responses = service_->ExtractBatch(requests, deadline);
+        responses = handler_(requests, deadline);
       } else {
         // Batch-level failure degrades every request in it to a typed
         // shed response; the stream stays complete.

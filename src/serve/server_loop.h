@@ -71,7 +71,17 @@ class ServerLoop {
   using TaggedEmitFn = std::function<void(
       uint64_t tag, const std::string& site, const Response& response)>;
 
+  /// What the consumer thread runs each dequeued batch through: one
+  /// index-addressed Response per Request. The canonical handler is
+  /// ExtractionService::ExtractBatch (the service constructor below); the
+  /// fleet router substitutes HTTP forwarding to remote workers, reusing
+  /// the queueing, batching, drain, and emission-order machinery as-is.
+  using BatchFn = std::function<std::vector<Response>(
+      const std::vector<ExtractionService::Request>& requests,
+      const Deadline& deadline)>;
+
   ServerLoop(ExtractionService* service, ServerLoopOptions options = {});
+  ServerLoop(BatchFn handler, ServerLoopOptions options = {});
 
   // --- producer side (thread-safe) ---------------------------------------
 
@@ -142,7 +152,7 @@ class ServerLoop {
 
   void UpdateQueueGauge();
 
-  ExtractionService* service_;
+  BatchFn handler_;
   ServerLoopOptions options_;
   const Clock* clock_;
   StopSource cancel_;

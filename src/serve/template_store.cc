@@ -208,9 +208,17 @@ Status TemplateStore::Put(const std::string& site,
   THOR_RETURN_IF_ERROR(THOR_FAILPOINT("store.put.serialize"));
   std::string document = EncodeTemplates(registry);
   auto committed = entries_.find(site);
-  ManifestEntry next;
-  next.generation =
+  int64_t generation =
       (committed == entries_.end() ? 0 : committed->second.generation) + 1;
+  return CommitLocked(site, document, generation);
+}
+
+Status TemplateStore::CommitLocked(const std::string& site,
+                                   const std::string& document,
+                                   int64_t generation) {
+  auto committed = entries_.find(site);
+  ManifestEntry next;
+  next.generation = generation;
   next.file = site + ".g" + std::to_string(next.generation) + ".tpl";
   next.checksum = Fnv1a64(document);
   fs::path file_path = fs::path(dir_) / next.file;
@@ -245,7 +253,10 @@ Status TemplateStore::Put(const std::string& site,
     return st;
   }
   // From here the commit is durable: an error below (or a crash) leaves a
-  // fully committed new generation, with only GC debt outstanding.
+  // fully committed new generation, with only GC debt outstanding. The
+  // observer (the generation ledger) fires exactly at this boundary, in
+  // commit order, under the store lock.
+  if (observer_) observer_(site, next.generation, next.checksum);
   THOR_RETURN_IF_ERROR(THOR_FAILPOINT("store.put.manifest_committed"));
   THOR_RETURN_IF_ERROR(THOR_FAILPOINT("store.put.gc"));
 
@@ -334,6 +345,103 @@ std::vector<std::string> TemplateStore::Sites() const {
   sites.reserve(entries_.size());
   for (const auto& [site, entry] : entries_) sites.push_back(site);
   return sites;
+}
+
+std::map<std::string, TemplateStore::EntryInfo> TemplateStore::Entries()
+    const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  std::map<std::string, EntryInfo> view;
+  for (const auto& [site, entry] : entries_) {
+    view[site] = EntryInfo{entry.generation, entry.checksum};
+  }
+  return view;
+}
+
+Result<TemplateStore::Raw> TemplateStore::ReadRaw(
+    const std::string& site) const {
+  ManifestEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    auto it = entries_.find(site);
+    if (it == entries_.end()) {
+      return Status::NotFound("site \"" + site + "\" not in store");
+    }
+    entry = it->second;
+  }
+  // Same unlocked-read / old-or-new retry discipline as Load: a concurrent
+  // Put may GC entry.file under us, in which case the manifest now points
+  // at a newer generation and the read retries against that.
+  for (int attempt = 0;; ++attempt) {
+    Status failure = Status::OK();
+    auto document = ReadFile(fs::path(dir_) / entry.file);
+    if (!document.ok()) {
+      failure = Status::Internal("template file for \"" + site +
+                                 "\" missing or unreadable: " +
+                                 document.status().message());
+    } else if (Fnv1a64(*document) != entry.checksum) {
+      failure = Status::Internal("template file for \"" + site +
+                                 "\" corrupt: checksum mismatch (" +
+                                 entry.file + ")");
+    } else {
+      Raw raw;
+      raw.generation = entry.generation;
+      raw.checksum = entry.checksum;
+      raw.payload = std::move(*document);
+      return raw;
+    }
+    constexpr int kMaxLoadRetries = 4;
+    std::lock_guard<std::mutex> lock(*mu_);
+    auto it = entries_.find(site);
+    if (it == entries_.end()) {
+      return Status::NotFound("site \"" + site + "\" not in store");
+    }
+    if (it->second.generation == entry.generation ||
+        attempt >= kMaxLoadRetries) {
+      return failure;
+    }
+    entry = it->second;
+  }
+}
+
+Status TemplateStore::AdoptGeneration(const std::string& site,
+                                      int64_t generation,
+                                      const std::string& payload) {
+  if (!IsValidSiteName(site)) {
+    return Status::InvalidArgument("invalid site name: \"" + site + "\"");
+  }
+  if (generation <= 0) {
+    return Status::InvalidArgument("invalid generation " +
+                                   std::to_string(generation));
+  }
+  // A payload that does not deserialize must never become the committed
+  // generation — a corrupt peer would otherwise poison this replica.
+  auto registry = LooksLikeBinaryTemplates(payload)
+                      ? DecodeTemplates(payload)
+                      : core::TemplateRegistry::FromJson(payload);
+  if (!registry.ok()) {
+    return Status::ParseError("adopted payload for \"" + site +
+                              "\" corrupt: " + registry.status().message());
+  }
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto committed = entries_.find(site);
+  if (committed != entries_.end()) {
+    if (committed->second.generation > generation) return Status::OK();
+    if (committed->second.generation == generation) {
+      // Same generation on both replicas. Identical bytes: nothing to do.
+      // Diverged bytes (split-brain twins that each relearned once): the
+      // larger checksum wins, deterministically — both replicas applying
+      // this rule converge on the same payload without coordination.
+      if (committed->second.checksum >= Fnv1a64(payload)) {
+        return Status::OK();
+      }
+    }
+  }
+  return CommitLocked(site, payload, generation);
+}
+
+void TemplateStore::SetCommitObserver(CommitObserver observer) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  observer_ = std::move(observer);
 }
 
 }  // namespace thor::serve

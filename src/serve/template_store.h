@@ -2,6 +2,7 @@
 #define THOR_SERVE_TEMPLATE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -82,6 +83,45 @@ class TemplateStore {
   /// All stored site names, sorted.
   std::vector<std::string> Sites() const;
 
+  /// The committed manifest view, for replication: site -> generation and
+  /// payload checksum. A snapshot — concurrent Puts may supersede it.
+  struct EntryInfo {
+    int64_t generation = 0;
+    uint64_t checksum = 0;
+  };
+  std::map<std::string, EntryInfo> Entries() const;
+
+  /// The committed generation of `site` as raw payload bytes (the exact
+  /// file contents the checksum covers) — what anti-entropy ships between
+  /// replicas. Same error taxonomy and old-or-new retry as Load.
+  struct Raw {
+    int64_t generation = 0;
+    uint64_t checksum = 0;
+    std::string payload;
+  };
+  Result<Raw> ReadRaw(const std::string& site) const;
+
+  /// Commits `payload` verbatim as generation `generation` of `site` — the
+  /// receiving half of anti-entropy, adopting a peer replica's committed
+  /// bytes instead of re-serializing a registry (so the checksum, and with
+  /// it the generation ledger chain, matches the sender's exactly). The
+  /// payload must deserialize as a template document. Adopting a stale
+  /// generation (older than the committed one) is a silent no-op — a
+  /// concurrent local relearn may have raced ahead. An equal-generation
+  /// divergence (split-brain twins) resolves deterministically: the
+  /// larger payload checksum wins on every replica.
+  Status AdoptGeneration(const std::string& site, int64_t generation,
+                         const std::string& payload);
+
+  /// Observer invoked after every durable commit (Put or AdoptGeneration)
+  /// with the site, new generation, and payload checksum — the hook the
+  /// generation ledger chains from. Called with the store lock held, in
+  /// commit order; keep it fast and never call back into the store.
+  using CommitObserver =
+      std::function<void(const std::string& site, int64_t generation,
+                         uint64_t checksum)>;
+  void SetCommitObserver(CommitObserver observer);
+
   const std::string& dir() const { return dir_; }
 
  private:
@@ -96,8 +136,15 @@ class TemplateStore {
   /// Renders the committed view as MANIFEST.json text.
   std::string ManifestJson() const;
 
+  /// Shared tail of Put/AdoptGeneration: writes `document` as generation
+  /// `generation`, commits the manifest, GCs superseded files, and fires
+  /// the commit observer. Caller holds mu_ and has validated everything.
+  Status CommitLocked(const std::string& site, const std::string& document,
+                      int64_t generation);
+
   std::string dir_;
   std::map<std::string, ManifestEntry> entries_;
+  CommitObserver observer_;
   /// Heap-held so the store stays movable (Result<TemplateStore> needs it).
   std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
 };

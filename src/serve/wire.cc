@@ -34,6 +34,52 @@ std::string ParseRequestLine(const std::string& line, std::string* site,
   return "bad request: need \"html\" or \"file\"";
 }
 
+Result<ExtractionService::Response> ResponseFromJson(const std::string& line,
+                                                     std::string* site) {
+  auto document = JsonValue::Parse(line);
+  if (!document.ok()) return document.status();
+  const JsonValue* site_value = document->Find("site");
+  const JsonValue* source = document->Find("source");
+  const JsonValue* pagelet = document->Find("pagelet");
+  const JsonValue* objects = document->Find("objects");
+  const JsonValue* confidence = document->Find("confidence");
+  const JsonValue* generation = document->Find("generation");
+  if (site_value == nullptr || !site_value->IsString() || source == nullptr ||
+      !source->IsString() || pagelet == nullptr || !pagelet->IsString() ||
+      objects == nullptr || !objects->IsNumber() || confidence == nullptr ||
+      !confidence->IsNumber() || generation == nullptr ||
+      !generation->IsNumber()) {
+    return Status::ParseError("not a thord response line");
+  }
+  ExtractionService::Response response;
+  using Source = ExtractionService::Source;
+  bool known = false;
+  for (Source candidate : {Source::kTemplate, Source::kRelearn, Source::kMiss,
+                           Source::kShed, Source::kDeadline}) {
+    if (source->AsString() == ExtractionService::SourceName(candidate)) {
+      response.source = candidate;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    return Status::ParseError("unknown response source \"" +
+                              source->AsString() + "\"");
+  }
+  response.pagelet_path = pagelet->AsString();
+  // Only the count crosses the wire; placeholders carry it through the
+  // re-render (ResponseToJson emits objects.size()).
+  response.objects.resize(static_cast<size_t>(objects->AsInt()));
+  response.confidence = confidence->AsDouble();
+  response.generation = generation->AsInt();
+  const JsonValue* error = document->Find("error");
+  if (error != nullptr && error->IsString()) {
+    response.error = error->AsString();
+  }
+  if (site != nullptr) *site = site_value->AsString();
+  return response;
+}
+
 std::string ResponseToJson(const std::string& site,
                            const ExtractionService::Response& response) {
   JsonWriter json;

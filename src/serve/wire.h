@@ -24,6 +24,16 @@ std::string ParseRequestLine(const std::string& line, std::string* site,
 std::string ResponseToJson(const std::string& site,
                            const ExtractionService::Response& response);
 
+/// Inverse of ResponseToJson, for the fleet router forwarding a worker's
+/// response line back through its own front-end. The roundtrip
+/// ResponseToJson(site, *ResponseFromJson(line)) reproduces `line`
+/// byte-for-byte for any line ResponseToJson produced: every field is a
+/// fixed-format scalar ("objects" comes back as that many placeholder
+/// entries so the count re-renders identically; the texts themselves never
+/// cross the wire). Parse failure means the body was not a thord response.
+Result<ExtractionService::Response> ResponseFromJson(const std::string& line,
+                                                     std::string* site);
+
 }  // namespace thor::serve
 
 #endif  // THOR_SERVE_WIRE_H_

@@ -46,6 +46,16 @@ constexpr const char* kBuiltinFailpoints[] = {
     "canary.poison",
     "canary.promote",
     "canary.rollback",
+    // Sharded fleet (src/fleet): route sits at the router's per-request
+    // entry, redirect at each failover hop to the next replica, replicate
+    // at the worker's anti-entropy pull boundary, and ledger-append at
+    // every GenerationLedger chain extension. error degrades to a typed
+    // shed / skipped round; crash is the fleet failover chaos suite's
+    // kill -9 with a live client stream attached.
+    "fleet.route",
+    "fleet.redirect",
+    "fleet.replicate",
+    "fleet.ledger_append",
 };
 
 }  // namespace

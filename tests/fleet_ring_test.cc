@@ -1,0 +1,93 @@
+// Consistent-hash ring and endpoint parsing: the router's placement
+// function must be a pure function of (shard count, vnodes) — identical
+// across router instances with no coordination — balanced across shards,
+// and stable (growing the ring moves a bounded minority of sites).
+
+#include "src/fleet/hash_ring.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace thor::fleet {
+namespace {
+
+TEST(ParseEndpointTest, HostPortForms) {
+  auto plain = ParseEndpoint("127.0.0.1:7001");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->host, "127.0.0.1");
+  EXPECT_EQ(plain->port, 7001);
+
+  auto named = ParseEndpoint("localhost:80");
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->host, "localhost");
+  EXPECT_EQ(named->port, 80);
+
+  auto v6 = ParseEndpoint("[::1]:443");
+  ASSERT_TRUE(v6.ok());
+  EXPECT_EQ(v6->host, "::1");
+  EXPECT_EQ(v6->port, 443);
+}
+
+TEST(ParseEndpointTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseEndpoint("").ok());
+  EXPECT_FALSE(ParseEndpoint("nohost").ok());
+  EXPECT_FALSE(ParseEndpoint("host:").ok());
+  EXPECT_FALSE(ParseEndpoint(":80").ok());
+  EXPECT_FALSE(ParseEndpoint("host:notaport").ok());
+  EXPECT_FALSE(ParseEndpoint("host:70000").ok());
+  EXPECT_FALSE(ParseEndpoint("host:0").ok());
+}
+
+TEST(HashRingTest, DeterministicAcrossInstances) {
+  HashRing a(4), b(4);
+  for (int i = 0; i < 200; ++i) {
+    const std::string site = "site" + std::to_string(i);
+    EXPECT_EQ(a.ShardFor(site), b.ShardFor(site)) << site;
+  }
+}
+
+TEST(HashRingTest, EveryShardGetsAFairShare) {
+  constexpr int kSites = 2000;
+  HashRing ring(4);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < kSites; ++i) {
+    size_t shard = ring.ShardFor("site" + std::to_string(i));
+    ASSERT_LT(shard, 4u);
+    ++counts[shard];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [shard, count] : counts) {
+    // Perfect balance is 500; vnode smoothing must keep every shard
+    // within a loose 2x band (catches degenerate rings, not jitter).
+    EXPECT_GT(count, kSites / 8) << "shard " << shard;
+    EXPECT_LT(count, kSites / 2) << "shard " << shard;
+  }
+}
+
+TEST(HashRingTest, GrowingTheRingMovesOnlyAMinority) {
+  constexpr int kSites = 2000;
+  HashRing before(4), after(5);
+  int moved = 0;
+  for (int i = 0; i < kSites; ++i) {
+    const std::string site = "site" + std::to_string(i);
+    if (before.ShardFor(site) != after.ShardFor(site)) ++moved;
+  }
+  // Consistent hashing moves ~1/5 of keys when going 4 -> 5 shards; a
+  // modulo-style placement would move ~4/5. The assertion splits the
+  // difference to stay robust to vnode jitter.
+  EXPECT_LT(moved, kSites / 2);
+  EXPECT_GT(moved, 0);
+}
+
+TEST(HashRingTest, SingleShardTakesEverything) {
+  HashRing ring(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ring.ShardFor("site" + std::to_string(i)), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace thor::fleet

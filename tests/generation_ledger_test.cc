@@ -1,0 +1,171 @@
+// Hash-chained generation ledger: chain links must be reproducible,
+// per-site order-sensitive (it is a chain), cross-site order-insensitive
+// in the combined head (the fold is over sorted sites), and the
+// fleet.ledger_append failpoint must skip the extension without
+// corrupting the chain.
+
+#include "src/fleet/generation_ledger.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/fleet_wire.h"
+#include "src/util/failpoint.h"
+
+namespace thor::fleet {
+namespace {
+
+TEST(GenerationLedgerTest, AppendExtendsTheChainDeterministically) {
+  GenerationLedger a, b;
+  uint64_t head_a1 = a.Append("alpha", 1, 0x1111);
+  uint64_t head_b1 = b.Append("alpha", 1, 0x1111);
+  EXPECT_EQ(head_a1, head_b1);
+  EXPECT_EQ(head_a1,
+            GenerationLedger::ChainLink("alpha", 1, 0x1111, 0));
+
+  uint64_t head_a2 = a.Append("alpha", 2, 0x2222);
+  EXPECT_EQ(head_a2,
+            GenerationLedger::ChainLink("alpha", 2, 0x2222, head_a1));
+  EXPECT_NE(head_a2, head_a1);
+
+  GenerationLedger::SiteState state = a.Site("alpha");
+  EXPECT_EQ(state.generation, 2);
+  EXPECT_EQ(state.checksum, 0x2222u);
+  EXPECT_EQ(state.head, head_a2);
+  EXPECT_EQ(state.length, 2);
+}
+
+TEST(GenerationLedgerTest, SameSiteOrderMatters) {
+  GenerationLedger forward, backward;
+  forward.Append("s", 1, 0xa);
+  forward.Append("s", 2, 0xb);
+  backward.Append("s", 2, 0xb);
+  backward.Append("s", 1, 0xa);
+  EXPECT_NE(forward.Site("s").head, backward.Site("s").head);
+}
+
+TEST(GenerationLedgerTest, CrossSiteInterleavingCannotChangeTheHead) {
+  GenerationLedger interleaved, grouped;
+  interleaved.Append("a", 1, 0x1);
+  interleaved.Append("b", 1, 0x9);
+  interleaved.Append("a", 2, 0x2);
+  interleaved.Append("b", 2, 0x8);
+
+  grouped.Append("b", 1, 0x9);
+  grouped.Append("b", 2, 0x8);
+  grouped.Append("a", 1, 0x1);
+  grouped.Append("a", 2, 0x2);
+
+  EXPECT_EQ(interleaved.Head(), grouped.Head());
+}
+
+TEST(GenerationLedgerTest, HeadNamesDivergence) {
+  GenerationLedger x, y;
+  x.Append("a", 1, 0x1);
+  y.Append("a", 1, 0x1);
+  EXPECT_EQ(x.Head(), y.Head());
+  y.Append("b", 1, 0x2);
+  EXPECT_NE(x.Head(), y.Head());
+  // The per-site snapshots pin the diverging site down.
+  EXPECT_EQ(x.Site("b").generation, 0);
+  EXPECT_EQ(y.Site("b").generation, 1);
+}
+
+TEST(GenerationLedgerTest, AdoptForcesAPeerView) {
+  GenerationLedger ledger;
+  ledger.Append("s", 1, 0xa);
+  ledger.Adopt("s", 5, 0xbeef, 0x1234);
+  GenerationLedger::SiteState state = ledger.Site("s");
+  EXPECT_EQ(state.generation, 5);
+  EXPECT_EQ(state.checksum, 0xbeefu);
+  EXPECT_EQ(state.head, 0x1234u);
+}
+
+TEST(GenerationLedgerTest, MissingSiteIsAllZeros) {
+  GenerationLedger ledger;
+  GenerationLedger::SiteState state = ledger.Site("nope");
+  EXPECT_EQ(state.generation, 0);
+  EXPECT_EQ(state.checksum, 0u);
+  EXPECT_EQ(state.head, 0u);
+  EXPECT_EQ(state.length, 0);
+  EXPECT_EQ(ledger.Head(), GenerationLedger().Head());
+}
+
+TEST(GenerationLedgerTest, AppendFailpointSkipsTheExtension) {
+  GenerationLedger ledger;
+  uint64_t head1 = ledger.Append("s", 1, 0xa);
+  ASSERT_TRUE(
+      FailpointRegistry::Global()->Arm("fleet.ledger_append", "error").ok());
+  uint64_t head2 = ledger.Append("s", 2, 0xb);
+  FailpointRegistry::Global()->DisarmAll();
+  // The injected error leaves the chain exactly as it was — the resulting
+  // store/ledger divergence is what anti-entropy must then detect.
+  EXPECT_EQ(head2, head1);
+  EXPECT_EQ(ledger.Site("s").generation, 1);
+  // A later commit extends from the surviving head as usual.
+  uint64_t head3 = ledger.Append("s", 3, 0xc);
+  EXPECT_EQ(head3, GenerationLedger::ChainLink("s", 3, 0xc, head1));
+}
+
+TEST(FleetWireTest, HexRoundtripsArbitraryBytes) {
+  std::string bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<char>(i));
+  auto decoded = HexDecode(HexEncode(bytes));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, bytes);
+
+  EXPECT_EQ(U64ToHex(0xdeadbeefcafe1234ull).size(), 16u);
+  auto value = U64FromHex(U64ToHex(0xdeadbeefcafe1234ull));
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0xdeadbeefcafe1234ull);
+
+  EXPECT_FALSE(HexDecode("abc").ok());  // odd length
+  EXPECT_FALSE(HexDecode("zz").ok());   // not hex
+  EXPECT_FALSE(U64FromHex("").ok());
+  EXPECT_FALSE(U64FromHex("0123456789abcdef0").ok());  // > 64 bits
+  EXPECT_FALSE(U64FromHex("xyz").ok());
+}
+
+TEST(FleetWireTest, LedgerJsonRoundtrip) {
+  GenerationLedger ledger;
+  ledger.Append("alpha", 1, 0x1111);
+  ledger.Append("alpha", 2, 0x2222);
+  ledger.Append("beta", 7, 0xffffffffffffffffull);  // exceeds double precision
+
+  LedgerView view;
+  view.head = ledger.Head();
+  view.sites = ledger.Snapshot();
+  auto parsed = LedgerFromJson(LedgerToJson(view));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->head, view.head);
+  ASSERT_EQ(parsed->sites.size(), 2u);
+  EXPECT_EQ(parsed->sites.at("alpha").generation, 2);
+  EXPECT_EQ(parsed->sites.at("alpha").head, ledger.Site("alpha").head);
+  EXPECT_EQ(parsed->sites.at("beta").checksum, 0xffffffffffffffffull);
+}
+
+TEST(FleetWireTest, TemplatePayloadJsonRoundtripsBinaryBytes) {
+  TemplatePayload payload;
+  payload.site = "site0";
+  payload.generation = 3;
+  payload.head = 0xabcdef0123456789ull;
+  payload.payload = std::string("THORTPL1\x00\xff\x7f\n\"", 13);
+  payload.checksum = 0x1234;
+  auto parsed = TemplatePayloadFromJson(TemplatePayloadToJson(payload));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->site, payload.site);
+  EXPECT_EQ(parsed->generation, payload.generation);
+  EXPECT_EQ(parsed->checksum, payload.checksum);
+  EXPECT_EQ(parsed->head, payload.head);
+  EXPECT_EQ(parsed->payload, payload.payload);
+}
+
+TEST(FleetWireTest, RejectsForeignAndTruncatedDocuments) {
+  EXPECT_FALSE(LedgerFromJson("not json").ok());
+  EXPECT_FALSE(LedgerFromJson("{\"format\":\"other\"}").ok());
+  EXPECT_FALSE(TemplatePayloadFromJson("{}").ok());
+}
+
+}  // namespace
+}  // namespace thor::fleet

@@ -24,6 +24,7 @@
 #include "src/serve/template_store.h"
 #include "src/serve/wire.h"
 #include "src/util/deadline.h"
+#include "src/util/failpoint.h"
 #include "src/util/metrics.h"
 
 namespace thor::net {
@@ -343,6 +344,78 @@ TEST(NetServerTest, ConcurrentConnectionsAllAnswered) {
                 std::string::npos);
     }
   }
+}
+
+TEST(NetServerTest, OverloadShedsAdvertiseRetryAfter) {
+  // Tiny batches plus a delayed extraction stage force admission control
+  // to shed most of a pipelined burst; every 503 must carry a Retry-After
+  // hint so polite clients (the fleet router included) back off.
+  serve::ServerLoopOptions loop_options;
+  loop_options.batch = 1;
+  loop_options.max_backlog = 1;
+  NetWorld world("retry_after", {}, loop_options);
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  ->Arm("serve.batch.extract", "delay=100")
+                  .ok());
+  auto sock = ConnectTcp("127.0.0.1", world.port, TestDeadline());
+  ASSERT_TRUE(sock.ok());
+  std::string body =
+      std::string("{\"site\":\"s\",\"html\":\"") + kPage + "\"}";
+  std::string wire;
+  for (int i = 0; i < 5; ++i) {
+    wire += SerializeRequest("POST", "/extract", body);
+  }
+  SendAll(*sock, wire);
+  std::vector<HttpResponse> responses = ReadResponses(*sock, 5);
+  FailpointRegistry::Global()->DisarmAll();
+  ASSERT_EQ(responses.size(), 5u);
+  int sheds = 0;
+  for (const HttpResponse& response : responses) {
+    if (response.status_code != 503) continue;
+    ++sheds;
+    const std::string* hint = response.headers.Find("Retry-After");
+    ASSERT_NE(hint, nullptr);
+    EXPECT_GE(std::atoi(hint->c_str()), 1);
+    EXPECT_NE(response.body.find("\"source\":\"shed\""), std::string::npos);
+  }
+  EXPECT_GT(sheds, 0);
+}
+
+TEST(NetServerTest, ExtraGetHandlerServesBesideTheBuiltinRoutes) {
+  NetServerOptions net_options;
+  net_options.extra_get =
+      [](const std::string& path,
+         const std::vector<std::pair<std::string, std::string>>& query,
+         int* status, std::string* content_type, std::string* body) {
+        if (path != "/custom") return false;
+        for (const auto& [key, value] : query) {
+          if (key == "missing" && value == "1") *status = 404;
+        }
+        *content_type = "text/plain";
+        *body = "custom\n";
+        return true;
+      };
+  NetWorld world("extra_get", net_options);
+  auto sock = ConnectTcp("127.0.0.1", world.port, TestDeadline());
+  ASSERT_TRUE(sock.ok());
+  std::string wire = SerializeRequest("GET", "/custom", "");
+  wire += SerializeRequest("GET", "/custom?missing=1", "");
+  wire += SerializeRequest("GET", "/healthz", "");
+  wire += SerializeRequest("GET", "/unrouted", "");
+  SendAll(*sock, wire);
+  std::vector<HttpResponse> responses = ReadResponses(*sock, 4);
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(responses[0].status_code, 200);
+  EXPECT_EQ(responses[0].body, "custom\n");
+  const std::string* type = responses[0].headers.Find("Content-Type");
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(*type, "text/plain");
+  EXPECT_EQ(responses[1].status_code, 404);
+  EXPECT_EQ(responses[1].body, "custom\n");
+  // Builtin routes stay first in line; unhandled paths still 404.
+  EXPECT_EQ(responses[2].status_code, 200);
+  EXPECT_EQ(responses[2].body, "ok\n");
+  EXPECT_EQ(responses[3].status_code, 404);
 }
 
 TEST(NetServerTest, DrainStopsAcceptingAndShutsDownCleanly) {

@@ -29,6 +29,21 @@ so the gate checks shape invariants that must hold on any host:
 Usage:
   bench_serve_network 4 1024 report.json
   check_bench_regression.py --serve-network report.json
+
+Third mode (--fleet): structural gate on the fleet-failover bench JSON
+(bench_fleet_failover). Host-independent shape invariants:
+  - both phases completed every request with zero untyped errors;
+  - the healthy phase shed nothing at all;
+  - the failover phase actually failed over: redirects and breaker
+    ejections are visible in the counters, and typed sheds stay a
+    minority of the phase;
+  - the failover tail stays within a generous multiple of the healthy
+    tail — a refused loopback connect must cost microseconds, never a
+    timeout.
+
+Usage:
+  bench_fleet_failover 2048 report.json
+  check_bench_regression.py --fleet report.json
 """
 
 import json
@@ -94,9 +109,65 @@ def check_serve_network(path):
     return 0
 
 
+def check_fleet(path):
+    """Exit code for the --fleet structural gate."""
+    with open(path) as f:
+        report = json.load(f)
+    phases = {p["phase"]: p for p in report.get("phases", [])}
+    counters = report.get("counters", {})
+    if "healthy" not in phases or "failover" not in phases:
+        raise SystemExit("error: fleet report is missing a phase")
+    expected = int(report.get("requests_per_phase", 0))
+    failures = []
+    for name, phase in phases.items():
+        if int(phase.get("errors", 0)) != 0:
+            failures.append(f"{name}: {phase['errors']} untyped errors")
+        if int(phase.get("requests", 0)) < expected:
+            failures.append(
+                f"{name}: {phase['requests']}/{expected} responses"
+            )
+    healthy = phases["healthy"]
+    failover = phases["failover"]
+    if int(healthy.get("shed", 0)) != 0:
+        failures.append(f"healthy phase shed {healthy['shed']} requests")
+    if int(failover.get("shed", 0)) >= expected / 2:
+        failures.append(
+            f"failover shed {failover['shed']}/{expected} — "
+            "redirects never engaged"
+        )
+    redirects = int(counters.get("fleet.redirects", 0))
+    ejections = int(counters.get("fleet.ejections", 0))
+    print(f"failover counters: {redirects} redirects, {ejections} ejections")
+    if redirects < 1:
+        failures.append("no redirects recorded — the kill was not absorbed")
+    if ejections < 1:
+        failures.append("no ejections recorded — the breaker never opened")
+    tail_limit = 50.0
+    healthy_p99 = float(healthy["p99_ms"])
+    failover_p99 = float(failover["p99_ms"])
+    limit = max(tail_limit * healthy_p99, 100.0)
+    print(
+        f"tail: healthy p99 {healthy_p99:.2f}ms, "
+        f"failover p99 {failover_p99:.2f}ms (limit {limit:.0f}ms)"
+    )
+    if failover_p99 > limit:
+        failures.append(
+            f"failover tail blew up: p99 {failover_p99:.2f}ms > "
+            f"{limit:.0f}ms"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: fleet failover within budget")
+    return 0
+
+
 def main(argv):
     if len(argv) == 3 and argv[1] == "--serve-network":
         return check_serve_network(argv[2])
+    if len(argv) == 3 and argv[1] == "--fleet":
+        return check_fleet(argv[2])
     if len(argv) != 3:
         raise SystemExit(__doc__)
     with open(argv[1]) as f:

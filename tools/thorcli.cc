@@ -66,6 +66,8 @@ int Usage() {
                " --site NAME [--json]\n"
                "  thorcli search DIR... --query WORDS [--by-site]\n"
                "  thorcli send --port PORT [--host HOST] [--timeout-ms MS]\n"
+               "  thorcli fetch --port PORT --path PATH [--host HOST]\n"
+               "               [--timeout-ms MS]\n"
                "  thorcli eval [--sites N] [--fault-rate R] "
                "[--retry-budget N] [--seed S]\n"
                "               [--deadline-ms MS] [--trace FILE] "
@@ -92,6 +94,10 @@ int Usage() {
                "send: NDJSON client for a networked thord — reads request "
                "lines from stdin,\nstreams them to thord --listen, prints "
                "the response lines, exits 0 on clean\nEOF.\n"
+               "\n"
+               "fetch: one HTTP GET against a fleet worker or router "
+               "(e.g. --path /ledger\nor --path /template?site=site0); "
+               "prints the response body, exits 0 only on\nHTTP 200.\n"
                "\n"
                "probe drift: --drift-seed enables deterministic template "
                "drift and --epoch N\ncaches the pages the fleet serves "
@@ -570,6 +576,49 @@ int RunSend(int argc, char** argv) {
   return 0;
 }
 
+// --- fetch: one HTTP GET against a fleet worker --------------------------
+
+int RunFetch(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string path;
+  int port = 0;
+  double timeout_ms = 10000.0;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--port") && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
+      host = argv[++i];
+    } else if (!std::strcmp(argv[i], "--path") && i + 1 < argc) {
+      path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--timeout-ms") && i + 1 < argc) {
+      timeout_ms = std::atof(argv[++i]);
+    }
+  }
+  if (port <= 0 || port > 65535 || path.empty()) return Usage();
+  net::IgnoreSigPipe();
+  net::HttpClientOptions options;
+  options.connect_timeout_ms = timeout_ms;
+  options.request_timeout_ms = timeout_ms;
+  net::HttpClient client(options);
+  auto response = client.Get(host, static_cast<uint16_t>(port), path);
+  if (!response.ok()) {
+    std::fprintf(stderr, "fetch %s:%d%s failed: %s\n", host.c_str(), port,
+                 path.c_str(), response.status().ToString().c_str());
+    return 1;
+  }
+  std::fwrite(response->body.data(), 1, response->body.size(), stdout);
+  if (response->body.empty() || response->body.back() != '\n') {
+    std::fputc('\n', stdout);
+  }
+  std::fflush(stdout);
+  if (response->status_code != 200) {
+    std::fprintf(stderr, "fetch %s:%d%s: HTTP %d\n", host.c_str(), port,
+                 path.c_str(), response->status_code);
+    return 1;
+  }
+  return 0;
+}
+
 // --- extract -------------------------------------------------------------
 
 int RunExtract(int argc, char** argv) {
@@ -867,6 +916,7 @@ int Main(int argc, char** argv) {
     return RunExtractFromStore(argc - 2, argv + 2);
   }
   if (command == "send") return RunSend(argc - 2, argv + 2);
+  if (command == "fetch") return RunFetch(argc - 2, argv + 2);
   if (command == "search") return RunSearch(argc - 2, argv + 2);
   if (command == "eval") return RunEval(argc - 2, argv + 2);
   return Usage();

@@ -47,6 +47,9 @@
 #include "src/deepweb/corpus.h"
 #include "src/deepweb/site_generator.h"
 #include "src/deepweb/transport.h"
+#include "src/fleet/fleet_wire.h"
+#include "src/fleet/generation_ledger.h"
+#include "src/fleet/replica_agent.h"
 #include "src/net/net_server.h"
 #include "src/net/socket.h"
 #include "src/serve/extraction_service.h"
@@ -122,6 +125,12 @@ int Usage() {
       "                          of stdio (0 = ephemeral port)\n"
       "  --port-file PATH        write the bound port to PATH (with "
       "--listen 0)\n"
+      "  --peer HOST:PORT        fleet replica to anti-entropy against "
+      "(repeatable,\n"
+      "                          needs --listen)\n"
+      "  --anti-entropy-ms MS    gossip round interval against --peer "
+      "replicas\n"
+      "                          (default 250)\n"
       "  --idle-timeout-ms MS    close idle TCP connections after MS "
       "(default 60000)\n"
       "  --seed S                probe seed for relearn samples "
@@ -160,6 +169,8 @@ struct DaemonOptions {
   int listen_port = -1;  ///< -1 = stdio mode
   std::string port_file;
   double idle_timeout_ms = 60000.0;
+  std::vector<std::string> peers;
+  double anti_entropy_ms = 250.0;
 };
 
 void PrintResponse(const std::string& site,
@@ -251,6 +262,10 @@ int Main(int argc, char** argv) {
       options.port_file = next("--port-file");
     } else if (!std::strcmp(argv[i], "--idle-timeout-ms")) {
       options.idle_timeout_ms = std::atof(next("--idle-timeout-ms"));
+    } else if (!std::strcmp(argv[i], "--peer")) {
+      options.peers.push_back(next("--peer"));
+    } else if (!std::strcmp(argv[i], "--anti-entropy-ms")) {
+      options.anti_entropy_ms = std::atof(next("--anti-entropy-ms"));
     } else if (!std::strcmp(argv[i], "--metrics")) {
       options.print_metrics = true;
     } else if (!std::strcmp(argv[i], "--list-failpoints")) {
@@ -272,6 +287,38 @@ int Main(int argc, char** argv) {
   }
 
   MetricsRegistry metrics;
+
+  // Fleet replication surface: the ledger mirrors every committed
+  // generation as a hash chain (see fleet/generation_ledger.h). Surviving
+  // sites restart as length-1 chains seeded from zero; from then on the
+  // store's commit observer extends the chain at the durability boundary,
+  // so /ledger always describes exactly what the manifest holds.
+  fleet::GenerationLedger ledger;
+  for (const auto& [site, info] : store->Entries()) {
+    ledger.Adopt(site, info.generation, info.checksum,
+                 fleet::GenerationLedger::ChainLink(site, info.generation,
+                                                    info.checksum, 0));
+  }
+  store->SetCommitObserver([&ledger](const std::string& site,
+                                     int64_t generation, uint64_t checksum) {
+    ledger.Append(site, generation, checksum);
+  });
+
+  std::vector<fleet::Endpoint> peers;
+  for (const std::string& spec : options.peers) {
+    auto endpoint = fleet::ParseEndpoint(spec);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "bad --peer %s: %s\n", spec.c_str(),
+                   endpoint.status().ToString().c_str());
+      return 2;
+    }
+    peers.push_back(*endpoint);
+  }
+  if (!peers.empty() && options.listen_port < 0) {
+    std::fprintf(stderr, "--peer needs --listen\n");
+    return 2;
+  }
+
   serve::ServiceOptions service_options;
   service_options.cache_capacity = options.cache;
   service_options.threads = options.threads;
@@ -409,6 +456,44 @@ int Main(int argc, char** argv) {
     net_options.limits.max_line_bytes = options.max_request_bytes;
     net_options.limits.max_body_bytes = options.max_request_bytes;
     net_options.metrics = &metrics;
+    // Replication endpoints: peers read this worker's chain state and pull
+    // raw committed payloads. Served straight off the loop thread — both
+    // are small locked reads (the template payload re-reads one store
+    // file, bounded by template size, not page size).
+    net_options.extra_get =
+        [&ledger, &store](
+            const std::string& path,
+            const std::vector<std::pair<std::string, std::string>>& query,
+            int* status, std::string* /*content_type*/, std::string* body) {
+          if (path == "/ledger") {
+            fleet::LedgerView view;
+            view.head = ledger.Head();
+            view.sites = ledger.Snapshot();
+            *body = fleet::LedgerToJson(view);
+            return true;
+          }
+          if (path == "/template") {
+            std::string site;
+            for (const auto& [key, value] : query) {
+              if (key == "site") site = value;
+            }
+            auto raw = store->ReadRaw(site);
+            if (!raw.ok()) {
+              *status = 404;
+              *body = "{\"error\":\"unknown site\"}";
+              return true;
+            }
+            fleet::TemplatePayload payload;
+            payload.site = site;
+            payload.generation = raw->generation;
+            payload.checksum = raw->checksum;
+            payload.head = ledger.Site(site).head;
+            payload.payload = std::move(raw->payload);
+            *body = fleet::TemplatePayloadToJson(payload);
+            return true;
+          }
+          return false;
+        };
     server = std::make_unique<net::NetServer>(&loop, net_options);
     auto port = server->Start();
     if (!port.ok()) {
@@ -426,6 +511,21 @@ int Main(int argc, char** argv) {
     }
     std::fprintf(stderr, "thord listening on 127.0.0.1:%u\n",
                  static_cast<unsigned>(*port));
+  }
+  // Anti-entropy against the sibling replicas of this shard: adopted
+  // generations must also leave the resident cache, or the serving path
+  // would keep answering from the pre-adoption registry.
+  std::unique_ptr<fleet::ReplicaAgent> agent;
+  if (!peers.empty()) {
+    fleet::ReplicaAgentOptions agent_options;
+    agent_options.interval_ms = options.anti_entropy_ms;
+    agent_options.metrics = &metrics;
+    agent_options.on_adopt = [&service](const std::string& site) {
+      service.Invalidate(site);
+    };
+    agent = std::make_unique<fleet::ReplicaAgent>(&*store, &ledger, peers,
+                                                  agent_options);
+    agent->Start();
   }
   std::atomic<bool> worker_done{false};
   std::thread worker([&] {
@@ -491,6 +591,9 @@ int Main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   worker.join();
+  // Stop gossip before tearing the server down so no adoption lands
+  // mid-shutdown; peers just see this replica drop off and move on.
+  if (agent != nullptr) agent->Stop();
   // The consumer has returned, so no Deliver can race the teardown:
   // flush every connection's outbox, then stop the event loop.
   if (server != nullptr) server->Shutdown(2000.0);
